@@ -1,0 +1,126 @@
+(* The benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper (plus the
+   ablations) from the simulator and prints them in the paper's layout
+   with the published values alongside.
+
+   Part 2 runs Bechamel micro-benchmarks of the host-level hot paths, so
+   regressions in the simulator itself (not in the simulated times) are
+   visible: how many real nanoseconds one simulated LRPC costs, etc. *)
+
+module E = Lrpc_experiments
+module Driver = Lrpc_workload.Driver
+module Profile = Lrpc_msgrpc.Profile
+module Prng = Lrpc_util.Prng
+module Sizes = Lrpc_workload.Sizes
+
+let section title =
+  let bar = String.make 72 '=' in
+  Printf.printf "%s\n%s\n%s\n\n" bar title bar
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: paper artifacts                                             *)
+(* ------------------------------------------------------------------ *)
+
+let quick = Array.exists (( = ) "--quick") Sys.argv
+
+let experiments () =
+  let ops = if quick then 100_000 else 1_000_000 in
+  let calls = if quick then 150_000 else 1_487_105 in
+  let horizon = Lrpc_sim.Time.ms (if quick then 150 else 500) in
+  section "Part 1: every table and figure of the paper, regenerated";
+  print_endline (E.Table1.render (E.Table1.run ~operations:ops ()));
+  print_endline (E.Fig1.render (E.Fig1.run ~calls ()));
+  print_endline (E.Table2.render (E.Table2.run ()));
+  print_endline (E.Table3.render (E.Table3.run ()));
+  print_endline (E.Table4.render (E.Table4.run ()));
+  print_endline (E.Table5.render (E.Table5.run ()));
+  print_endline (E.Fig2.render (E.Fig2.run ~horizon ()));
+  section "Ablations (DESIGN.md A1-A6)";
+  print_endline (E.Ablations.render_a1 (E.Ablations.run_a1 ()));
+  print_endline (E.Ablations.render_a2 (E.Ablations.run_a2 ()));
+  print_endline (E.Ablations.render_a3 (E.Ablations.run_a3 ()));
+  print_endline (E.Ablations.render_a4 (E.Ablations.run_a4 ~horizon ()));
+  print_endline (E.Ablations.render_a5 (E.Ablations.run_a5 ()));
+  print_endline (E.Ablations.render_a6 (E.Ablations.run_a6 ()));
+  section "Supplementary measurements";
+  print_endline (E.Latency.render (E.Latency.run ~horizon ()))
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel micro-benchmarks of the host-level implementation  *)
+(* ------------------------------------------------------------------ *)
+
+let bench_lrpc_serial () =
+  let w = Driver.make_lrpc () in
+  ignore (Driver.lrpc_latency ~warmup:1 ~calls:100 w ~proc:"null" ~args:[])
+
+let bench_lrpc_mp () =
+  let w = Driver.make_lrpc ~processors:2 ~domain_caching:true () in
+  ignore (Driver.lrpc_latency ~warmup:1 ~calls:100 w ~proc:"null" ~args:[])
+
+let bench_src () =
+  ignore
+    (Driver.mpass_latency ~warmup:1 ~calls:100 Profile.src_rpc ~proc:"null"
+       ~args:[])
+
+let bench_fig1_slice () =
+  let rng = Prng.create ~seed:7L in
+  let pop = Sizes.generate_population rng in
+  ignore (Sizes.synthesize_traffic rng pop ~calls:10_000)
+
+let bench_idl_roundtrip () =
+  let iface =
+    Lrpc_idl.Parser.parse
+      "interface Bench { proc add(a: int, b: int): int; proc write(buf: \
+       varbytes[1024] @uninterpreted): card; }"
+  in
+  ignore (Lrpc_idl.Codegen.generate iface)
+
+let bench_heap () =
+  let h = Lrpc_sim.Heap.create () in
+  for i = 0 to 9_999 do
+    Lrpc_sim.Heap.push h ~time:((i * 7919) mod 65536) i
+  done;
+  let rec drain () =
+    match Lrpc_sim.Heap.pop h with Some _ -> drain () | None -> ()
+  in
+  drain ()
+
+let microbenchmarks () =
+  section
+    "Part 2: Bechamel micro-benchmarks (host-time cost of the simulator)";
+  let open Bechamel in
+  let test name f = Test.make ~name (Staged.stage f) in
+  let tests =
+    Test.make_grouped ~name:"lrpc-repro"
+      [
+        test "lrpc-serial-100-calls" bench_lrpc_serial;
+        test "lrpc-mp-100-calls" bench_lrpc_mp;
+        test "srcrpc-100-calls" bench_src;
+        test "fig1-workload-10k-calls" bench_fig1_slice;
+        test "idl-parse-and-codegen" bench_idl_roundtrip;
+        test "event-heap-10k-push-pop" bench_heap;
+      ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  Printf.printf "%-44s %14s\n" "benchmark" "ns/run";
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "%-44s %14.0f\n" name est
+      | _ -> Printf.printf "%-44s %14s\n" name "-")
+    results
+
+let () =
+  experiments ();
+  microbenchmarks ();
+  print_newline ();
+  print_endline "bench: done"

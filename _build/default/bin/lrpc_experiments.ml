@@ -1,0 +1,65 @@
+(* CLI for regenerating every table and figure of the paper, and the
+   ablations. `lrpc_experiments all` prints the lot. *)
+
+module E = Lrpc_experiments
+
+let available =
+  [ "t1"; "f1"; "t2"; "t3"; "t4"; "t5"; "f2"; "a1"; "a2"; "a3"; "a4"; "a5"; "a6"; "lat" ]
+
+let run_one ~seed ~quick name =
+  let q_ops = if quick then 100_000 else 1_000_000 in
+  let q_calls = if quick then 150_000 else 1_487_105 in
+  let horizon = Lrpc_sim.Time.ms (if quick then 150 else 500) in
+  match name with
+  | "t1" -> E.Table1.render (E.Table1.run ~seed ~operations:q_ops ())
+  | "f1" -> E.Fig1.render (E.Fig1.run ~seed ~calls:q_calls ())
+  | "t2" -> E.Table2.render (E.Table2.run ())
+  | "t3" -> E.Table3.render (E.Table3.run ())
+  | "t4" -> E.Table4.render (E.Table4.run ())
+  | "t5" -> E.Table5.render (E.Table5.run ())
+  | "f2" -> E.Fig2.render (E.Fig2.run ~horizon ())
+  | "a1" -> E.Ablations.render_a1 (E.Ablations.run_a1 ())
+  | "a2" -> E.Ablations.render_a2 (E.Ablations.run_a2 ())
+  | "a3" -> E.Ablations.render_a3 (E.Ablations.run_a3 ())
+  | "a4" -> E.Ablations.render_a4 (E.Ablations.run_a4 ())
+  | "a5" -> E.Ablations.render_a5 (E.Ablations.run_a5 ())
+  | "a6" -> E.Ablations.render_a6 (E.Ablations.run_a6 ())
+  | "lat" -> E.Latency.render (E.Latency.run ~horizon ())
+  | other -> Printf.sprintf "unknown experiment %S (try: %s, all)" other
+               (String.concat ", " available)
+
+let run names seed quick =
+  let names = if names = [] || names = [ "all" ] then available else names in
+  List.iter
+    (fun n ->
+      print_endline (run_one ~seed ~quick n);
+      print_newline ())
+    names
+
+open Cmdliner
+
+let names_arg =
+  let doc =
+    "Experiments to run: t1 f1 t2 t3 t4 t5 f2 (paper tables/figures), a1-a5 \
+     (ablations incl. a6 register passing), or 'all'."
+  in
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed for the workload models." in
+  Arg.(value & opt int64 1989L & info [ "seed" ] ~doc)
+
+let quick_arg =
+  let doc = "Smaller sample sizes / shorter horizons." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let cmd =
+  let doc =
+    "Regenerate the tables and figures of 'Lightweight Remote Procedure \
+     Call' (SOSP 1989) from the simulator."
+  in
+  Cmd.v
+    (Cmd.info "lrpc_experiments" ~version:"1.0" ~doc)
+    Term.(const run $ names_arg $ seed_arg $ quick_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,61 @@
+(* The LRPC stub generator: reads interface definition files and emits
+   the per-procedure assembly-language stubs (Modula2+ marshaling
+   skeletons for procedures flagged complex), as paper §3.3 describes. *)
+
+module P = Lrpc_idl.Parser
+module Codegen = Lrpc_idl.Codegen
+module Layout = Lrpc_idl.Layout
+module Types = Lrpc_idl.Types
+
+let process ~sizes path =
+  let iface =
+    if path = "-" then P.parse (In_channel.input_all stdin)
+    else P.parse_file path
+  in
+  Format.printf "; interface %s: %d procedures@."
+    iface.Types.interface_name
+    (List.length iface.Types.procs);
+  if sizes then begin
+    Format.printf "; A-stack sizing:@.";
+    List.iter
+      (fun p ->
+        let l = Layout.of_proc p in
+        Format.printf ";   %-24s %4d bytes%s, %d A-stacks@."
+          p.Types.proc_name l.Layout.astack_size
+          (if l.Layout.exact then "" else " (Ethernet-packet default)")
+          p.Types.astacks)
+      iface.Types.procs
+  end;
+  List.iter
+    (fun listing -> Codegen.render Format.std_formatter listing)
+    (Codegen.generate iface)
+
+let run paths sizes =
+  try
+    List.iter (fun p -> process ~sizes p) (if paths = [] then [ "-" ] else paths);
+    0
+  with
+  | P.Parse_error { line; message } ->
+      Format.eprintf "parse error at line %d: %s@." line message;
+      1
+  | Sys_error m ->
+      Format.eprintf "%s@." m;
+      1
+
+open Cmdliner
+
+let paths_arg =
+  let doc = "Interface definition files ('-' or none reads stdin)." in
+  Arg.(value & pos_all string [] & info [] ~docv:"FILE" ~doc)
+
+let sizes_arg =
+  let doc = "Also print the computed A-stack sizes." in
+  Arg.(value & flag & info [ "sizes" ] ~doc)
+
+let cmd =
+  let doc = "Generate LRPC stubs from interface definitions." in
+  Cmd.v
+    (Cmd.info "lrpc_stubgen" ~version:"1.0" ~doc)
+    Term.(const run $ paths_arg $ sizes_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,80 @@
+(* Quickstart: define an interface, export it from a server domain,
+   import it in a client domain, and make cross-domain calls.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Lrpc_sim
+open Lrpc_kernel
+open Lrpc_core
+module V = Lrpc_idl.Value
+
+let () =
+  (* A simulated single-processor C-VAX Firefly with a booted kernel and
+     the LRPC runtime. *)
+  let engine = Engine.create ~processors:1 Cost_model.cvax_firefly in
+  let kernel = Kernel.boot engine in
+  let rt = Api.init kernel in
+
+  (* Two protection domains: an arithmetic server and an application. *)
+  let server = Kernel.create_domain kernel ~name:"arith-server" in
+  let client = Kernel.create_domain kernel ~name:"app" in
+
+  (* The interface, written in the textual IDL (a builder API exists
+     too: Lrpc_idl.Types.interface). *)
+  let iface =
+    Lrpc_idl.Parser.parse
+      {|
+        # A tiny arithmetic service
+        interface Arith {
+          proc add(a: int, b: int): int;
+          proc scale(v: int, by: int): int [astacks=3];
+        }
+      |}
+  in
+
+  (* Export: the server's clerk registers the interface with the name
+     server; each procedure gets an implementation that reads arguments
+     straight off the shared A-stack. *)
+  let _export =
+    Api.export rt ~domain:server iface
+      ~impls:
+        [
+          ( "add",
+            fun ctx ->
+              match Server_ctx.args ctx with
+              | [ V.Int a; V.Int b ] -> [ V.int (a + b) ]
+              | _ -> assert false );
+          ( "scale",
+            fun ctx ->
+              match Server_ctx.args ctx with
+              | [ V.Int v; V.Int by ] -> [ V.int (v * by) ]
+              | _ -> assert false );
+        ]
+  in
+
+  (* Import: the kernel pairwise-allocates A-stacks and hands the client
+     its Binding Object. *)
+  let binding = Api.import rt ~domain:client ~interface:"Arith" in
+
+  (* Calls must run on a simulated thread. *)
+  ignore
+    (Kernel.spawn kernel client ~name:"main" (fun () ->
+         let t0 = Engine.now engine in
+         let sum =
+           match Api.call rt binding ~proc:"add" [ V.int 2; V.int 40 ] with
+           | [ V.Int s ] -> s
+           | _ -> assert false
+         in
+         let product =
+           match Api.call rt binding ~proc:"scale" [ V.int sum; V.int 10 ] with
+           | [ V.Int p ] -> p
+           | _ -> assert false
+         in
+         let elapsed = Time.to_us (Time.sub (Engine.now engine) t0) in
+         Format.printf "add(2, 40)        = %d@." sum;
+         Format.printf "scale(%d, 10)     = %d@." sum product;
+         Format.printf "two cross-domain calls took %.1f simulated us@."
+           elapsed));
+  Engine.run engine;
+  assert (Engine.failures engine = []);
+  Format.printf "quickstart: ok@."

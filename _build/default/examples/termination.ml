@@ -1,0 +1,93 @@
+(* The uncommon cases of paper §5.3:
+
+   1. a server domain dies (CTRL-C) while serving a call — the caller's
+      thread is restarted in the client with a call-failed exception and
+      the Binding Object is revoked;
+   2. a server captures a caller's thread indefinitely — the client
+      releases it with a replacement thread (call-aborted), and the
+      kernel destroys the captured thread when the server finally lets
+      go.
+
+   Run with: dune exec examples/termination.exe *)
+
+open Lrpc_sim
+open Lrpc_kernel
+open Lrpc_core
+module I = Lrpc_idl.Types
+module V = Lrpc_idl.Value
+
+let () =
+  let engine = Engine.create ~processors:2 Cost_model.cvax_firefly in
+  let kernel = Kernel.boot engine in
+  let rt = Api.init kernel in
+  let flaky = Kernel.create_domain kernel ~name:"flaky-server" in
+  let greedy = Kernel.create_domain kernel ~name:"greedy-server" in
+  let client = Kernel.create_domain kernel ~name:"app" in
+  let release = Waitq.create engine in
+  ignore
+    (Api.export rt ~domain:flaky
+       (I.interface "Flaky" [ I.proc "slow_op" [] ])
+       ~impls:
+         [
+           ( "slow_op",
+             fun ctx ->
+               Server_ctx.work ctx (Time.ms 50);
+               [] );
+         ]);
+  ignore
+    (Api.export rt ~domain:greedy
+       (I.interface "Greedy" [ I.proc "never_returns" [] ])
+       ~impls:
+         [
+           ( "never_returns",
+             fun _ctx ->
+               Waitq.wait release;
+               Format.printf "  [greedy] finally releasing the thread@.";
+               [] );
+         ]);
+  let flaky_binding = Api.import rt ~domain:client ~interface:"Flaky" in
+  let greedy_binding = Api.import rt ~domain:client ~interface:"Greedy" in
+
+  (* Case 1: server dies mid-call. *)
+  ignore
+    (Kernel.spawn kernel client ~home:0 ~name:"caller-1" (fun () ->
+         Format.printf "[case 1] calling slow_op on flaky-server...@.";
+         (match Api.call rt flaky_binding ~proc:"slow_op" [] with
+         | _ -> Format.printf "  unexpected: call returned@."
+         | exception Rt.Call_failed reason ->
+             Format.printf "  call-failed exception in caller: %s@." reason);
+         match Api.call rt flaky_binding ~proc:"slow_op" [] with
+         | _ -> Format.printf "  unexpected: revoked binding worked@."
+         | exception Rt.Bad_binding _ ->
+             Format.printf "  binding is revoked for good@."));
+  ignore
+    (Kernel.spawn kernel client ~home:1 ~name:"terminator" (fun () ->
+         Engine.delay engine (Time.ms 5);
+         Format.printf "[case 1] terminating flaky-server (CTRL-C)@.";
+         Api.terminate_domain rt flaky));
+  Engine.run engine;
+
+  (* Case 2: captured thread. *)
+  let victim =
+    Kernel.spawn kernel client ~home:0 ~name:"caller-2" (fun () ->
+        Format.printf "[case 2] calling never_returns on greedy-server...@.";
+        match Api.call rt greedy_binding ~proc:"never_returns" [] with
+        | _ -> Format.printf "  unexpected: call returned@.")
+  in
+  ignore
+    (Kernel.spawn kernel client ~home:1 ~name:"rescuer" (fun () ->
+         Engine.delay engine (Time.ms 5);
+         Format.printf
+           "[case 2] caller-2 is captured; creating a replacement thread@.";
+         ignore
+           (Api.release_captured rt ~captured:victim ~replacement:(fun () ->
+                Format.printf
+                  "  [replacement] resumed as if never_returns raised \
+                   call-aborted@."));
+         Engine.delay engine (Time.ms 5);
+         ignore (Waitq.signal release);
+         Engine.delay engine (Time.ms 5);
+         Format.printf "  captured thread alive after release: %b@."
+           (Engine.alive victim)));
+  Engine.run engine;
+  Format.printf "termination: ok@."

@@ -1,0 +1,1 @@
+lib/core/lrpc_core.ml: Api Astack Binding Call Estack Footprint Rt Server_ctx Termination

@@ -1,0 +1,1 @@
+lib/core/api.ml: Binding Call List Lrpc_kernel Printf Rt Termination

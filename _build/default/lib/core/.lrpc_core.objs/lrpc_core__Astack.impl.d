@@ -1,0 +1,1 @@
+lib/core/astack.ml: Engine I Kernel List Lrpc_sim Printf Rt Spinlock Time Waitq

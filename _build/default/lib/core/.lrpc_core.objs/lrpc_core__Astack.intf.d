@@ -1,0 +1,1 @@
+lib/core/astack.mli: Lrpc_idl Lrpc_kernel Rt

@@ -1,0 +1,1 @@
+lib/core/binding.ml: Astack Estack Hashtbl I Kernel Layout List Lrpc_sim Pdomain Rt Vm Waitq

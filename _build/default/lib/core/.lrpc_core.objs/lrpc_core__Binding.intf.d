@@ -1,0 +1,1 @@
+lib/core/binding.mli: Lrpc_idl Lrpc_kernel Rt

@@ -1,0 +1,1 @@
+lib/core/call.ml: Astack Binding Bytes Engine Estack Footprint I Kernel Layout List Lrpc_sim Pdomain Printf Rt Spinlock V Vm

@@ -1,0 +1,1 @@
+lib/core/call.mli: Lrpc_idl Lrpc_kernel Rt

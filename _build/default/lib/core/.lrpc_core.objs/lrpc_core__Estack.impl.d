@@ -1,0 +1,1 @@
+lib/core/estack.ml: Engine Kernel List Lrpc_sim Pdomain Printf Rt Time

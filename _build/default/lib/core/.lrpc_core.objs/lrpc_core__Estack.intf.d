@@ -1,0 +1,1 @@
+lib/core/estack.mli: Lrpc_kernel Lrpc_sim Rt

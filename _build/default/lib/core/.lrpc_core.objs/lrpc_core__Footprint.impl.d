@@ -1,0 +1,1 @@
+lib/core/footprint.ml: List Rt Vm

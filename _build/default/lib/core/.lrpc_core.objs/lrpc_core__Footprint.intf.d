@@ -1,0 +1,1 @@
+lib/core/footprint.mli: Lrpc_kernel Rt

@@ -1,0 +1,1 @@
+lib/core/rt.ml: Hashtbl List Lrpc_idl Lrpc_kernel Lrpc_sim

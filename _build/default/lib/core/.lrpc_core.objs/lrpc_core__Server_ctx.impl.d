@@ -1,0 +1,1 @@
+lib/core/server_ctx.ml: Engine I Layout List Lrpc_sim Printf Rt V Vm

@@ -1,0 +1,1 @@
+lib/core/server_ctx.mli: Lrpc_idl Lrpc_kernel Lrpc_sim Rt

@@ -1,0 +1,1 @@
+lib/core/termination.ml: Binding Engine Hashtbl Kernel List Pdomain Printf Rt

@@ -1,0 +1,28 @@
+type t = Rt.runtime
+
+let init ?config kernel =
+  let rt = Rt.create ?config kernel in
+  Termination.install rt;
+  rt
+
+let kernel (rt : t) = rt.Rt.kernel
+let engine (rt : t) = Rt.engine rt
+
+let export = Binding.export
+let import = Binding.import
+let call = Call.call
+
+let call1 ?audit rt b ~proc args =
+  match call ?audit rt b ~proc args with
+  | [ v ] -> v
+  | outputs ->
+      invalid_arg
+        (Printf.sprintf "Api.call1 %s: %d outputs" proc (List.length outputs))
+
+let terminate_domain rt d = Lrpc_kernel.Kernel.terminate_domain rt.Rt.kernel d
+
+let release_captured = Termination.release_captured
+
+let alert rt th = Rt.alert rt th
+
+let calls_completed = Call.calls_completed

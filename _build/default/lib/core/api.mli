@@ -1,0 +1,87 @@
+(** The public LRPC API.
+
+    Typical use (and see [examples/quickstart.ml]):
+
+    {[
+      let engine = Engine.create ~processors:2 Cost_model.cvax_firefly in
+      let kernel = Kernel.boot engine in
+      let rt = Api.init kernel in
+      let server = Kernel.create_domain kernel ~name:"arith" in
+      let client = Kernel.create_domain kernel ~name:"app" in
+      let iface = Lrpc_idl.Parser.parse
+        "interface Arith { proc add(a: int, b: int): int; }" in
+      let _export =
+        Api.export rt ~domain:server iface
+          ~impls:[ ("add", fun ctx ->
+            match Server_ctx.args ctx with
+            | [ Int a; Int b ] -> [ Value.int (a + b) ]
+            | _ -> assert false) ]
+      in
+      let binding = Api.import rt ~domain:client ~interface:"Arith" in
+      (* from a simulated thread: *)
+      ignore (Kernel.spawn kernel client (fun () ->
+        match Api.call rt binding ~proc:"add" [ Value.int 2; Value.int 3 ] with
+        | [ Int 5 ] -> ()
+        | _ -> assert false));
+      Engine.run engine
+    ]} *)
+
+type t = Rt.runtime
+
+val init : ?config:Rt.config -> Lrpc_kernel.Kernel.t -> t
+(** Create the LRPC runtime on a booted kernel and install its
+    termination collector. One runtime per kernel. *)
+
+val kernel : t -> Lrpc_kernel.Kernel.t
+val engine : t -> Lrpc_sim.Engine.t
+
+val export :
+  t ->
+  domain:Lrpc_kernel.Pdomain.t ->
+  ?defensive_copies:bool ->
+  Lrpc_idl.Types.interface ->
+  impls:(string * Rt.impl) list ->
+  Rt.export
+(** See {!Binding.export}. *)
+
+val import :
+  ?wait:bool ->
+  t ->
+  domain:Lrpc_kernel.Pdomain.t ->
+  interface:string ->
+  Rt.binding
+(** See {!Binding.import}. *)
+
+val call :
+  ?audit:Lrpc_kernel.Vm.audit ->
+  t ->
+  Rt.binding ->
+  proc:string ->
+  Lrpc_idl.Value.t list ->
+  Lrpc_idl.Value.t list
+(** See {!Call.call}. Must run inside a simulated thread. *)
+
+val call1 :
+  ?audit:Lrpc_kernel.Vm.audit ->
+  t ->
+  Rt.binding ->
+  proc:string ->
+  Lrpc_idl.Value.t list ->
+  Lrpc_idl.Value.t
+(** [call] for procedures with exactly one output. *)
+
+val terminate_domain : t -> Lrpc_kernel.Pdomain.t -> unit
+(** Terminate a domain, running the LRPC collector (paper §5.3). *)
+
+val release_captured :
+  t ->
+  captured:Lrpc_sim.Engine.thread ->
+  replacement:(unit -> unit) ->
+  Lrpc_sim.Engine.thread
+(** See {!Termination.release_captured}. *)
+
+val alert : t -> Lrpc_sim.Engine.thread -> unit
+(** Taos-style alert: ask (but not force) a thread's current server
+    procedure to come home (paper §5.3). *)
+
+val calls_completed : t -> int

@@ -1,0 +1,96 @@
+open Rt
+
+let allocate_batch rt ~client ~server ~proc ~size ~count ~primary =
+  List.init count (fun i ->
+      let a_id = rt.next_astack in
+      rt.next_astack <- a_id + 1;
+      let a_region =
+        Kernel.alloc_region rt.kernel ~owner:client
+          ~name:(Printf.sprintf "astack-%s-%d" proc.I.proc_name a_id)
+          ~bytes:(max size 1)
+          ~mapped:[ client; server ]
+      in
+      let l_region =
+        Kernel.alloc_region rt.kernel ~owner:(Kernel.kernel_domain rt.kernel)
+          ~name:(Printf.sprintf "linkage-%s-%d" proc.I.proc_name a_id)
+          ~bytes:64 ~mapped:[]
+      in
+      ignore i;
+      {
+        a_id;
+        a_region;
+        a_linkage =
+          {
+            l_region;
+            l_in_use = false;
+            l_valid = true;
+            l_abandoned = false;
+            l_caller = None;
+            l_return_domain = None;
+          };
+        a_primary = primary;
+        a_estack = None;
+        a_last_used = Time.zero;
+      })
+
+let make_pool rt ~client ~server ~proc ~size ~count =
+  let astacks =
+    allocate_batch rt ~client ~server ~proc ~size ~count ~primary:true
+  in
+  {
+    ap_bytes = size;
+    ap_lock =
+      Spinlock.create
+        ~name:(Printf.sprintf "astack-q-%s" proc.I.proc_name)
+        (engine rt);
+    ap_wait = Waitq.create (engine rt);
+    ap_queue = astacks;
+    ap_all = astacks;
+  }
+
+let lock_hold rt = (cost_model rt).Lrpc_sim.Cost_model.astack_lock
+
+let rec checkout rt pb ~client ~server =
+  let pool = pb.pb_pool in
+  let taken = ref None in
+  Spinlock.with_lock pool.ap_lock ~hold:(lock_hold rt) (fun () ->
+      match pool.ap_queue with
+      | a :: rest ->
+          pool.ap_queue <- rest;
+          taken := Some a
+      | [] -> ());
+  match !taken with
+  | Some a ->
+      a.a_last_used <- Engine.now (engine rt);
+      a
+  | None -> (
+      match rt.config.astack_exhaustion with
+      | `Wait ->
+          Waitq.wait pool.ap_wait;
+          checkout rt pb ~client ~server
+      | `Allocate ->
+          (* Space contiguous to the original A-stacks is unlikely to be
+             found (§5.2); the extras validate more slowly. *)
+          let extras =
+            allocate_batch rt ~client ~server ~proc:pb.pb_spec
+              ~size:pool.ap_bytes ~count:1 ~primary:false
+          in
+          pool.ap_all <- pool.ap_all @ extras;
+          let a = List.hd extras in
+          a.a_last_used <- Engine.now (engine rt);
+          a)
+
+let checkin rt pb a =
+  let pool = pb.pb_pool in
+  Spinlock.with_lock pool.ap_lock ~hold:(lock_hold rt) (fun () ->
+      pool.ap_queue <- a :: pool.ap_queue);
+  ignore (Waitq.signal pool.ap_wait)
+
+let validate rt pb a =
+  if not (List.memq a pb.pb_pool.ap_all) then
+    raise (Bad_binding "A-stack does not belong to this procedure");
+  if not a.a_primary then
+    Engine.delay ~category:Lrpc_sim.Category.Kernel_transfer (engine rt)
+      rt.config.extra_astack_validation;
+  if a.a_linkage.l_in_use then
+    raise (Bad_binding "A-stack/linkage pair already in use")

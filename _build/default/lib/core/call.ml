@@ -1,0 +1,286 @@
+open Rt
+module Category = Lrpc_sim.Category
+
+let calls_completed rt = rt.calls_completed
+
+(* Ablation A4: the counterfactual global kernel lock. LRPC proper runs
+   this section lock-free. *)
+let klocked rt f =
+  match rt.global_kernel_lock with
+  | Some lk -> Spinlock.with_lock lk ~hold:Lrpc_sim.Time.zero f
+  | None -> f ()
+
+(* Direct context switch into [target], or a processor exchange with an
+   idle processor already holding the target context (paper §3.4). *)
+let transfer_to rt ~target =
+  let e = engine rt in
+  if Kernel.domain_caching_enabled rt.kernel then
+    match Kernel.find_idle_processor_in_context rt.kernel target with
+    | Some cpu ->
+        Engine.exchange_processors e ~target:cpu;
+        (* The context is already loaded: retagging is free. *)
+        Engine.switch_self_context e ~domain:target.Pdomain.id
+    | None ->
+        Kernel.note_context_miss rt.kernel target;
+        Engine.switch_self_context e ~domain:target.Pdomain.id
+  else Engine.switch_self_context e ~domain:target.Pdomain.id
+
+let slot_type (s : Layout.slot) ~proc =
+  match s.Layout.sparam with
+  | Some p -> p.I.ty
+  | None -> (
+      match proc.I.result with
+      | Some ty -> ty
+      | None -> assert false)
+
+(* Copy A: the only call-time copy LRPC makes — client stack to A-stack. *)
+let marshal_inputs rt ?audit ~client ~region plan =
+  let e = engine rt in
+  List.iter
+    (fun (s : Layout.slot) ->
+      match s.Layout.svalue with
+      | Some v ->
+          let encoded =
+            V.encode
+              (match s.Layout.sparam with
+              | Some p -> p.I.ty
+              | None -> assert false)
+              v
+          in
+          Vm.write_bytes ~engine:e ?audit ~label:"A" ~by:client region
+            ~off:s.Layout.offset encoded
+      | None -> ())
+    plan.Layout.slots
+
+(* Copy E: defensive copies of interpreted arguments, only when the
+   export demands immutability (paper §3.5). *)
+let defensive_copies rt ?audit ~server ~region plan =
+  let e = engine rt in
+  List.iter
+    (fun (s : Layout.slot) ->
+      ignore
+        (Vm.read_bytes ~engine:e ?audit ~label:"E" ~by:server region
+           ~off:s.Layout.offset ~len:s.Layout.size))
+    (Layout.immutable_copy_slots plan)
+
+(* The server stub places outputs straight into the A-stack slots; this
+   is the procedure storing its results, not a copy (Table 3 counts only
+   A and F for LRPC). Conformance is folded into the encode. *)
+let store_outputs ~server ~region ~proc plan outputs =
+  let out_slots = Layout.output_slots plan in
+  if List.length out_slots <> List.length outputs then
+    invalid_arg
+      (Printf.sprintf "%s returned %d outputs, expected %d" proc.I.proc_name
+         (List.length outputs) (List.length out_slots));
+  List.iter2
+    (fun (s : Layout.slot) v ->
+      let encoded = V.encode (slot_type s ~proc) v in
+      if Bytes.length encoded > s.Layout.size then
+        raise (V.Conformance_error "output exceeds its reserved slot");
+      Vm.poke ~by:server region ~off:s.Layout.offset encoded)
+    out_slots outputs
+
+(* Copy F: the client stub copies returned values from the A-stack to
+   their final destination. *)
+let read_outputs rt ?audit ~client ~region ~proc plan =
+  let e = engine rt in
+  List.map
+    (fun (s : Layout.slot) ->
+      let v, consumed =
+        V.decode (slot_type s ~proc) region.Vm.data ~off:s.Layout.offset
+      in
+      ignore
+        (Vm.read_bytes ~engine:e ?audit ~label:"F" ~by:client region
+           ~off:s.Layout.offset ~len:consumed);
+      v)
+    (Layout.output_slots plan)
+
+let call ?audit rt b ~proc args =
+  let e = engine rt in
+  let cm = cost_model rt in
+  let th = Engine.self e in
+  (* The formal procedure call into the client stub. *)
+  Engine.delay ~category:Category.Proc_call e cm.Lrpc_sim.Cost_model.proc_call;
+  match b.b_remote with
+  | Some transport ->
+      (* §5.1: the remote bit, tested by the stub's first instruction,
+         branches to the conventional network RPC path. *)
+      transport ~proc args
+  | None ->
+      let client = b.b_client and server = b.b_server in
+      (* The caller's identity is the domain the trapping thread actually
+         runs in, not whatever the Binding Object claims. *)
+      let caller =
+        match Kernel.find_domain rt.kernel (Engine.thread_domain th) with
+        | Some d -> d
+        | None -> raise (Bad_binding "caller has no domain")
+      in
+      let pb =
+        match List.assoc_opt proc b.b_procs with
+        | Some pb -> pb
+        | None -> raise (Bad_binding ("no such procedure: " ^ proc))
+      in
+      (* Client stub, call side: plan slots and grab an A-stack. *)
+      Engine.delay ~category:Category.Stub_client e
+        cm.Lrpc_sim.Cost_model.client_stub_call;
+      let plan = Layout.plan pb.pb_layout ~args in
+      let astack = Astack.checkout rt pb ~client ~server in
+      let oob = not (Layout.fits pb.pb_layout plan) in
+      let data_region =
+        if oob then begin
+          (* §5.2: arguments too large for the A-stack travel in an
+             out-of-band segment — complicated and relatively expensive,
+             but infrequent. *)
+          Engine.delay ~category:Category.Kernel_transfer e
+            rt.config.oob_overhead;
+          Kernel.alloc_region rt.kernel ~owner:client
+            ~name:(Printf.sprintf "oob-%s-%d" proc astack.a_id)
+            ~bytes:plan.Layout.total_bytes
+            ~mapped:[ client; server ]
+        end
+        else astack.a_region
+      in
+      let release_oob () =
+        if oob then Kernel.release_region rt.kernel ~owner:client data_region
+      in
+      (try marshal_inputs rt ?audit ~client:caller ~region:data_region plan
+       with exn ->
+         release_oob ();
+         Astack.checkin rt pb astack;
+         raise exn);
+      let bytes_in =
+        List.fold_left
+          (fun acc (s : Layout.slot) -> acc + s.Layout.size)
+          0
+          (Layout.input_slots plan)
+      in
+      let bytes_out =
+        List.fold_left
+          (fun acc (s : Layout.slot) -> acc + s.Layout.size)
+          0
+          (Layout.output_slots plan)
+      in
+      let marshal_cpu = (Engine.current_cpu e).Engine.idx in
+      (* Argument bytes consumed on a processor other than the one that
+         wrote them drag cache lines across the bus; charged where the
+         consumption happens. This is why domain caching helps large
+         arguments less (Table 4's shrinking MP column). *)
+      let coherency bytes =
+        if bytes > 0 then
+          Engine.delay ~category:Category.Copy e
+            (Lrpc_sim.Time.scale cm.Lrpc_sim.Cost_model.coherency_per_byte
+               (float_of_int bytes))
+      in
+      (* Trap to the kernel; validation and linkage work. *)
+      Kernel.trap rt.kernel;
+      klocked rt (fun () ->
+          Engine.delay ~category:Category.Kernel_transfer e
+            cm.Lrpc_sim.Cost_model.kernel_call;
+          (try
+             ignore (Binding.verify rt b ~caller ~proc);
+             Astack.validate rt pb astack
+           with exn ->
+             release_oob ();
+             Astack.checkin rt pb astack;
+             raise exn);
+          let linkage = astack.a_linkage in
+          linkage.l_in_use <- true;
+          linkage.l_valid <- true;
+          linkage.l_abandoned <- false;
+          linkage.l_caller <- Some th;
+          linkage.l_return_domain <- Some client;
+          let lstack = linkstack_of rt th in
+          lstack := linkage :: !lstack;
+          let estack = Estack.associate rt ~server astack in
+          (* Domain transfer: the client's thread crosses into the
+             server. *)
+          transfer_to rt ~target:server;
+          Engine.touch_pages e
+            ~pages:(Footprint.call_side rt b astack estack ~data_region));
+      let linkage = astack.a_linkage in
+      let lstack = linkstack_of rt th in
+      let server_cpu = (Engine.current_cpu e).Engine.idx in
+      if server_cpu <> marshal_cpu then coherency bytes_in;
+      (* Upcall into the server's entry stub. *)
+      Engine.delay ~category:Category.Stub_server e
+        cm.Lrpc_sim.Cost_model.server_stub_call;
+      if b.b_export.ex_defensive then
+        defensive_copies rt ?audit ~server ~region:data_region plan;
+      let ctx =
+        {
+          sc_rt = rt;
+          sc_binding = b;
+          sc_proc = pb.pb_spec;
+          sc_plan = plan;
+          sc_region = data_region;
+          sc_thread = th;
+        }
+      in
+      let outcome =
+        try
+          let outputs = pb.pb_impl ctx in
+          store_outputs ~server ~region:data_region ~proc:pb.pb_spec plan
+            outputs;
+          Ok ()
+        with
+        | Engine.Thread_killed as exn -> raise exn
+        | Unwind_termination -> Error (Call_failed "server domain terminated")
+        | exn -> Error exn
+      in
+      (* Return transfer: server stub traps; the kernel needs only the
+         linkage record — no re-validation. *)
+      Engine.delay ~category:Category.Stub_server e
+        cm.Lrpc_sim.Cost_model.server_stub_return;
+      Kernel.trap rt.kernel;
+      let was_valid, was_abandoned =
+        klocked rt (fun () ->
+            Engine.delay ~category:Category.Kernel_transfer e
+              cm.Lrpc_sim.Cost_model.kernel_return;
+            (match !lstack with
+            | l :: rest when l == linkage -> lstack := rest
+            | _ ->
+                (* The linkage stack is per-thread and calls nest like
+                   procedure calls; anything else is a runtime bug. *)
+                assert false);
+            let was_valid = linkage.l_valid in
+            let was_abandoned = linkage.l_abandoned in
+            linkage.l_in_use <- false;
+            linkage.l_caller <- None;
+            linkage.l_return_domain <- None;
+            if not was_abandoned && Pdomain.active client then begin
+              (* Cross back into the domain of the first valid linkage —
+                 the client, unless it terminated while we were away. *)
+              transfer_to rt ~target:client;
+              Engine.touch_pages e ~pages:(Footprint.return_side rt b);
+              if (Engine.current_cpu e).Engine.idx <> server_cpu then
+                coherency bytes_out
+            end;
+            (was_valid, was_abandoned))
+      in
+      if was_abandoned then begin
+        (* §5.3: the client released this captured call; the thread is
+           destroyed in the kernel upon release. *)
+        release_oob ();
+        raise Engine.Thread_killed
+      end;
+      if not (Pdomain.active client) then begin
+        release_oob ();
+        raise Engine.Thread_killed
+      end;
+      (* Client stub, return side. *)
+      Engine.delay ~category:Category.Stub_client e
+        cm.Lrpc_sim.Cost_model.client_stub_return;
+      let result =
+        match outcome with
+        | Ok () when not was_valid -> Error (Call_failed "linkage invalidated")
+        | Ok () ->
+            Ok (read_outputs rt ?audit ~client ~region:data_region ~proc:pb.pb_spec plan)
+        | Error e -> Error e
+      in
+      release_oob ();
+      Astack.checkin rt pb astack;
+      (match result with
+      | Ok outputs ->
+          rt.calls_completed <- rt.calls_completed + 1;
+          outputs
+      | Error exn -> raise exn)

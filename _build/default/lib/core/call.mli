@@ -1,0 +1,37 @@
+(** The LRPC call/return transfer path (paper §3.2, §3.4).
+
+    A call runs entirely on the client's concrete thread: the client stub
+    marshals arguments onto a pairwise-shared A-stack and traps; the
+    kernel validates the Binding Object, claims the A-stack's linkage
+    record, pushes it on the thread's linkage stack, associates an
+    E-stack, and switches the thread directly into the server's context
+    (or exchanges processors with one already idling there, §3.4); the
+    server stub is upcalled and branches into the procedure; the return
+    trap retraces the path using only the linkage record — nothing needs
+    re-validation on the way back.
+
+    All costs are charged per DESIGN.md §4; every byte of argument data
+    really moves through the shared region, so data integrity and the
+    shared-memory mutation hazard are observable in tests. *)
+
+val call :
+  ?audit:Lrpc_kernel.Vm.audit ->
+  Rt.runtime ->
+  Rt.binding ->
+  proc:string ->
+  Lrpc_idl.Value.t list ->
+  Lrpc_idl.Value.t list
+(** Perform one LRPC from the current simulated thread. Returns the
+    output values ([Out]/[In_out] parameters in declaration order, then
+    the function result, if any).
+
+    Raises [Rt.Bad_binding] on forged/revoked/foreign bindings and
+    unknown procedures, [Lrpc_idl.Value.Conformance_error] or
+    [Lrpc_idl.Layout.Arity_mismatch] on ill-typed arguments,
+    [Rt.Call_failed] when the server domain terminates mid-call, and
+    re-raises any exception escaping the server procedure after
+    returning control (and context) to the client. With [?audit], every
+    copy operation is recorded with its Table 3 label (A, E, F). *)
+
+val calls_completed : Rt.runtime -> int
+(** Successful calls since the runtime was created. *)

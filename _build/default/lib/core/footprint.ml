@@ -1,0 +1,21 @@
+open Rt
+
+let take n l = List.filteri (fun i _ -> i < n) l
+
+let call_side rt b astack estack ~data_region =
+  let server_pages = pages_of_domain rt b.b_server in
+  rt.kernel_call_pages
+  @ b.b_export.ex_stub_pages
+  @ server_pages.dp_code
+  @ take 4 estack.es_region.Vm.pages
+  @ data_region.Vm.pages
+  @ b.b_export.ex_pdl_pages
+  @ astack.a_linkage.l_region.Vm.pages
+  @ rt.binding_table_pages
+
+let return_side rt b =
+  let client_pages = pages_of_domain rt b.b_client in
+  rt.kernel_return_pages
+  @ b.b_client_stub_pages
+  @ client_pages.dp_code
+  @ client_pages.dp_stack

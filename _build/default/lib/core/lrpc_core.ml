@@ -1,0 +1,17 @@
+(** Lightweight Remote Procedure Call.
+
+    A reproduction of Bershad, Anderson, Lazowska & Levy, "Lightweight
+    Remote Procedure Call" (SOSP 1989), on a simulated C-VAX Firefly
+    multiprocessor. {!Api} is the front door; the other modules are the
+    runtime's working parts, exposed for tests, instrumentation and the
+    experiment harness. *)
+
+module Api = Api
+module Rt = Rt
+module Binding = Binding
+module Call = Call
+module Astack = Astack
+module Estack = Estack
+module Footprint = Footprint
+module Server_ctx = Server_ctx
+module Termination = Termination

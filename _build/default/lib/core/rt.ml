@@ -1,0 +1,271 @@
+(** LRPC runtime representation.
+
+    Every record the facility juggles — Binding Objects, procedure
+    descriptors, A-stacks, E-stacks, linkage records — lives here, in one
+    recursive knot, so the functional modules ({!Astack}, {!Estack},
+    {!Binding}, {!Call}, {!Termination}) stay cycle-free. User code goes
+    through {!Api} and should not normally need these internals, but they
+    are exposed (read-mostly) for tests and instrumentation. *)
+
+module Engine = Lrpc_sim.Engine
+module Time = Lrpc_sim.Time
+module Spinlock = Lrpc_sim.Spinlock
+module Waitq = Lrpc_sim.Waitq
+module Kernel = Lrpc_kernel.Kernel
+module Pdomain = Lrpc_kernel.Pdomain
+module Vm = Lrpc_kernel.Vm
+module I = Lrpc_idl.Types
+module V = Lrpc_idl.Value
+module Layout = Lrpc_idl.Layout
+
+exception Call_failed of string
+(** The server domain terminated while serving this call (paper §5.3), or
+    a linkage on the return path had been invalidated. *)
+
+exception Call_aborted of string
+(** Raised in a replacement thread standing in for a captured one. *)
+
+exception Bad_binding of string
+(** Forged, revoked or foreign Binding Object presented at a call. *)
+
+exception Not_exported of string
+(** Import of an interface nobody exports (only when not waiting). *)
+
+(* Delivered into a thread that must unwind out of a terminating server
+   domain; never escapes the call path. *)
+exception Unwind_termination
+
+type config = {
+  astack_exhaustion : [ `Wait | `Allocate ];
+      (** what a caller does when the pre-allocated A-stacks are all in
+          use (paper §5.2): wait for one, or allocate more (non-primary,
+          slightly slower to validate) *)
+  estack_policy : [ `Lazy | `Static ];
+      (** lazy A-/E-stack association (the paper's design) vs static
+          pre-allocation at bind time (ablation A5) *)
+  estack_bytes : int;  (** E-stack size; "tens of kilobytes" *)
+  oob_overhead : Time.t;
+      (** fixed cost of the out-of-band segment path for oversized
+          arguments (§5.2): "complicated and relatively expensive" *)
+  extra_astack_validation : Time.t;
+      (** added validation cost for A-stacks outside the primary
+          contiguous region (§5.2) *)
+  estack_alloc_cost : Time.t;
+      (** kernel cost to allocate a fresh E-stack on first association *)
+  default_astack_size : int;  (** for variable-size procedures *)
+  kernel_lock : [ `Per_astack | `Global ];
+      (** LRPC's design guards each A-stack queue with its own lock and
+          keeps the kernel transfer path lock-free; [`Global] is the
+          counterfactual (ablation A4): one SRC-style lock held across
+          the kernel's call- and return-side transfer work, to show what
+          Figure 2 would look like without the design-for-concurrency *)
+  astack_sharing : bool;
+      (** paper §3.1: procedures in the same interface whose A-stacks
+          are of similar size (same page count here) share one A-stack
+          set, cutting the storage cost of wide interfaces; the number
+          of simultaneous calls is then bounded by the shared total (a
+          soft limit — the exhaustion policy still applies). Off by
+          default so storage-sensitive and isolation-sensitive setups
+          are the explicit choice, as in the paper's interface writer
+          overrides. *)
+}
+
+let default_config =
+  {
+    astack_exhaustion = `Wait;
+    estack_policy = `Lazy;
+    estack_bytes = 20_480;
+    oob_overhead = Time.us 120;
+    extra_astack_validation = Time.us 2;
+    estack_alloc_cost = Time.us 50;
+    default_astack_size = Layout.ethernet_packet_size;
+    kernel_lock = `Per_astack;
+    astack_sharing = false;
+  }
+
+type linkage = {
+  l_region : Vm.region;  (** kernel-private page holding the record *)
+  mutable l_in_use : bool;
+  mutable l_valid : bool;
+  mutable l_abandoned : bool;
+      (** the client released this captured call; destroy the thread when
+          it finally returns *)
+  mutable l_caller : Engine.thread option;
+  mutable l_return_domain : Pdomain.t option;
+}
+
+type estack = {
+  es_region : Vm.region;
+  mutable es_assoc : astack option;
+  mutable es_last_used : Time.t;
+}
+
+and astack = {
+  a_id : int;
+  a_region : Vm.region;
+  a_linkage : linkage;
+  a_primary : bool;
+  mutable a_estack : estack option;
+  mutable a_last_used : Time.t;
+}
+
+type impl = server_ctx -> V.t list
+
+and export = {
+  ex_iface : I.interface;
+  ex_server : Pdomain.t;
+  ex_defensive : bool;
+      (** server stubs defensively copy interpreted arguments off the
+          A-stack (the immutability-matters rows of Table 3) *)
+  ex_impls : (string * impl) list;
+  ex_pdl_pages : int list;
+  ex_stub_pages : int list;
+  mutable ex_revoked : bool;
+}
+
+and astack_pool = {
+  ap_bytes : int;  (** A-stack size; the largest procedure in the group *)
+  ap_lock : Spinlock.t;  (** this queue's own lock — no global locking *)
+  ap_wait : Waitq.t;
+  mutable ap_queue : astack list;  (** LIFO free list *)
+  mutable ap_all : astack list;
+}
+
+and proc_binding = {
+  pb_spec : I.proc;
+  pb_layout : Layout.t;
+  pb_impl : impl;
+  pb_pool : astack_pool;
+      (** private to this procedure, or shared with same-sized
+          procedures of the interface when the runtime enables A-stack
+          sharing (paper §3.1) *)
+}
+
+and binding = {
+  bid : int;
+  b_client : Pdomain.t;
+  b_server : Pdomain.t;
+  b_export : export;
+  b_procs : (string * proc_binding) list;
+  b_client_stub_pages : int list;
+  mutable b_revoked : bool;
+  b_remote : remote_transport option;
+      (** §5.1: set on bindings to truly remote servers; the stub's first
+          instruction branches to this conventional network path *)
+}
+
+and remote_transport = proc:string -> V.t list -> V.t list
+
+and server_ctx = {
+  sc_rt : runtime;
+  sc_binding : binding;
+  sc_proc : I.proc;
+  sc_plan : Layout.plan;
+  sc_region : Vm.region;  (** A-stack or out-of-band segment *)
+  sc_thread : Engine.thread;
+}
+
+and domain_pages = { dp_code : int list; dp_stack : int list }
+
+and estack_pool = { mutable ep_free : estack list; mutable ep_all : estack list }
+
+and runtime = {
+  kernel : Kernel.t;
+  config : config;
+  global_kernel_lock : Spinlock.t option;
+  mutable exports : (string * export) list;
+  bindings : (int, binding) Hashtbl.t;  (** issued Binding Objects *)
+  linkstacks : (int, linkage list ref) Hashtbl.t;  (** per-thread (tid) *)
+  estack_pools : (Pdomain.id, estack_pool) Hashtbl.t;
+  domain_pages : (Pdomain.id, domain_pages) Hashtbl.t;
+  pending_exports : (string, Waitq.t) Hashtbl.t;
+  alerts : (int, unit) Hashtbl.t;
+  kernel_call_pages : int list;
+  kernel_return_pages : int list;
+  binding_table_pages : int list;
+  mutable next_binding : int;
+  mutable next_astack : int;
+  mutable calls_completed : int;
+}
+
+let engine rt = Kernel.engine rt.kernel
+let cost_model rt = Kernel.cost_model rt.kernel
+
+let create ?(config = default_config) kernel =
+  (* The kernel's own code and data working set: twelve pages touched on
+     the call path, of which the first ten are touched again on the
+     simpler return path (DESIGN.md §4 derives the 25/18 split). *)
+  let kregion =
+    Kernel.alloc_region kernel ~owner:(Kernel.kernel_domain kernel)
+      ~name:"lrpc-kernel-text" ~bytes:(12 * 512) ~mapped:[]
+  in
+  let btable =
+    Kernel.alloc_region kernel ~owner:(Kernel.kernel_domain kernel)
+      ~name:"lrpc-binding-table" ~bytes:(2 * 512) ~mapped:[]
+  in
+  let take n pages = List.filteri (fun i _ -> i < n) pages in
+  {
+    kernel;
+    config;
+    global_kernel_lock =
+      (match config.kernel_lock with
+      | `Global ->
+          Some (Spinlock.create ~name:"lrpc-global-lock" (Kernel.engine kernel))
+      | `Per_astack -> None);
+    exports = [];
+    bindings = Hashtbl.create 32;
+    linkstacks = Hashtbl.create 64;
+    estack_pools = Hashtbl.create 16;
+    domain_pages = Hashtbl.create 16;
+    pending_exports = Hashtbl.create 8;
+    alerts = Hashtbl.create 8;
+    kernel_call_pages = kregion.Vm.pages;
+    kernel_return_pages = take 10 kregion.Vm.pages;
+    binding_table_pages = btable.Vm.pages;
+    next_binding = 1;
+    next_astack = 1;
+    calls_completed = 0;
+  }
+
+(* Client-code and client-stack pages of a domain, for the return-side TLB
+   footprint; allocated on first use. *)
+let pages_of_domain rt d =
+  match Hashtbl.find_opt rt.domain_pages d.Pdomain.id with
+  | Some dp -> dp
+  | None ->
+      let code =
+        Kernel.alloc_region rt.kernel ~owner:d ~name:(d.Pdomain.name ^ "-text")
+          ~bytes:(2 * 512) ~mapped:[ d ]
+      in
+      let stack =
+        Kernel.alloc_region rt.kernel ~owner:d ~name:(d.Pdomain.name ^ "-stack")
+          ~bytes:(4 * 512) ~mapped:[ d ]
+      in
+      let dp = { dp_code = code.Vm.pages; dp_stack = stack.Vm.pages } in
+      Hashtbl.replace rt.domain_pages d.Pdomain.id dp;
+      dp
+
+let linkstack_of rt th =
+  let tid = Engine.thread_id th in
+  match Hashtbl.find_opt rt.linkstacks tid with
+  | Some r -> r
+  | None ->
+      let r = ref [] in
+      Hashtbl.replace rt.linkstacks tid r;
+      r
+
+let estack_pool rt d =
+  match Hashtbl.find_opt rt.estack_pools d.Pdomain.id with
+  | Some p -> p
+  | None ->
+      let p = { ep_free = []; ep_all = [] } in
+      Hashtbl.replace rt.estack_pools d.Pdomain.id p;
+      p
+
+(* --- Taos-style alerts (paper §5.3) ------------------------------------- *)
+
+let alert rt th = Hashtbl.replace rt.alerts (Engine.thread_id th) ()
+
+let alerted rt th = Hashtbl.mem rt.alerts (Engine.thread_id th)
+
+let clear_alert rt th = Hashtbl.remove rt.alerts (Engine.thread_id th)

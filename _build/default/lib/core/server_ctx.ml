@@ -1,0 +1,41 @@
+open Rt
+
+type t = Rt.server_ctx
+
+let input_slots ctx = Layout.input_slots ctx.sc_plan
+
+let nth_input ctx i =
+  match List.nth_opt (input_slots ctx) i with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Server_ctx.arg: no input %d" i)
+
+let slot_type s =
+  match s.Layout.sparam with
+  | Some p -> p.I.ty
+  | None -> assert false (* input slots always carry a parameter *)
+
+let arg ctx i =
+  let s = nth_input ctx i in
+  (* Access-checked zero-cost read: the server addresses the A-stack in
+     place, no copy happens. *)
+  let window =
+    Vm.peek ~by:ctx.sc_binding.b_server ctx.sc_region ~off:s.Layout.offset
+      ~len:s.Layout.size
+  in
+  fst (V.decode (slot_type s) window ~off:0)
+
+let args ctx = List.mapi (fun i _ -> arg ctx i) (input_slots ctx)
+
+let raw_arg ctx i =
+  let s = nth_input ctx i in
+  Vm.peek ~by:ctx.sc_binding.b_server ctx.sc_region ~off:s.Layout.offset
+    ~len:s.Layout.size
+
+let work ctx d =
+  Engine.delay ~category:Lrpc_sim.Category.Server_work (engine ctx.sc_rt) d
+
+let client ctx = ctx.sc_binding.b_client
+let server ctx = ctx.sc_binding.b_server
+let proc_name ctx = ctx.sc_proc.I.proc_name
+
+let alerted ctx = Rt.alerted ctx.sc_rt ctx.sc_thread

@@ -1,0 +1,31 @@
+(** What a server procedure sees while executing an LRPC.
+
+    The procedure runs on the client's (borrowed) thread, on a private
+    E-stack, with the arguments sitting in the pairwise-shared A-stack
+    (or out-of-band segment). Arguments are decoded {e at access time}
+    straight out of shared memory — which is why a misbehaving client
+    can change them mid-call unless the export asked for defensive
+    copies (paper §3.5); tests exercise exactly that. *)
+
+type t = Rt.server_ctx
+
+val arg : t -> int -> Lrpc_idl.Value.t
+(** [arg ctx i] decodes the i-th input parameter (0-based, counting
+    [In]/[In_out] parameters in declaration order) from shared memory
+    now. *)
+
+val args : t -> Lrpc_idl.Value.t list
+
+val raw_arg : t -> int -> bytes
+(** Undecoded bytes of the i-th input slot. *)
+
+val work : t -> Lrpc_sim.Time.t -> unit
+(** Consume simulated time inside the server procedure. *)
+
+val client : t -> Lrpc_kernel.Pdomain.t
+val server : t -> Lrpc_kernel.Pdomain.t
+val proc_name : t -> string
+
+val alerted : t -> bool
+(** Taos-style alert (paper §5.3): a long-running procedure may poll this
+    and cut its work short; it is free to ignore it. *)

@@ -1,0 +1,30 @@
+(** Domain termination and captured threads (paper §5.3).
+
+    When a domain terminates, every Binding Object associated with it —
+    as client or server — is revoked, preventing further in- and
+    out-calls. Threads from other domains found executing inside the
+    terminating server are restarted in their callers with a call-failed
+    exception; the terminating domain's own outstanding out-calls find
+    their linkage records invalidated and die (or propagate call-failed)
+    when they eventually return.
+
+    A server that simply never returns "captures" the caller's thread;
+    LRPC cannot force it back, so the client may create a replacement
+    thread that picks up as if the call had returned with call-aborted,
+    while the captured original is destroyed by the kernel when finally
+    released. *)
+
+val install : Rt.runtime -> unit
+(** Register the LRPC collector with the kernel's termination hook. Done
+    automatically by {!Api.init}. *)
+
+val release_captured :
+  Rt.runtime ->
+  captured:Lrpc_sim.Engine.thread ->
+  replacement:(unit -> unit) ->
+  Lrpc_sim.Engine.thread
+(** [captured] must have an outstanding LRPC (a non-empty linkage
+    stack); its topmost call is marked abandoned so the kernel destroys
+    the thread at release time. [replacement] is spawned immediately in
+    the calling client's domain — the client's call-aborted handler.
+    Raises [Invalid_argument] if the thread has no outstanding call. *)

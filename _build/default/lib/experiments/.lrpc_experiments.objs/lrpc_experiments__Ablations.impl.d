@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Bytes Float List Lrpc_core Lrpc_idl Lrpc_kernel Lrpc_msgrpc Lrpc_sim Lrpc_util Lrpc_workload Printf

@@ -1,0 +1,1 @@
+lib/experiments/fig1.ml: Array Buffer Format Lrpc_util Lrpc_workload

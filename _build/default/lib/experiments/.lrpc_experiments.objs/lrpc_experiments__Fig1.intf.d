@@ -1,0 +1,1 @@
+lib/experiments/fig1.mli: Lrpc_workload

@@ -1,0 +1,1 @@
+lib/experiments/latency.ml: List Lrpc_core Lrpc_kernel Lrpc_msgrpc Lrpc_sim Lrpc_util Lrpc_workload Printf

@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: List Lrpc_util Lrpc_workload Printf String

@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: List Lrpc_msgrpc Lrpc_sim Lrpc_util Lrpc_workload

@@ -1,0 +1,1 @@
+lib/experiments/table3.ml: List Lrpc_core Lrpc_idl Lrpc_kernel Lrpc_msgrpc Lrpc_sim Lrpc_util Printexc String

@@ -1,0 +1,1 @@
+lib/experiments/table4.ml: List Lrpc_msgrpc Lrpc_util Lrpc_workload

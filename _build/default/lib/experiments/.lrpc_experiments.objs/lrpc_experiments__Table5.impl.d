@@ -1,0 +1,1 @@
+lib/experiments/table5.ml: List Lrpc_core Lrpc_kernel Lrpc_sim Lrpc_util Lrpc_workload Printf

@@ -1,0 +1,397 @@
+module Engine = Lrpc_sim.Engine
+module Time = Lrpc_sim.Time
+module Cost_model = Lrpc_sim.Cost_model
+module Kernel = Lrpc_kernel.Kernel
+module Api = Lrpc_core.Api
+module Rt = Lrpc_core.Rt
+module Table = Lrpc_util.Table
+module Profile = Lrpc_msgrpc.Profile
+module Driver = Lrpc_workload.Driver
+
+(* --- A1: tagged TLB vs domain caching ----------------------------------- *)
+
+type a1 = {
+  untagged_null_us : float;
+  tagged_null_us : float;
+  domain_cached_null_us : float;
+}
+
+let run_a1 () =
+  let untagged = Driver.make_lrpc () in
+  let tagged =
+    Driver.make_lrpc
+      ~cost_model:
+        { Cost_model.cvax_firefly with Cost_model.tlb_tagged = true; name = "C-VAX + tagged TLB" }
+      ()
+  in
+  let cached = Driver.make_lrpc ~processors:2 ~domain_caching:true () in
+  {
+    untagged_null_us = Driver.lrpc_latency untagged ~proc:"null" ~args:[];
+    tagged_null_us = Driver.lrpc_latency tagged ~proc:"null" ~args:[];
+    domain_cached_null_us = Driver.lrpc_latency cached ~proc:"null" ~args:[];
+  }
+
+let render_a1 a =
+  let t =
+    Table.create
+      ~columns:[ ("Configuration", Table.Left); ("Null (us)", Table.Right) ]
+  in
+  Table.add_row t [ "untagged TLB (stock C-VAX)"; Table.cell_us a.untagged_null_us ];
+  Table.add_row t [ "process-tagged TLB"; Table.cell_us a.tagged_null_us ];
+  Table.add_row t
+    [ "domain caching on idle processor"; Table.cell_us a.domain_cached_null_us ];
+  "Ablation A1: what removes the context-switch cost\n"
+  ^ "(a tagged TLB skips the ~38.7us of refills but still reloads mapping\n"
+  ^ " registers on the critical path; domain caching skips both, paying two\n"
+  ^ " 17us processor exchanges instead — paper §3.4)\n"
+  ^ Table.to_string t
+
+(* --- A2: defensive copies vs shared A-stack ------------------------------ *)
+
+type a2 = { sizes : (int * float * float) list }
+
+let probe_iface n =
+  Lrpc_idl.Types.(
+    interface "Probe"
+      [ proc "take" [ param "buf" (Fixed_bytes n) ] ])
+
+let a2_latency ~defensive n =
+  let engine = Engine.create Cost_model.cvax_firefly in
+  let kernel = Kernel.boot engine in
+  let rt = Api.init kernel in
+  let server = Kernel.create_domain kernel ~name:"server" in
+  let client = Kernel.create_domain kernel ~name:"client" in
+  ignore
+    (Api.export rt ~domain:server ~defensive_copies:defensive (probe_iface n)
+       ~impls:[ ("take", fun _ -> []) ]);
+  let out = ref 0.0 in
+  ignore
+    (Kernel.spawn kernel client (fun () ->
+         let b = Api.import rt ~domain:client ~interface:"Probe" in
+         let args = [ Lrpc_idl.Value.bytes (Bytes.make n 'x') ] in
+         for _ = 1 to 3 do
+           ignore (Api.call rt b ~proc:"take" args)
+         done;
+         let t0 = Engine.now engine in
+         for _ = 1 to 100 do
+           ignore (Api.call rt b ~proc:"take" args)
+         done;
+         out := Time.to_us (Time.sub (Engine.now engine) t0) /. 100.0));
+  Engine.run engine;
+  !out
+
+let run_a2 () =
+  {
+    sizes =
+      List.map
+        (fun n -> (n, a2_latency ~defensive:false n, a2_latency ~defensive:true n))
+        [ 4; 50; 200; 500; 1000 ];
+  }
+
+let render_a2 a =
+  let t =
+    Table.create
+      ~columns:
+        [
+          ("argument bytes", Table.Right);
+          ("shared A-stack (us)", Table.Right);
+          ("defensive copy (us)", Table.Right);
+          ("penalty", Table.Right);
+        ]
+  in
+  List.iter
+    (fun (n, trusting, defensive) ->
+      Table.add_row t
+        [
+          string_of_int n;
+          Table.cell_us trusting;
+          Table.cell_us defensive;
+          Printf.sprintf "+%.1f%%" (100.0 *. (defensive -. trusting) /. trusting);
+        ])
+    a.sizes;
+  "Ablation A2: in-place argument access vs the immutability copy (E)\n"
+  ^ "(the paper lets interfaces opt out per-parameter — uninterpreted\n"
+  ^ " arguments like Write's buffer never pay this — §3.5)\n"
+  ^ Table.to_string t
+
+(* --- A3: handoff vs general scheduling ----------------------------------- *)
+
+type a3 = { handoff_null_us : float; general_null_us : float }
+
+let run_a3 () =
+  let general =
+    {
+      Profile.src_rpc with
+      Profile.p_name = "SRC RPC w/o handoff";
+      handoff = false;
+      (* The general path manipulates global scheduler state to block the
+         client's thread and select a server thread: measured at roughly
+         2.5x the handoff cost in systems of the era. *)
+      scheduling = Time.scale Profile.src_rpc.Profile.scheduling 2.5;
+    }
+  in
+  {
+    handoff_null_us =
+      Driver.mpass_latency Profile.src_rpc ~proc:"null" ~args:[];
+    general_null_us = Driver.mpass_latency general ~proc:"null" ~args:[];
+  }
+
+let render_a3 a =
+  let t =
+    Table.create
+      ~columns:[ ("Scheduling", Table.Left); ("Null (us)", Table.Right) ]
+  in
+  Table.add_row t [ "handoff (direct thread switch)"; Table.cell_us a.handoff_null_us ];
+  Table.add_row t [ "general ready-queue path"; Table.cell_us a.general_null_us ];
+  "Ablation A3: handoff scheduling in the message-passing baseline\n"
+  ^ "(Mach and Taos bypass the general scheduling path this way — §2.3)\n"
+  ^ Table.to_string t
+
+(* --- A4: per-A-stack locks vs a global kernel lock ------------------------ *)
+
+type a4 = { cpus : int list; per_astack : float list; global_lock : float list }
+
+let a4_throughput ~kernel_lock ~processors ~horizon =
+  let config = { Rt.default_config with Rt.kernel_lock } in
+  let engine = Engine.create ~processors Cost_model.cvax_firefly in
+  let kernel = Kernel.boot engine in
+  let rt = Api.init ~config kernel in
+  let server = Kernel.create_domain kernel ~name:"server" in
+  ignore
+    (Api.export rt ~domain:server Driver.bench_interface
+       ~impls:Driver.bench_impls);
+  let count = ref 0 in
+  for i = 0 to processors - 1 do
+    let client = Kernel.create_domain kernel ~name:(Printf.sprintf "c%d" i) in
+    ignore
+      (Kernel.spawn kernel client ~home:i (fun () ->
+           let b = Api.import rt ~domain:client ~interface:"Bench" in
+           while true do
+             ignore (Api.call rt b ~proc:"null" []);
+             incr count
+           done))
+  done;
+  Engine.run ~until:horizon engine;
+  float_of_int !count /. Time.to_s horizon
+
+let run_a4 ?(horizon = Time.ms 300) () =
+  let cpus = [ 1; 2; 3; 4 ] in
+  {
+    cpus;
+    per_astack =
+      List.map
+        (fun n -> a4_throughput ~kernel_lock:`Per_astack ~processors:n ~horizon)
+        cpus;
+    global_lock =
+      List.map
+        (fun n -> a4_throughput ~kernel_lock:`Global ~processors:n ~horizon)
+        cpus;
+  }
+
+let render_a4 a =
+  let t =
+    Table.create
+      ~columns:
+        [
+          ("CPUs", Table.Right);
+          ("per-A-stack locks (calls/s)", Table.Right);
+          ("global kernel lock (calls/s)", Table.Right);
+        ]
+  in
+  List.iteri
+    (fun i n ->
+      Table.add_row t
+        [
+          string_of_int n;
+          Printf.sprintf "%.0f" (List.nth a.per_astack i);
+          Printf.sprintf "%.0f" (List.nth a.global_lock i);
+        ])
+    a.cpus;
+  "Ablation A4: design-for-concurrency — LRPC rerun with one global lock\n"
+  ^ "(the counterfactual shows the SRC-style ceiling LRPC avoids — §3.4)\n"
+  ^ Table.to_string t
+
+(* --- A5: lazy vs static E-stack association ------------------------------- *)
+
+type a5 = {
+  lazy_pages_after_bind : int;
+  static_pages_after_bind : int;
+  lazy_first_call_us : float;
+  static_first_call_us : float;
+  steady_state_equal : bool;
+}
+
+let a5_measure policy =
+  let config = { Rt.default_config with Rt.estack_policy = policy } in
+  let w = Driver.make_lrpc ~config () in
+  let b =
+    Api.import w.Driver.lw_rt ~domain:w.Driver.lw_client ~interface:"Bench"
+  in
+  let pages_after_bind = w.Driver.lw_server.Lrpc_kernel.Pdomain.pages_allocated in
+  let first = ref 0.0 and steady = ref 0.0 in
+  ignore
+    (Kernel.spawn w.Driver.lw_kernel w.Driver.lw_client (fun () ->
+         let t0 = Engine.now w.Driver.lw_engine in
+         ignore (Api.call w.Driver.lw_rt b ~proc:"null" []);
+         first := Time.to_us (Time.sub (Engine.now w.Driver.lw_engine) t0);
+         for _ = 1 to 3 do
+           ignore (Api.call w.Driver.lw_rt b ~proc:"null" [])
+         done;
+         let t1 = Engine.now w.Driver.lw_engine in
+         for _ = 1 to 50 do
+           ignore (Api.call w.Driver.lw_rt b ~proc:"null" [])
+         done;
+         steady := Time.to_us (Time.sub (Engine.now w.Driver.lw_engine) t1) /. 50.0));
+  Driver.run_all w.Driver.lw_engine;
+  (pages_after_bind, !first, !steady)
+
+let run_a5 () =
+  let lazy_pages, lazy_first, lazy_steady = a5_measure `Lazy in
+  let static_pages, static_first, static_steady = a5_measure `Static in
+  {
+    lazy_pages_after_bind = lazy_pages;
+    static_pages_after_bind = static_pages;
+    lazy_first_call_us = lazy_first;
+    static_first_call_us = static_first;
+    steady_state_equal = Float.abs (lazy_steady -. static_steady) < 0.01;
+  }
+
+let render_a5 a =
+  let t =
+    Table.create
+      ~columns:
+        [
+          ("E-stack policy", Table.Left);
+          ("server pages at bind", Table.Right);
+          ("first call (us)", Table.Right);
+        ]
+  in
+  Table.add_row t
+    [
+      "lazy association (LRPC)";
+      string_of_int a.lazy_pages_after_bind;
+      Table.cell_us a.lazy_first_call_us;
+    ];
+  Table.add_row t
+    [
+      "static pre-allocation";
+      string_of_int a.static_pages_after_bind;
+      Table.cell_us a.static_first_call_us;
+    ];
+  Printf.sprintf
+    "Ablation A5: lazy vs static E-stack association (paper §3.2)\n%s\
+     steady-state latency identical: %b (the 50us allocation happens once\n\
+     either way; laziness only defers it and saves address space)\n"
+    (Table.to_string t) a.steady_state_equal
+
+(* --- A6: register passing and its overflow cliff -------------------------- *)
+
+type a6 = {
+  register_budget_bytes : int;
+  points : (int * float * float * float) list;
+}
+
+let a6_mpass_latency profile n =
+  let iface =
+    Lrpc_idl.Types.(interface "Probe" [ proc "take" [ param "buf" (Fixed_bytes n) ] ])
+  in
+  let engine = Engine.create profile.Profile.hw in
+  let kernel = Kernel.boot engine in
+  let sd = Kernel.create_domain kernel ~name:"server" in
+  let client = Kernel.create_domain kernel ~name:"client" in
+  let server =
+    Lrpc_msgrpc.Mpass.create_server kernel profile ~domain:sd iface
+      ~impls:[ ("take", fun _ -> []) ]
+  in
+  let out = ref 0.0 in
+  ignore
+    (Kernel.spawn kernel client (fun () ->
+         let conn = Lrpc_msgrpc.Mpass.connect server ~client in
+         let args = [ Lrpc_idl.Value.bytes (Bytes.make n 'x') ] in
+         for _ = 1 to 3 do
+           ignore (Lrpc_msgrpc.Mpass.call conn ~proc:"take" args)
+         done;
+         let t0 = Engine.now engine in
+         for _ = 1 to 50 do
+           ignore (Lrpc_msgrpc.Mpass.call conn ~proc:"take" args)
+         done;
+         out := Time.to_us (Time.sub (Engine.now engine) t0) /. 50.0));
+  Engine.run engine;
+  !out
+
+let a6_lrpc_latency n =
+  let engine = Engine.create Cost_model.cvax_firefly in
+  let kernel = Kernel.boot engine in
+  let rt = Api.init kernel in
+  let server = Kernel.create_domain kernel ~name:"server" in
+  let client = Kernel.create_domain kernel ~name:"client" in
+  ignore
+    (Api.export rt ~domain:server (probe_iface n) ~impls:[ ("take", fun _ -> []) ]);
+  let out = ref 0.0 in
+  ignore
+    (Kernel.spawn kernel client (fun () ->
+         let b = Api.import rt ~domain:client ~interface:"Probe" in
+         let args = [ Lrpc_idl.Value.bytes (Bytes.make n 'x') ] in
+         for _ = 1 to 3 do
+           ignore (Api.call rt b ~proc:"take" args)
+         done;
+         let t0 = Engine.now engine in
+         for _ = 1 to 50 do
+           ignore (Api.call rt b ~proc:"take" args)
+         done;
+         out := Time.to_us (Time.sub (Engine.now engine) t0) /. 50.0));
+  Engine.run engine;
+  !out
+
+let run_a6 () =
+  (* V optimized for fixed 32-byte messages; model it as an 8-register
+     budget on the V profile. *)
+  let words = 8 in
+  let with_registers =
+    {
+      Profile.v_system with
+      Profile.p_name = "V + register passing";
+      register_words = words;
+    }
+  in
+  let sizes = [ 4; 16; 28; 32; 36; 48; 64; 128 ] in
+  {
+    register_budget_bytes = 4 * words;
+    points =
+      List.map
+        (fun n ->
+          ( n,
+            a6_mpass_latency with_registers n,
+            a6_mpass_latency Profile.v_system n,
+            a6_lrpc_latency n ))
+        sizes;
+  }
+
+let render_a6 a =
+  let t =
+    Table.create
+      ~columns:
+        [
+          ("argument bytes", Table.Right);
+          ("V + registers (us)", Table.Right);
+          ("V (us)", Table.Right);
+          ("LRPC (us)", Table.Right);
+        ]
+  in
+  List.iter
+    (fun (n, regs, plain, lrpc) ->
+      Table.add_row t
+        [
+          Printf.sprintf "%d%s" n
+            (if n = a.register_budget_bytes then "  <- budget" else "");
+          Table.cell_us regs;
+          Table.cell_us plain;
+          Table.cell_us lrpc;
+        ])
+    a.points;
+  Printf.sprintf
+    "Ablation A6: register-passing optimizations (paper \xc2\xa72.2, footnote 2)\n\
+     (%d-byte register budget: fast while arguments fit, then a cliff back\n\
+     to the full message path; Figure 1 shows overflows are frequent.\n\
+     LRPC's shared A-stack degrades smoothly instead.)\n%s"
+    a.register_budget_bytes (Table.to_string t)

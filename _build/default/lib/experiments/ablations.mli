@@ -1,0 +1,64 @@
+(** Ablations of the design decisions the paper argues for (DESIGN.md's
+    A1–A5). Each returns a rendered report plus the numbers tests
+    assert on. *)
+
+(** A1 — what actually buys the context-switch saving (paper §3.4's
+    discussion of process-tagged TLBs vs domain caching). *)
+type a1 = {
+  untagged_null_us : float;  (** stock C-VAX: 157 *)
+  tagged_null_us : float;
+      (** tagged TLB: the refills vanish but both VM reloads remain *)
+  domain_cached_null_us : float;
+      (** idle-processor exchange: no reload, no refill, 2 exchanges *)
+}
+
+val run_a1 : unit -> a1
+val render_a1 : a1 -> string
+
+(** A2 — shared A-stack vs defensive copying: what the E copies cost as
+    argument size grows (paper §3.5). *)
+type a2 = { sizes : (int * float * float) list (* bytes, trusting, defensive *) }
+
+val run_a2 : unit -> a2
+val render_a2 : a2 -> string
+
+(** A3 — handoff scheduling vs the general scheduling path in the
+    message-passing baseline (paper §2.3's scheduling indirection). *)
+type a3 = { handoff_null_us : float; general_null_us : float }
+
+val run_a3 : unit -> a3
+val render_a3 : a3 -> string
+
+(** A4 — LRPC's per-A-stack-queue locks vs a counterfactual global
+    kernel lock: the Figure 2 scaling experiment rerun with the lock
+    design inverted. *)
+type a4 = { cpus : int list; per_astack : float list; global_lock : float list }
+
+val run_a4 : ?horizon:Lrpc_sim.Time.t -> unit -> a4
+val render_a4 : a4 -> string
+
+(** A5 — lazy E-stack association vs static pre-allocation (paper §3.2):
+    server address space consumed at bind time vs first-call cost. *)
+type a5 = {
+  lazy_pages_after_bind : int;
+  static_pages_after_bind : int;
+  lazy_first_call_us : float;
+  static_first_call_us : float;
+  steady_state_equal : bool;
+}
+
+val run_a5 : unit -> a5
+val render_a5 : a5 -> string
+
+(** A6 — register-passing optimizations (Karger 1989; V's 32-byte
+    messages): effective while arguments fit, with the performance
+    discontinuity of the paper's footnote 2 once they overflow, which
+    Figure 1 shows is a frequent problem. LRPC has no such cliff. *)
+type a6 = {
+  register_budget_bytes : int;
+  points : (int * float * float * float) list;
+      (** arg bytes, registers-variant latency, plain variant, LRPC *)
+}
+
+val run_a6 : unit -> a6
+val render_a6 : a6 -> string

@@ -1,0 +1,59 @@
+module Prng = Lrpc_util.Prng
+module Histogram = Lrpc_util.Histogram
+module Sizes = Lrpc_workload.Sizes
+
+type result = {
+  stats : Sizes.traffic_stats;
+  population : Sizes.population;
+  seed : int64;
+}
+
+let run ?(seed = 1989L) ?(calls = 1_487_105) () =
+  let rng = Prng.create ~seed in
+  let population = Sizes.generate_population rng in
+  let stats = Sizes.synthesize_traffic rng population ~calls in
+  { stats; population; seed }
+
+let render r =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  Format.fprintf ppf
+    "Figure 1: RPC Size Distribution (total argument/result bytes per call)@.";
+  Histogram.render ~unit_label:"calls" r.stats.Sizes.histogram ppf;
+  Format.fprintf ppf "@.";
+  let h = r.stats.Sizes.histogram in
+  Format.fprintf ppf "paper landmarks vs measured:@.";
+  Format.fprintf ppf
+    "  modal bucket is <50 bytes:           %s (mode bin = %s)@."
+    (if Histogram.mode_bin h = 0 then "yes" else "NO")
+    (Histogram.bin_label h (Histogram.mode_bin h));
+  Format.fprintf ppf
+    "  majority of calls under 200 bytes:   %.1f%% (paper: majority)@."
+    (100.0 *. Histogram.cumulative_at h 199);
+  Format.fprintf ppf
+    "  calls to top 3 procedures:           %.1f%% (paper: 75%%)@."
+    (100.0 *. r.stats.Sizes.top3_share);
+  Format.fprintf ppf
+    "  calls to top 10 procedures:          %.1f%% (paper: 95%%)@."
+    (100.0 *. r.stats.Sizes.top10_share);
+  Format.fprintf ppf
+    "  distinct procedures called:          %d (paper: 112)@."
+    r.stats.Sizes.distinct_procs;
+  Format.fprintf ppf
+    "  maximum single transfer:             %d bytes (single packet max %d)@."
+    r.stats.Sizes.max_single Sizes.single_packet_max;
+  Format.fprintf ppf "@.static interface survey vs paper (\xc2\xa72.2):@.";
+  Format.fprintf ppf "  services / procedures / parameters:  %d / %d / %d (paper: 28 / 366 / 1000+)@."
+    r.population.Sizes.services
+    (Array.length r.population.Sizes.procs)
+    (Sizes.param_count r.population);
+  Format.fprintf ppf "  fixed-size parameters:               %.0f%% (paper: 4 of 5)@."
+    (100.0 *. Sizes.static_fixed_param_fraction r.population);
+  Format.fprintf ppf "  parameters of 4 bytes or fewer:      %.0f%% (paper: 65%%)@."
+    (100.0 *. Sizes.static_small_param_fraction r.population);
+  Format.fprintf ppf "  procedures with only fixed params:   %.0f%% (paper: two-thirds)@."
+    (100.0 *. Sizes.static_all_fixed_proc_fraction r.population);
+  Format.fprintf ppf "  procedures moving 32 bytes or fewer: %.0f%% (paper: 60%%)@."
+    (100.0 *. Sizes.static_small_proc_fraction r.population);
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf

@@ -1,0 +1,27 @@
+(** Supplementary experiment — call-latency distributions under load.
+
+    The paper reports mean latencies (Table 4) and aggregate throughput
+    (Figure 2). This experiment looks underneath: per-call latency
+    percentiles for LRPC and SRC RPC as concurrent callers are added on
+    a four-processor Firefly. LRPC's tail stays flat (per-A-stack-queue
+    locks, ~2% hold time); SRC RPC's p99 blows up as soon as two
+    callers contend for the global lock, long before the mean does. *)
+
+type row = {
+  system : string;
+  clients : int;
+  calls : int;
+  mean_us : float;
+  p50_us : float;
+  p90_us : float;
+  p99_us : float;
+  max_us : float;
+}
+
+type result = { rows : row list }
+
+val run : ?horizon:Lrpc_sim.Time.t -> unit -> result
+(** 1, 2 and 4 closed-loop Null callers on 4 CPUs, default 200 simulated
+    ms per cell. *)
+
+val render : result -> string

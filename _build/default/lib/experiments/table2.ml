@@ -1,0 +1,79 @@
+module Time = Lrpc_sim.Time
+module Cost_model = Lrpc_sim.Cost_model
+module Table = Lrpc_util.Table
+module Profile = Lrpc_msgrpc.Profile
+module Driver = Lrpc_workload.Driver
+
+type row = {
+  system : string;
+  processor : string;
+  minimum_us : float;
+  actual_us : float;
+  overhead_us : float;
+  paper_minimum : float;
+  paper_actual : float;
+}
+
+type result = { rows : row list }
+
+let paper_values =
+  [
+    ("Accent", (444.0, 2300.0));
+    ("Taos (SRC RPC)", (109.0, 464.0));
+    ("Mach", (90.0, 754.0));
+    ("V", (170.0, 730.0));
+    ("Amoeba", (170.0, 800.0));
+    ("DASH", (170.0, 1590.0));
+  ]
+
+let run ?(calls = 100) () =
+  let rows =
+    List.map
+      (fun p ->
+        let minimum_us = Time.to_us (Cost_model.null_minimum p.Profile.hw) in
+        let actual_us = Driver.mpass_latency ~calls p ~proc:"null" ~args:[] in
+        let paper_minimum, paper_actual =
+          List.assoc p.Profile.p_name paper_values
+        in
+        {
+          system = p.Profile.p_name;
+          processor = p.Profile.hw.Cost_model.name;
+          minimum_us;
+          actual_us;
+          overhead_us = actual_us -. minimum_us;
+          paper_minimum;
+          paper_actual;
+        })
+      Profile.all_table2
+  in
+  { rows }
+
+let render r =
+  let t =
+    Table.create
+      ~columns:
+        [
+          ("System", Table.Left);
+          ("Processor", Table.Left);
+          ("Null min", Table.Right);
+          ("Null actual", Table.Right);
+          ("Overhead", Table.Right);
+          ("Paper min", Table.Right);
+          ("Paper actual", Table.Right);
+        ]
+  in
+  List.iter
+    (fun row ->
+      Table.add_row t
+        [
+          row.system;
+          row.processor;
+          Table.cell_us row.minimum_us;
+          Table.cell_us row.actual_us;
+          Table.cell_us row.overhead_us;
+          Table.cell_us row.paper_minimum;
+          Table.cell_us row.paper_actual;
+        ])
+    r.rows;
+  "Table 2: Cross-Domain Performance (times in microseconds)\n"
+  ^ Table.to_string t

@@ -1,0 +1,24 @@
+(** Table 2 — Cross-Domain Performance of six contemporary systems.
+
+    For each system: the theoretical minimum Null time on its hardware
+    (one procedure call, two traps, two context switches including TLB
+    refill), the actual measured Null time of a closed-loop run through
+    the conventional message-passing engine under that system's profile,
+    and the overhead — the difference the paper attributes to stubs,
+    buffers, validation, queueing, scheduling and dispatch. *)
+
+type row = {
+  system : string;
+  processor : string;
+  minimum_us : float;
+  actual_us : float;
+  overhead_us : float;
+  paper_minimum : float;
+  paper_actual : float;
+}
+
+type result = { rows : row list }
+
+val run : ?calls:int -> unit -> result
+
+val render : result -> string

@@ -1,0 +1,35 @@
+(** Table 3 — Copy Operations for LRPC vs Message-Based RPC.
+
+    Each cell is observed, not asserted: one instrumented call (a single
+    4-byte argument, a 4-byte result) runs through each system with the
+    copy audit on, the label sequence is split at the instant the server
+    procedure starts, and the letters are exactly the paper's code:
+
+    A  client stack to message (or A-stack)
+    B  sender domain to kernel domain
+    C  kernel domain to receiver domain
+    D  sender/kernel space directly to receiver domain (restricted)
+    E  message (or A-stack) into server stack
+    F  message (or A-stack) into client's results
+
+    LRPC with a trusting export copies A on call and F on return; when
+    argument immutability matters the server stub adds E — three copies
+    total against message passing's seven and restricted message
+    passing's five. (The paper's table prints the restricted return's
+    kernel copy as "B"; we label the same direct copy "D".) *)
+
+type cell = { call_copies : string list; return_copies : string list }
+
+type result = {
+  lrpc_mutable : cell;  (** concurrent change unimportant *)
+  lrpc_immutable : cell;  (** defensive export *)
+  message_passing : cell;
+  restricted : cell;
+}
+
+val run : unit -> result
+
+val total_when_immutable : cell -> int
+(** Call copies (immutability-preserving) plus return copies. *)
+
+val render : result -> string

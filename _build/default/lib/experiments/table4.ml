@@ -1,0 +1,95 @@
+module Table = Lrpc_util.Table
+module Profile = Lrpc_msgrpc.Profile
+module Driver = Lrpc_workload.Driver
+
+type row = {
+  test : string;
+  description : string;
+  lrpc_mp_us : float;
+  lrpc_us : float;
+  taos_us : float;
+  paper : float * float * float;
+}
+
+type result = { rows : row list }
+
+let descriptions =
+  [
+    ("Null", "the Null cross-domain call");
+    ("Add", "two 4-byte arguments, one 4-byte result");
+    ("BigIn", "one 200-byte argument");
+    ("BigInOut", "one 200-byte argument and result");
+  ]
+
+let paper_values =
+  [
+    ("Null", (125.0, 157.0, 464.0));
+    ("Add", (130.0, 164.0, 480.0));
+    ("BigIn", (173.0, 192.0, 539.0));
+    ("BigInOut", (219.0, 227.0, 636.0));
+  ]
+
+let run ?(calls = 1000) () =
+  let rows =
+    List.map
+      (fun t ->
+        let mp_world =
+          Driver.make_lrpc ~processors:2 ~domain_caching:true ()
+        in
+        let lrpc_mp_us =
+          Driver.lrpc_latency ~calls mp_world ~proc:t.Driver.proc
+            ~args:t.Driver.args
+        in
+        let serial_world = Driver.make_lrpc () in
+        let lrpc_us =
+          Driver.lrpc_latency ~calls serial_world ~proc:t.Driver.proc
+            ~args:t.Driver.args
+        in
+        let taos_us =
+          Driver.mpass_latency ~calls Profile.src_rpc ~proc:t.Driver.proc
+            ~args:t.Driver.args
+        in
+        {
+          test = t.Driver.test_name;
+          description = List.assoc t.Driver.test_name descriptions;
+          lrpc_mp_us;
+          lrpc_us;
+          taos_us;
+          paper = List.assoc t.Driver.test_name paper_values;
+        })
+      (Driver.four_tests ())
+  in
+  { rows }
+
+let render r =
+  let t =
+    Table.create
+      ~columns:
+        [
+          ("Test", Table.Left);
+          ("Description", Table.Left);
+          ("LRPC/MP", Table.Right);
+          ("LRPC", Table.Right);
+          ("Taos", Table.Right);
+          ("paper LRPC/MP", Table.Right);
+          ("paper LRPC", Table.Right);
+          ("paper Taos", Table.Right);
+        ]
+  in
+  List.iter
+    (fun row ->
+      let pm, pl, pt = row.paper in
+      Table.add_row t
+        [
+          row.test;
+          row.description;
+          Table.cell_us row.lrpc_mp_us;
+          Table.cell_us row.lrpc_us;
+          Table.cell_us row.taos_us;
+          Table.cell_us pm;
+          Table.cell_us pl;
+          Table.cell_us pt;
+        ])
+    r.rows;
+  "Table 4: LRPC Performance of Four Tests (in microseconds)\n"
+  ^ Table.to_string t

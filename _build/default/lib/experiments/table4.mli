@@ -1,0 +1,25 @@
+(** Table 4 — LRPC Performance of Four Tests (in microseconds).
+
+    Null, Add, BigIn and BigInOut measured three ways, exactly as the
+    paper ran them (100,000-call tight loop divided by the count):
+    LRPC/MP uses the idle-processor domain-caching optimization on a
+    multiprocessor; LRPC executes the domain switch serially on one
+    processor; Taos is SRC RPC on the same machine. Paper values:
+    125/157/464, 130/164/480, 173/192/539, 219/227/636. *)
+
+type row = {
+  test : string;
+  description : string;
+  lrpc_mp_us : float;
+  lrpc_us : float;
+  taos_us : float;
+  paper : float * float * float;
+}
+
+type result = { rows : row list }
+
+val run : ?calls:int -> unit -> result
+(** [calls] per measurement loop; default 1000 (the result is exact after
+    warm-up, so the paper's 100,000 would only cost host time). *)
+
+val render : result -> string

@@ -1,0 +1,143 @@
+module Engine = Lrpc_sim.Engine
+module Time = Lrpc_sim.Time
+module Category = Lrpc_sim.Category
+module Kernel = Lrpc_kernel.Kernel
+module Api = Lrpc_core.Api
+module Table = Lrpc_util.Table
+module Driver = Lrpc_workload.Driver
+
+type row = {
+  operation : string;
+  minimum_us : float;
+  overhead_us : float;
+  paper_minimum : float option;
+  paper_overhead : float option;
+}
+
+type result = {
+  rows : row list;
+  total_us : float;
+  tlb_misses_per_call : float;
+  tlb_fraction : float;
+}
+
+let run ?(calls = 1000) () =
+  let w = Driver.make_lrpc () in
+  let breakdown = ref [] in
+  let misses = ref 0 in
+  ignore
+    (Kernel.spawn w.Driver.lw_kernel w.Driver.lw_client (fun () ->
+         let b =
+           Api.import w.Driver.lw_rt ~domain:w.Driver.lw_client
+             ~interface:"Bench"
+         in
+         for _ = 1 to 5 do
+           ignore (Api.call w.Driver.lw_rt b ~proc:"null" [])
+         done;
+         Engine.reset_breakdown w.Driver.lw_engine;
+         let m0 = Engine.total_tlb_misses w.Driver.lw_engine in
+         for _ = 1 to calls do
+           ignore (Api.call w.Driver.lw_rt b ~proc:"null" [])
+         done;
+         misses := Engine.total_tlb_misses w.Driver.lw_engine - m0;
+         breakdown := Engine.breakdown w.Driver.lw_engine));
+  Driver.run_all w.Driver.lw_engine;
+  let per_call cat =
+    match List.assoc_opt cat !breakdown with
+    | Some t -> Time.to_us t /. float_of_int calls
+    | None -> 0.0
+  in
+  let proc_call = per_call Category.Proc_call in
+  let traps = per_call Category.Trap in
+  let switches = per_call Category.Context_switch +. per_call Category.Tlb_miss in
+  let stubs =
+    per_call Category.Stub_client +. per_call Category.Stub_server
+    +. per_call Category.Lock
+  in
+  let kernel_transfer = per_call Category.Kernel_transfer in
+  let tlb = per_call Category.Tlb_miss in
+  let total = proc_call +. traps +. switches +. stubs +. kernel_transfer in
+  {
+    rows =
+      [
+        {
+          operation = "Modula2+ procedure call";
+          minimum_us = proc_call;
+          overhead_us = 0.0;
+          paper_minimum = Some 7.0;
+          paper_overhead = None;
+        };
+        {
+          operation = "two kernel traps";
+          minimum_us = traps;
+          overhead_us = 0.0;
+          paper_minimum = Some 36.0;
+          paper_overhead = None;
+        };
+        {
+          operation = "two context switches (incl. TLB refill)";
+          minimum_us = switches;
+          overhead_us = 0.0;
+          paper_minimum = Some 66.0;
+          paper_overhead = None;
+        };
+        {
+          operation = "stubs (incl. A-stack queue locks)";
+          minimum_us = 0.0;
+          overhead_us = stubs;
+          paper_minimum = None;
+          paper_overhead = Some 21.0;
+        };
+        {
+          operation = "kernel transfer";
+          minimum_us = 0.0;
+          overhead_us = kernel_transfer;
+          paper_minimum = None;
+          paper_overhead = Some 27.0;
+        };
+      ];
+    total_us = total;
+    tlb_misses_per_call = float_of_int !misses /. float_of_int calls;
+    tlb_fraction = tlb /. total;
+  }
+
+let render r =
+  let t =
+    Table.create
+      ~columns:
+        [
+          ("Operation", Table.Left);
+          ("Minimum", Table.Right);
+          ("LRPC overhead", Table.Right);
+          ("Paper min", Table.Right);
+          ("Paper overhead", Table.Right);
+        ]
+  in
+  let opt = function None -> "-" | Some v -> Table.cell_us v in
+  let zero v = if v = 0.0 then "-" else Table.cell_us v in
+  List.iter
+    (fun row ->
+      Table.add_row t
+        [
+          row.operation;
+          zero row.minimum_us;
+          zero row.overhead_us;
+          opt row.paper_minimum;
+          opt row.paper_overhead;
+        ])
+    r.rows;
+  Table.add_separator t;
+  let min_total =
+    List.fold_left (fun acc row -> acc +. row.minimum_us) 0.0 r.rows
+  in
+  let ovh_total =
+    List.fold_left (fun acc row -> acc +. row.overhead_us) 0.0 r.rows
+  in
+  Table.add_row t
+    [ "total"; Table.cell_us min_total; Table.cell_us ovh_total; "109.0"; "48.0" ];
+  Printf.sprintf
+    "Table 5: Breakdown of Time for Single-Processor Null LRPC\n%s\n\
+     total per call: %.1f us (paper: 157); TLB misses per call: %.1f \
+     (paper estimate: 43), %.0f%% of call time (paper: ~25%%)\n"
+    (Table.to_string t) r.total_us r.tlb_misses_per_call
+    (100.0 *. r.tlb_fraction)

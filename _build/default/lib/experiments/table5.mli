@@ -1,0 +1,27 @@
+(** Table 5 — Breakdown of Time for the Single-Processor Null LRPC.
+
+    The serial Null call is run with per-category cost attribution in
+    the engine; the rows reconstruct the paper's split into the
+    theoretical minimum (Modula2+ procedure call 7, two kernel traps 36,
+    two context switches 66 — the latter including the ~43 TLB refills
+    worth ~25% of the whole call) and LRPC's own overhead (stubs 21,
+    kernel transfer 27), totalling 157 us. *)
+
+type row = {
+  operation : string;
+  minimum_us : float;
+  overhead_us : float;
+  paper_minimum : float option;
+  paper_overhead : float option;
+}
+
+type result = {
+  rows : row list;
+  total_us : float;
+  tlb_misses_per_call : float;
+  tlb_fraction : float;  (** share of total time spent refilling the TLB *)
+}
+
+val run : ?calls:int -> unit -> result
+
+val render : result -> string

@@ -1,0 +1,1 @@
+lib/idl/codegen.ml: Buffer Format List Printf String Types

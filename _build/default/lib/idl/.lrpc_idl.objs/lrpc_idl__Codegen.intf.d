@@ -1,0 +1,1 @@
+lib/idl/codegen.mli: Format Types

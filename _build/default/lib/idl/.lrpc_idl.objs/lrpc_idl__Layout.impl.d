@@ -1,0 +1,1 @@
+lib/idl/layout.ml: List Printf Types Value

@@ -1,0 +1,1 @@
+lib/idl/layout.mli: Types Value

@@ -1,0 +1,1 @@
+lib/idl/parser.ml: Fun List Printf String Types

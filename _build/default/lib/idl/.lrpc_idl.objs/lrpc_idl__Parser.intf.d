@@ -1,0 +1,1 @@
+lib/idl/parser.mli: Types

@@ -1,0 +1,1 @@
+lib/idl/types.ml: Format List Option Printf String

@@ -1,0 +1,1 @@
+lib/idl/types.mli: Format

@@ -1,0 +1,1 @@
+lib/idl/value.ml: Format Int32 List Printf Stdlib Types

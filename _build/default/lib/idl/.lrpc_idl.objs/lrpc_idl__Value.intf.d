@@ -1,0 +1,1 @@
+lib/idl/value.mli: Format Types

@@ -1,0 +1,226 @@
+exception Parse_error of { line : int; message : string }
+
+type token =
+  | Ident of string
+  | Number of int
+  | Lbrace | Rbrace | Lparen | Rparen | Lbracket | Rbracket
+  | Colon | Semi | Comma | Equals | At
+
+type lexed = { tok : token; tline : int }
+
+let fail line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let tokenize src =
+  let out = ref [] in
+  let line = ref 1 in
+  let n = String.length src in
+  let i = ref 0 in
+  let push tok = out := { tok; tline = !line } :: !out in
+  let is_ident_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+  in
+  while !i < n do
+    let c = src.[!i] in
+    (match c with
+    | '\n' ->
+        incr line;
+        incr i
+    | ' ' | '\t' | '\r' -> incr i
+    | '#' ->
+        while !i < n && src.[!i] <> '\n' do
+          incr i
+        done
+    | '{' -> push Lbrace; incr i
+    | '}' -> push Rbrace; incr i
+    | '(' -> push Lparen; incr i
+    | ')' -> push Rparen; incr i
+    | '[' -> push Lbracket; incr i
+    | ']' -> push Rbracket; incr i
+    | ':' -> push Colon; incr i
+    | ';' -> push Semi; incr i
+    | ',' -> push Comma; incr i
+    | '=' -> push Equals; incr i
+    | '@' -> push At; incr i
+    | '0' .. '9' ->
+        let start = !i in
+        while !i < n && src.[!i] >= '0' && src.[!i] <= '9' do
+          incr i
+        done;
+        push (Number (int_of_string (String.sub src start (!i - start))))
+    | c when is_ident_char c ->
+        let start = !i in
+        while !i < n && is_ident_char src.[!i] do
+          incr i
+        done;
+        push (Ident (String.sub src start (!i - start)))
+    | c -> fail !line "unexpected character %C" c)
+  done;
+  List.rev !out
+
+type stream = { mutable toks : lexed list; mutable last_line : int }
+
+let peek s = match s.toks with [] -> None | t :: _ -> Some t
+
+let next s =
+  match s.toks with
+  | [] -> fail s.last_line "unexpected end of input"
+  | t :: rest ->
+      s.toks <- rest;
+      s.last_line <- t.tline;
+      t
+
+let expect s tok what =
+  let t = next s in
+  if t.tok <> tok then fail t.tline "expected %s" what
+
+let expect_ident s what =
+  let t = next s in
+  match t.tok with
+  | Ident id -> id
+  | _ -> fail t.tline "expected %s" what
+
+let expect_number s what =
+  let t = next s in
+  match t.tok with
+  | Number x -> x
+  | _ -> fail t.tline "expected %s" what
+
+let rec parse_type s =
+  let t = next s in
+  match t.tok with
+  | Ident "int" -> Types.Int32
+  | Ident "card" -> Types.Card32
+  | Ident "bool" -> Types.Bool
+  | Ident "bytes" ->
+      expect s Lbracket "'[' after bytes";
+      let n = expect_number s "byte-array size" in
+      expect s Rbracket "']'";
+      Types.Fixed_bytes n
+  | Ident "varbytes" ->
+      expect s Lbracket "'[' after varbytes";
+      let n = expect_number s "maximum size" in
+      expect s Rbracket "']'";
+      Types.Var_bytes n
+  | Ident "record" ->
+      expect s Lbrace "'{' after record";
+      let rec fields acc =
+        let name = expect_ident s "record field name" in
+        expect s Colon "':' after field name";
+        let ty = parse_type s in
+        let t = next s in
+        match t.tok with
+        | Comma -> fields ((name, ty) :: acc)
+        | Rbrace -> List.rev ((name, ty) :: acc)
+        | _ -> fail t.tline "expected ',' or '}' in record"
+      in
+      Types.Record (fields [])
+  | Ident other -> fail t.tline "unknown type %S" other
+  | _ -> fail t.tline "expected a type"
+
+let parse_param s =
+  let mode, name =
+    let id = expect_ident s "parameter name or mode" in
+    match id with
+    | "out" -> (Types.Out, expect_ident s "parameter name")
+    | "inout" -> (Types.In_out, expect_ident s "parameter name")
+    | name -> (Types.In, name)
+  in
+  expect s Colon "':' after parameter name";
+  let ty = parse_type s in
+  let by_ref = ref false and uninterpreted = ref false in
+  let rec flags () =
+    match peek s with
+    | Some { tok = At; _ } ->
+        ignore (next s);
+        let t = next s in
+        (match t.tok with
+        | Ident "ref" -> by_ref := true
+        | Ident "uninterpreted" -> uninterpreted := true
+        | _ -> fail t.tline "expected 'ref' or 'uninterpreted' after '@'");
+        flags ()
+    | _ -> ()
+  in
+  flags ();
+  Types.param ~mode ~by_ref:!by_ref ~uninterpreted:!uninterpreted name ty
+
+let parse_attrs s =
+  let astacks = ref Types.default_astacks in
+  let complexity = ref Types.Simple in
+  (match peek s with
+  | Some { tok = Lbracket; _ } ->
+      ignore (next s);
+      let rec attrs () =
+        let t = next s in
+        (match t.tok with
+        | Ident "astacks" ->
+            expect s Equals "'=' after astacks";
+            astacks := expect_number s "A-stack count"
+        | Ident "complex" -> complexity := Types.Complex
+        | _ -> fail t.tline "expected 'astacks=N' or 'complex'");
+        match peek s with
+        | Some { tok = Comma; _ } ->
+            ignore (next s);
+            attrs ()
+        | _ -> expect s Rbracket "']'"
+      in
+      attrs ()
+  | _ -> ());
+  (!astacks, !complexity)
+
+let parse_proc s =
+  let name = expect_ident s "procedure name" in
+  expect s Lparen "'(' after procedure name";
+  let params =
+    match peek s with
+    | Some { tok = Rparen; _ } ->
+        ignore (next s);
+        []
+    | _ ->
+        let rec more acc =
+          let p = parse_param s in
+          let t = next s in
+          match t.tok with
+          | Comma -> more (p :: acc)
+          | Rparen -> List.rev (p :: acc)
+          | _ -> fail t.tline "expected ',' or ')' in parameter list"
+        in
+        more []
+  in
+  let result =
+    match peek s with
+    | Some { tok = Colon; _ } ->
+        ignore (next s);
+        Some (parse_type s)
+    | _ -> None
+  in
+  let astacks, complexity = parse_attrs s in
+  expect s Semi "';' after procedure";
+  Types.proc ?result ~astacks ~complexity name params
+
+let parse src =
+  let s = { toks = tokenize src; last_line = 1 } in
+  expect s (Ident "interface") "'interface'";
+  let name = expect_ident s "interface name" in
+  expect s Lbrace "'{'";
+  let rec procs acc =
+    let t = next s in
+    match t.tok with
+    | Rbrace -> List.rev acc
+    | Ident "proc" -> procs (parse_proc s :: acc)
+    | _ -> fail t.tline "expected 'proc' or '}'"
+  in
+  let procs = procs [] in
+  (match peek s with
+  | Some t -> fail t.tline "trailing input after interface"
+  | None -> ());
+  let i = Types.interface name procs in
+  match Types.validate i with
+  | Ok () -> i
+  | Error msg -> fail s.last_line "invalid interface: %s" msg
+
+let parse_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,36 @@
+(** Parser for the textual interface definition language.
+
+    Grammar (comments run from [#] to end of line):
+
+    {v
+    interface  ::= "interface" IDENT "{" proc* "}"
+    proc       ::= "proc" IDENT "(" [param {"," param}] ")" [":" type]
+                   [attrs] ";"
+    param      ::= ["out" | "inout"] IDENT ":" type {"@ref" | "@uninterpreted"}
+    type       ::= "int" | "card" | "bool"
+                 | "bytes" "[" NUMBER "]" | "varbytes" "[" NUMBER "]"
+    attrs      ::= "[" attr {"," attr} "]"
+    attr       ::= "astacks" "=" NUMBER | "complex"
+    v}
+
+    Example:
+
+    {v
+    # the arithmetic service of Table 4
+    interface Arith {
+      proc null();
+      proc add(a: int, b: int): int;
+      proc big_in(buf: bytes[200]) [astacks=3];
+      proc big_in_out(inout buf: bytes[200]);
+      proc write(buf: varbytes[1024] @uninterpreted): card;
+    }
+    v} *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse : string -> Types.interface
+(** Parse one interface from source text. Raises {!Parse_error} with a
+    1-based line number on malformed input, and validates the result with
+    {!Types.validate}. *)
+
+val parse_file : string -> Types.interface

@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Array Bytes Hashtbl List Lrpc_sim Pdomain Vm

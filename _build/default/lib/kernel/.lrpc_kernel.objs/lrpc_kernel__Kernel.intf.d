@@ -1,0 +1,1 @@
+lib/kernel/kernel.mli: Lrpc_sim Pdomain Vm

@@ -1,0 +1,1 @@
+lib/kernel/pdomain.ml: Format Lrpc_sim

@@ -1,0 +1,1 @@
+lib/kernel/pdomain.mli: Format Lrpc_sim

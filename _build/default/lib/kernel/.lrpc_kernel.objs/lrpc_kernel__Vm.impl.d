@@ -1,0 +1,1 @@
+lib/kernel/vm.ml: Bytes List Lrpc_sim Pdomain Printf

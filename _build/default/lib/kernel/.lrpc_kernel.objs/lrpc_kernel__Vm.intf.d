@@ -1,0 +1,1 @@
+lib/kernel/vm.mli: Bytes Lrpc_sim Pdomain

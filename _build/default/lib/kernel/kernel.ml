@@ -1,0 +1,206 @@
+module Engine = Lrpc_sim.Engine
+module Cost_model = Lrpc_sim.Cost_model
+module Category = Lrpc_sim.Category
+
+exception Domain_terminated of string
+
+type t = {
+  engine : Engine.t;
+  kernel_domain : Pdomain.t;
+  mutable domains_ : Pdomain.t list; (* reversed *)
+  mutable next_domain : int;
+  mutable next_page : int;
+  mutable next_region : int;
+  mutable caching : bool;
+  misses : (Pdomain.id, int ref) Hashtbl.t;
+  mutable hooks : (Pdomain.t -> unit) list; (* reversed *)
+}
+
+let boot engine =
+  let kernel_domain =
+    {
+      Pdomain.id = 0;
+      name = "kernel";
+      machine = 0;
+      state = Pdomain.Active;
+      threads = [];
+      pages_allocated = 0;
+      page_limit = max_int;
+    }
+  in
+  {
+    engine;
+    kernel_domain;
+    domains_ = [ kernel_domain ];
+    next_domain = 1;
+    next_page = 1;
+    next_region = 1;
+    caching = false;
+    misses = Hashtbl.create 16;
+    hooks = [];
+  }
+
+let engine t = t.engine
+let cost_model t = Engine.cost_model t.engine
+let kernel_domain t = t.kernel_domain
+
+let create_domain ?(machine = 0) ?(page_limit = 16_384) t ~name =
+  let d =
+    {
+      Pdomain.id = t.next_domain;
+      name;
+      machine;
+      state = Pdomain.Active;
+      threads = [];
+      pages_allocated = 0;
+      page_limit;
+    }
+  in
+  t.next_domain <- t.next_domain + 1;
+  t.domains_ <- d :: t.domains_;
+  d
+
+let domains t = List.rev t.domains_
+
+let find_domain t id =
+  List.find_opt (fun d -> d.Pdomain.id = id) t.domains_
+
+let require_active d =
+  if not (Pdomain.active d) then
+    raise (Domain_terminated d.Pdomain.name)
+
+(* --- memory ------------------------------------------------------------ *)
+
+let alloc_pages t d n =
+  require_active d;
+  if d.Pdomain.pages_allocated + n > d.Pdomain.page_limit then
+    raise Out_of_memory;
+  d.Pdomain.pages_allocated <- d.Pdomain.pages_allocated + n;
+  let base = t.next_page in
+  t.next_page <- base + n;
+  List.init n (fun i -> base + i)
+
+let free_pages _t d pages =
+  d.Pdomain.pages_allocated <- d.Pdomain.pages_allocated - List.length pages
+
+let alloc_region t ~owner ~name ~bytes ~mapped =
+  require_active owner;
+  let page_size = (cost_model t).Cost_model.page_size in
+  let npages = max 1 ((bytes + page_size - 1) / page_size) in
+  let pages = alloc_pages t owner npages in
+  let r =
+    {
+      Vm.rid = t.next_region;
+      region_name = name;
+      pages;
+      data = Bytes.make (max bytes 1) '\000';
+      mapped = [];
+      region_valid = true;
+    }
+  in
+  t.next_region <- t.next_region + 1;
+  List.iter (fun d -> Vm.map_into r d) mapped;
+  r
+
+let release_region t ~owner r =
+  if r.Vm.region_valid then begin
+    r.Vm.region_valid <- false;
+    r.Vm.mapped <- [];
+    free_pages t owner r.Vm.pages
+  end
+
+(* --- threads ------------------------------------------------------------ *)
+
+let spawn ?(name = "thread") ?home t d body =
+  require_active d;
+  let th = Engine.spawn ?home ~name t.engine ~domain:d.Pdomain.id body in
+  d.Pdomain.threads <- th :: d.Pdomain.threads;
+  th
+
+let trap t =
+  Engine.delay ~category:Category.Trap t.engine
+    (cost_model t).Cost_model.trap
+
+(* --- idle-processor management ------------------------------------------ *)
+
+let domain_caching_enabled t = t.caching
+let set_domain_caching t b = t.caching <- b
+
+let find_idle_processor_in_context t d =
+  let cpus = Engine.cpus t.engine in
+  let found = ref None in
+  Array.iter
+    (fun c ->
+      if
+        !found = None
+        && c.Engine.running = None
+        && c.Engine.context = Some d.Pdomain.id
+      then found := Some c)
+    cpus;
+  !found
+
+let miss_counter t d =
+  match Hashtbl.find_opt t.misses d.Pdomain.id with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.replace t.misses d.Pdomain.id r;
+      r
+
+let context_misses t d = !(miss_counter t d)
+
+(* Prod policy: when a miss is recorded, claim one idle processor whose
+   loaded context belongs to no domain that out-misses this one, and
+   re-tag it to the missed domain. This stands in for the paper's idle
+   threads noticing the counters and spinning in busy domains. *)
+let note_context_miss t d =
+  let r = miss_counter t d in
+  incr r;
+  if t.caching then begin
+    let my_misses = !r in
+    let cpus = Engine.cpus t.engine in
+    let candidate = ref None in
+    Array.iter
+      (fun c ->
+        if c.Engine.running = None then begin
+          let ctx_misses =
+            match c.Engine.context with
+            | Some id when id = d.Pdomain.id -> max_int (* already ours *)
+            | Some id -> (
+                match Hashtbl.find_opt t.misses id with
+                | Some m -> !m
+                | None -> 0)
+            | None -> -1
+          in
+          match !candidate with
+          | Some (_, best) when best <= ctx_misses -> ()
+          | _ -> if ctx_misses < my_misses then candidate := Some (c, ctx_misses)
+        end)
+      cpus;
+    match !candidate with
+    | Some (c, _) ->
+        (* The idle processor loads the missed domain's context off the
+           critical path; nobody is charged. *)
+        Lrpc_sim.Tlb.invalidate c.Engine.tlb;
+        c.Engine.context <- Some d.Pdomain.id
+    | None -> ()
+  end
+
+(* --- termination ---------------------------------------------------------- *)
+
+let on_terminate t hook = t.hooks <- hook :: t.hooks
+
+let terminate_domain t d =
+  match d.Pdomain.state with
+  | Pdomain.Dead | Pdomain.Terminating -> ()
+  | Pdomain.Active ->
+      d.Pdomain.state <- Pdomain.Terminating;
+      List.iter (fun hook -> hook d) (List.rev t.hooks);
+      (* Stop homed threads that are still inside the domain. Threads that
+         a hook moved elsewhere (restarted callers) are left alone. *)
+      List.iter
+        (fun th ->
+          if Engine.alive th && Engine.thread_domain th = d.Pdomain.id then
+            Engine.kill t.engine th)
+        d.Pdomain.threads;
+      d.Pdomain.state <- Pdomain.Dead

@@ -1,0 +1,94 @@
+(** The simulated microkernel.
+
+    Owns domains, pages, regions and threads on one simulated machine, and
+    provides the primitives the communication layers build on: trap entry,
+    region allocation (including pairwise-shared mappings), handoff to
+    other threads, idle-processor queries for LRPC's domain caching, and
+    domain termination with registered collector hooks (the LRPC runtime
+    registers one that revokes bindings and restarts callers). *)
+
+type t
+
+exception Domain_terminated of string
+(** Raised by operations against a terminating or dead domain. *)
+
+val boot : Lrpc_sim.Engine.t -> t
+(** One kernel per simulated machine. The kernel domain itself has id 0. *)
+
+val engine : t -> Lrpc_sim.Engine.t
+val cost_model : t -> Lrpc_sim.Cost_model.t
+
+val kernel_domain : t -> Pdomain.t
+
+val create_domain :
+  ?machine:int -> ?page_limit:int -> t -> name:string -> Pdomain.t
+
+val domains : t -> Pdomain.t list
+
+val find_domain : t -> Pdomain.id -> Pdomain.t option
+
+(** {1 Memory} *)
+
+val alloc_pages : t -> Pdomain.t -> int -> int list
+(** Allocate pages charged to the domain's budget. Raises
+    [Domain_terminated] on dead domains and [Out_of_memory] when the
+    domain's page budget is exhausted (the condition that motivates lazy
+    E-stack association, paper §3.2). *)
+
+val free_pages : t -> Pdomain.t -> int list -> unit
+(** Return pages to the domain's budget (identifiers are not reused). *)
+
+val alloc_region :
+  t -> owner:Pdomain.t -> name:string -> bytes:int -> mapped:Pdomain.t list ->
+  Vm.region
+(** Allocate a region of [bytes] (rounded up to whole pages, charged to
+    [owner]) and map it into each domain of [mapped]. An empty [mapped]
+    yields a kernel-private region (linkage records). *)
+
+val release_region : t -> owner:Pdomain.t -> Vm.region -> unit
+(** Invalidate the region and return its pages to [owner]. *)
+
+(** {1 Threads} *)
+
+val spawn :
+  ?name:string -> ?home:int -> t -> Pdomain.t -> (unit -> unit) ->
+  Lrpc_sim.Engine.thread
+(** Create a thread homed in the domain and track it there. *)
+
+val trap : t -> unit
+(** Charge one kernel trap (entry or exit) to the running thread. *)
+
+(** {1 Idle-processor management (LRPC/MP, paper §3.4)} *)
+
+val domain_caching_enabled : t -> bool
+val set_domain_caching : t -> bool -> unit
+(** Disabled by default (Figure 2 is measured with it off; Table 4's
+    LRPC/MP row turns it on). *)
+
+val find_idle_processor_in_context :
+  t -> Pdomain.t -> Lrpc_sim.Engine.cpu option
+(** A processor with no running thread whose loaded VM context is the
+    given domain — the candidate for a processor exchange. *)
+
+val note_context_miss : t -> Pdomain.t -> unit
+(** Record that a call wanted an idle processor in this domain's context
+    and found none. The kernel uses these counters to prod idle
+    processors to spin in the domains showing the most LRPC activity:
+    the idle processor with the stalest context is re-tagged to the
+    most-missed domain. *)
+
+val context_misses : t -> Pdomain.t -> int
+
+(** {1 Termination (paper §5.3)} *)
+
+val on_terminate : t -> (Pdomain.t -> unit) -> unit
+(** Register a collector hook, run (in registration order) while the
+    domain is in the [Terminating] state, before its threads are stopped.
+    The LRPC runtime registers binding revocation and linkage
+    invalidation here. *)
+
+val terminate_domain : t -> Pdomain.t -> unit
+(** Mark [Terminating]; run collector hooks; kill the domain's remaining
+    homed threads; mark [Dead]. Idempotent. Threads of *other* domains
+    currently executing inside this domain are the hooks' business (the
+    LRPC collector restarts them in their callers with call-failed). *)

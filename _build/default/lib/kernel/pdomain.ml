@@ -1,0 +1,21 @@
+type id = int
+
+type state = Active | Terminating | Dead
+
+type t = {
+  id : id;
+  name : string;
+  machine : int;
+  mutable state : state;
+  mutable threads : Lrpc_sim.Engine.thread list;
+  mutable pages_allocated : int;
+  mutable page_limit : int;
+}
+
+let equal a b = a.id = b.id
+
+let is_local a b = a.machine = b.machine
+
+let active t = t.state = Active
+
+let pp ppf t = Format.fprintf ppf "%s#%d" t.name t.id

@@ -1,0 +1,34 @@
+(** Protection domains.
+
+    A domain is an address space plus the resources charged to it: pages,
+    threads, and (at higher layers) bindings and stacks. Named [Pdomain]
+    to avoid shadowing OCaml's [Domain].
+
+    Termination (paper §5.3) is a two-step affair driven by {!Kernel}:
+    the domain is first marked [Terminating] while the collector revokes
+    bindings and restarts captured callers, then [Dead] once its threads
+    and memory are reclaimed. *)
+
+type id = int
+
+type state = Active | Terminating | Dead
+
+type t = {
+  id : id;
+  name : string;
+  machine : int;  (** machine the domain lives on; 0 is the local node *)
+  mutable state : state;
+  mutable threads : Lrpc_sim.Engine.thread list;
+      (** threads whose home is this domain (kernel-maintained) *)
+  mutable pages_allocated : int;
+  mutable page_limit : int;  (** address-space budget, in pages *)
+}
+
+val equal : t -> t -> bool
+
+val is_local : t -> t -> bool
+(** Same machine? Cross-machine pairs must go through the network path. *)
+
+val active : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/msgrpc/mpass.ml: Fun List Lrpc_idl Lrpc_kernel Lrpc_sim Option Printf Profile Queue

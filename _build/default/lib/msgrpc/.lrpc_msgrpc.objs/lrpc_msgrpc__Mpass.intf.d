@@ -1,0 +1,1 @@
+lib/msgrpc/mpass.mli: Lrpc_idl Lrpc_kernel Profile

@@ -1,0 +1,1 @@
+lib/msgrpc/profile.ml: Lrpc_sim

@@ -1,0 +1,1 @@
+lib/msgrpc/profile.mli: Lrpc_sim

@@ -1,0 +1,52 @@
+(** The conventional message-based RPC engine (paper §2.3).
+
+    This is the baseline LRPC is measured against: independent concrete
+    threads exchanging messages. A call marshals arguments into a
+    message buffer, moves the message per the profile's copy regime
+    (through the kernel, directly via a specially-mapped region, or not
+    at all for globally-shared buffers), enqueues it with flow control,
+    and rendezvouses with one of the server's receiver threads — by
+    handoff scheduling or the general ready queue — which dispatches,
+    unmarshals, runs the procedure, and retraces the path with the
+    reply.
+
+    All data movement is real ([Bytes.t] through {!Lrpc_kernel.Vm}), so
+    the same Table 3 copy audit used for LRPC applies, and the global
+    lock (when the profile has one, as SRC RPC does) is a real simulated
+    spinlock whose contention produces Figure 2's throughput ceiling. *)
+
+type impl = Lrpc_idl.Value.t list -> Lrpc_idl.Value.t list
+(** Server procedures for the baseline: values in, outputs out (outputs
+    are the [Out]/[In_out] parameters in declaration order, then the
+    result). Procedures that consume time capture the engine and delay
+    with [Category.Server_work]. *)
+
+type server
+type conn
+
+val create_server :
+  Lrpc_kernel.Kernel.t ->
+  Profile.t ->
+  domain:Lrpc_kernel.Pdomain.t ->
+  Lrpc_idl.Types.interface ->
+  impls:(string * impl) list ->
+  server
+(** Spawn the server's pool of receiver threads (the profile's
+    [receivers] count) and its message port. The engine's cost model
+    should be the profile's [hw]. *)
+
+val connect : server -> client:Lrpc_kernel.Pdomain.t -> conn
+(** Allocate this client's message buffers (per the copy regime) and
+    binding state. Bind-time: charges nothing. *)
+
+val call :
+  ?audit:Lrpc_kernel.Vm.audit ->
+  conn ->
+  proc:string ->
+  Lrpc_idl.Value.t list ->
+  Lrpc_idl.Value.t list
+(** One cross-domain RPC from the current simulated thread. *)
+
+val lock_contention : server -> int
+(** Contended acquisitions of the server's global lock so far (0 when
+    the profile has no global lock). *)

@@ -1,0 +1,208 @@
+module Time = Lrpc_sim.Time
+module Cost_model = Lrpc_sim.Cost_model
+
+type copy_regime = Traditional | Restricted | Shared
+
+type t = {
+  p_name : string;
+  hw : Cost_model.t;
+  stub_call_client : Time.t;
+  stub_call_server : Time.t;
+  stub_return_server : Time.t;
+  stub_return_client : Time.t;
+  buffer_mgmt : Time.t;
+  queueing : Time.t;
+  scheduling : Time.t;
+  dispatch : Time.t;
+  validation : Time.t;
+  runtime : Time.t;
+  runtime_locked : Time.t;
+  marshal_rate : Time.t * Time.t;
+  readback_rate : Time.t * Time.t;
+  kernel_copy_rate : Time.t * Time.t;
+  copies : copy_regime;
+  global_lock : bool;
+  handoff : bool;
+  receivers : int;
+  register_words : int;
+}
+
+let overhead p =
+  let ( + ) = Time.add in
+  p.stub_call_client + p.stub_call_server + p.stub_return_server
+  + p.stub_return_client
+  + Time.scale p.buffer_mgmt 2.0
+  + Time.scale p.queueing 2.0
+  + Time.scale p.scheduling 2.0
+  + p.dispatch
+  + Time.scale p.validation 2.0
+  + p.runtime
+
+(* SRC RPC stage split (sums to the 355 us overhead of Table 2's Taos
+   row): stubs 70, buffer management 2x27.5, queueing 2x22.5, handoff
+   scheduling 2x37.5, dispatch 55, no validation, runtime 55. The global
+   lock covers the call-side buffer/queue/schedule work, the entire
+   server-side leg and 20 us of runtime: ~250 us per call, which caps
+   Figure 2 at ~4000 calls/s. The argument rates are fitted to Table 4's
+   Taos deltas (DESIGN.md §4). *)
+let src_rpc =
+  {
+    p_name = "Taos (SRC RPC)";
+    hw = Cost_model.cvax_firefly;
+    stub_call_client = Time.us 25;
+    stub_call_server = Time.us 15;
+    stub_return_server = Time.us 10;
+    stub_return_client = Time.us 20;
+    buffer_mgmt = Time.us_f 27.5;
+    queueing = Time.us_f 22.5;
+    scheduling = Time.us_f 37.5;
+    dispatch = Time.us 55;
+    validation = Time.zero;
+    runtime = Time.us 55;
+    runtime_locked = Time.us 20;
+    marshal_rate = (Time.ns 1_880, Time.ns 178);
+    readback_rate = (Time.ns 3_760, Time.ns 466);
+    kernel_copy_rate = (Time.zero, Time.zero);
+    copies = Shared;
+    global_lock = true;
+    handoff = true;
+    receivers = 4;
+    register_words = 0;
+  }
+
+(* Mach's Null minimum in Table 2 is 90 us on the same C-VAX — its trap
+   and context-switch paths were measured leaner than Taos's. *)
+let cvax_mach =
+  {
+    Cost_model.cvax_firefly with
+    Cost_model.name = "C-VAX (Mach)";
+    trap = Time.us 12;
+    vm_reload = Time.us 10;
+  }
+
+let mach =
+  {
+    p_name = "Mach";
+    hw = cvax_mach;
+    stub_call_client = Time.us 40;
+    stub_call_server = Time.us 30;
+    stub_return_server = Time.us 25;
+    stub_return_client = Time.us 25;
+    buffer_mgmt = Time.us 70;
+    queueing = Time.us 40;
+    scheduling = Time.us 70;
+    dispatch = Time.us 60;
+    validation = Time.us 30;
+    runtime = Time.us 64;
+    runtime_locked = Time.zero;
+    marshal_rate = (Time.us 3, Time.ns 300);
+    readback_rate = (Time.us 3, Time.ns 300);
+    kernel_copy_rate = (Time.us 2, Time.ns 250);
+    copies = Traditional;
+    global_lock = false;
+    handoff = true;
+    receivers = 4;
+    register_words = 0;
+  }
+
+let v_system =
+  {
+    p_name = "V";
+    hw = Cost_model.m68020;
+    stub_call_client = Time.us 30;
+    stub_call_server = Time.us 20;
+    stub_return_server = Time.us 15;
+    stub_return_client = Time.us 15;
+    buffer_mgmt = Time.us 50;
+    queueing = Time.us 40;
+    scheduling = Time.us 80;
+    dispatch = Time.us 60;
+    validation = Time.us 20;
+    runtime = Time.us 40;
+    runtime_locked = Time.zero;
+    marshal_rate = (Time.us 3, Time.ns 350);
+    readback_rate = (Time.us 3, Time.ns 350);
+    kernel_copy_rate = (Time.us 2, Time.ns 300);
+    copies = Traditional;
+    global_lock = false;
+    handoff = false;
+    receivers = 4;
+    register_words = 0;
+  }
+
+let amoeba =
+  {
+    p_name = "Amoeba";
+    hw = Cost_model.m68020;
+    stub_call_client = Time.us 35;
+    stub_call_server = Time.us 25;
+    stub_return_server = Time.us 20;
+    stub_return_client = Time.us 20;
+    buffer_mgmt = Time.us 55;
+    queueing = Time.us 45;
+    scheduling = Time.us 80;
+    dispatch = Time.us 70;
+    validation = Time.us 25;
+    runtime = Time.us 50;
+    runtime_locked = Time.zero;
+    marshal_rate = (Time.us 3, Time.ns 350);
+    readback_rate = (Time.us 3, Time.ns 350);
+    kernel_copy_rate = (Time.us 2, Time.ns 300);
+    copies = Traditional;
+    global_lock = false;
+    handoff = false;
+    receivers = 4;
+    register_words = 0;
+  }
+
+let dash =
+  {
+    p_name = "DASH";
+    hw = Cost_model.m68020;
+    stub_call_client = Time.us 80;
+    stub_call_server = Time.us 60;
+    stub_return_server = Time.us 40;
+    stub_return_client = Time.us 40;
+    buffer_mgmt = Time.us 120;
+    queueing = Time.us 100;
+    scheduling = Time.us 160;
+    dispatch = Time.us 160;
+    validation = Time.us 60;
+    runtime = Time.us 160;
+    runtime_locked = Time.zero;
+    marshal_rate = (Time.us 4, Time.ns 400);
+    readback_rate = (Time.us 4, Time.ns 400);
+    kernel_copy_rate = (Time.us 2, Time.ns 300);
+    copies = Restricted;
+    global_lock = false;
+    handoff = false;
+    receivers = 4;
+    register_words = 0;
+  }
+
+let accent =
+  {
+    p_name = "Accent";
+    hw = Cost_model.perq_accent;
+    stub_call_client = Time.us 110;
+    stub_call_server = Time.us 80;
+    stub_return_server = Time.us 55;
+    stub_return_client = Time.us 55;
+    buffer_mgmt = Time.us 180;
+    queueing = Time.us 120;
+    scheduling = Time.us 230;
+    dispatch = Time.us 200;
+    validation = Time.us 70;
+    runtime = Time.us 156;
+    runtime_locked = Time.zero;
+    marshal_rate = (Time.us 8, Time.ns 900);
+    readback_rate = (Time.us 8, Time.ns 900);
+    kernel_copy_rate = (Time.us 5, Time.ns 800);
+    copies = Traditional;
+    global_lock = false;
+    handoff = false;
+    receivers = 4;
+    register_words = 0;
+  }
+
+let all_table2 = [ accent; src_rpc; mach; v_system; amoeba; dash ]

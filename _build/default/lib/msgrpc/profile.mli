@@ -1,0 +1,80 @@
+(** Per-system profiles for the conventional message-based RPC engine.
+
+    Table 2 compares six contemporaries; all of them implement a
+    cross-domain call in terms of the machinery a cross-machine one
+    needs — stubs, message buffers, access validation, queueing with
+    flow control, a scheduler rendezvous between the client's and a
+    server's concrete thread, and receive-side dispatch (paper §2.3).
+    The engine in {!Mpass} executes that structure literally; a profile
+    supplies the per-stage costs and the structural switches (copy
+    regime, global locking, handoff scheduling).
+
+    Stage constants are calibrated so the measured Null time lands on
+    each system's published figure (DESIGN.md §4); the structure — who
+    holds which lock for how long, how many times the bytes move — is
+    what produces Table 3, Table 4's Taos column and Figure 2's SRC
+    ceiling. *)
+
+type copy_regime =
+  | Traditional
+      (** messages are copied through the kernel: sender buffer to kernel
+          buffer to receiver buffer, each way (copies B and C) *)
+  | Restricted
+      (** DASH-style: buffers live in a region mapped into kernel and
+          user domains, so the kernel copies sender's buffer directly to
+          the receiver's (copy D) *)
+  | Shared
+      (** SRC RPC: message buffers globally shared across all domains;
+          no transfer copies at all — safety traded for performance *)
+
+type t = {
+  p_name : string;
+  hw : Lrpc_sim.Cost_model.t;
+  (* per-call fixed stage costs, microsecond-granularity Time.t *)
+  stub_call_client : Lrpc_sim.Time.t;
+  stub_call_server : Lrpc_sim.Time.t;  (** receive-side unmarshal fixed *)
+  stub_return_server : Lrpc_sim.Time.t;
+  stub_return_client : Lrpc_sim.Time.t;
+  buffer_mgmt : Lrpc_sim.Time.t;  (** per direction *)
+  queueing : Lrpc_sim.Time.t;  (** per direction *)
+  scheduling : Lrpc_sim.Time.t;  (** per direction *)
+  dispatch : Lrpc_sim.Time.t;  (** call direction only *)
+  validation : Lrpc_sim.Time.t;  (** per direction; SRC skips it *)
+  runtime : Lrpc_sim.Time.t;  (** once per call *)
+  runtime_locked : Lrpc_sim.Time.t;
+      (** portion of [runtime] spent under the global lock *)
+  (* data movement rates: (per_value, per_byte) *)
+  marshal_rate : Lrpc_sim.Time.t * Lrpc_sim.Time.t;  (** copies A and E *)
+  readback_rate : Lrpc_sim.Time.t * Lrpc_sim.Time.t;  (** copy F *)
+  kernel_copy_rate : Lrpc_sim.Time.t * Lrpc_sim.Time.t;  (** copies B/C/D *)
+  copies : copy_regime;
+  global_lock : bool;
+  handoff : bool;  (** handoff scheduling vs the general ready queue *)
+  receivers : int;  (** concrete server threads *)
+  register_words : int;
+      (** Karger-style register passing (paper §2.2): calls whose
+          arguments and results all fit in this many 4-byte registers
+          skip the message buffer and its copies entirely; one byte over
+          and the full path is taken — the footnote-2 performance
+          discontinuity. 0 disables (all six Table 2 profiles). *)
+}
+
+val overhead : t -> Lrpc_sim.Time.t
+(** Sum of the per-call stage constants — the system's Null overhead
+    above the hardware minimum (Table 2's third column, predicted). *)
+
+val src_rpc : t
+(** Taos / SRC RPC on the C-VAX Firefly: shared buffers, no validation,
+    handoff scheduling, one global lock held ~250 us per call. Null =
+    464 us; the argument-cost rates reproduce Table 4's Taos column. *)
+
+val mach : t
+val v_system : t
+val amoeba : t
+val dash : t
+(** DASH with its restricted message passing (one direct kernel copy). *)
+
+val accent : t
+
+val all_table2 : t list
+(** The six systems of Table 2, in the paper's row order. *)

@@ -1,0 +1,1 @@
+lib/net/netrpc.ml: List Lrpc_core Lrpc_idl Lrpc_kernel Lrpc_sim Printf

@@ -1,0 +1,1 @@
+lib/net/netrpc.mli: Lrpc_core Lrpc_idl Lrpc_kernel Lrpc_sim

@@ -1,0 +1,65 @@
+module Engine = Lrpc_sim.Engine
+module Time = Lrpc_sim.Time
+module Category = Lrpc_sim.Category
+module Pdomain = Lrpc_kernel.Pdomain
+module I = Lrpc_idl.Types
+module V = Lrpc_idl.Value
+
+let ethernet_mtu = 1_500
+
+let null_network_us = 2_660.0
+
+(* 10 Mbit/s = 0.8 us per byte on the wire; each additional packet beyond
+   the first costs another protocol exchange. *)
+let per_byte_ns = 800
+let per_extra_packet = Time.us 400
+
+let wire_time ~bytes =
+  let packets = max 1 ((bytes + ethernet_mtu - 1) / ethernet_mtu) in
+  Time.add
+    (Time.add (Time.us_f null_network_us) (Time.ns (bytes * per_byte_ns)))
+    (Time.scale per_extra_packet (float_of_int (packets - 1)))
+
+let counter = ref 0
+let remote_calls () = !counter
+let reset_remote_calls () = counter := 0
+
+let import_remote rt ~client ~server iface ~impls =
+  if Pdomain.is_local client server then
+    invalid_arg "Netrpc.import_remote: domains share a machine; bind locally";
+  (match I.validate iface with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Netrpc.import_remote: " ^ m));
+  let engine = Lrpc_core.Api.engine rt in
+  let transport ~proc args =
+    let p =
+      match I.find_proc iface proc with
+      | Some p -> p
+      | None -> raise (Lrpc_core.Rt.Bad_binding ("no such procedure: " ^ proc))
+    in
+    let impl =
+      match List.assoc_opt proc impls with
+      | Some impl -> impl
+      | None -> raise (Lrpc_core.Rt.Bad_binding ("no remote impl: " ^ proc))
+    in
+    (* Conformance-check the arguments like a real stub would. *)
+    let inputs =
+      List.filter
+        (fun (prm : I.param) -> prm.I.mode = I.In || prm.I.mode = I.In_out)
+        p.I.params
+    in
+    if List.length inputs <> List.length args then
+      raise
+        (Lrpc_idl.Layout.Arity_mismatch
+           (Printf.sprintf "%s: expected %d arguments" proc (List.length inputs)));
+    List.iter2 (fun (prm : I.param) v -> V.check_exn prm.I.ty v) inputs args;
+    let results = impl args in
+    let bytes =
+      List.fold_left (fun acc v -> acc + V.payload_bytes v) 0 args
+      + List.fold_left (fun acc v -> acc + V.payload_bytes v) 0 results
+    in
+    incr counter;
+    Engine.delay ~category:Category.Network engine (wire_time ~bytes);
+    results
+  in
+  Lrpc_core.Binding.make_remote_binding rt ~client ~server iface ~transport

@@ -1,0 +1,41 @@
+(** Cross-machine RPC over a simulated Ethernet (paper §5.1).
+
+    LRPC keeps network transparency by deciding local-vs-remote at the
+    earliest possible moment: the Binding Object carries a remote bit
+    tested by the first instruction of the stub, which branches to a
+    conventional network RPC path. This module is that path: an
+    era-appropriate 10 Mbit/s Ethernet model with the Firefly's measured
+    ~2.66 ms network Null time (Schroeder & Burrows 1989), packetized at
+    1500 bytes.
+
+    The extra level of indirection the branch costs is one conditional —
+    negligible against the millisecond-scale remote call, which the
+    transparency test asserts. *)
+
+val ethernet_mtu : int
+
+val null_network_us : float
+(** Round-trip Null RPC time between two Fireflies, microseconds. *)
+
+val wire_time : bytes:int -> Lrpc_sim.Time.t
+(** Protocol + wire time for a round trip moving [bytes] of argument and
+    result data: the Null constant plus serialization at 10 Mbit/s plus a
+    per-extra-packet charge (multi-packet calls have performance
+    problems, §5.2 — this is why). *)
+
+val import_remote :
+  Lrpc_core.Api.t ->
+  client:Lrpc_kernel.Pdomain.t ->
+  server:Lrpc_kernel.Pdomain.t ->
+  Lrpc_idl.Types.interface ->
+  impls:(string * (Lrpc_idl.Value.t list -> Lrpc_idl.Value.t list)) list ->
+  Lrpc_core.Rt.binding
+(** Bind to an interface served on another machine ([server] must live on
+    a different [machine] than [client]). Calls through the returned
+    Binding Object take the network path but look exactly like local
+    ones to the caller. *)
+
+val remote_calls : unit -> int
+(** Process-wide count of network RPCs performed (workload statistics). *)
+
+val reset_remote_calls : unit -> unit

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Category Cost_model Effect Fun Hashtbl Heap List Printexc Printf Queue Time Tlb Trace

@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Category Cost_model Time Tlb Trace

@@ -1,0 +1,1 @@
+lib/sim/spinlock.ml: Category Engine Fun Queue Time

@@ -1,0 +1,1 @@
+lib/sim/spinlock.mli: Category Engine Time

@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Array Buffer Format List Time

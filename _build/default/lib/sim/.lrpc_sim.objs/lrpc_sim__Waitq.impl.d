@@ -1,0 +1,1 @@
+lib/sim/waitq.ml: Engine Fun Queue

@@ -1,0 +1,37 @@
+(** Cost-attribution categories.
+
+    Every simulated delay is tagged with the architectural event it models;
+    the engine accumulates time per category, which is how Table 5's
+    breakdown of the Null LRPC is produced (and how we check that nothing
+    is double-charged). *)
+
+type t =
+  | Proc_call      (** local (Modula2+) procedure call / return linkage *)
+  | Trap           (** kernel trap entry or exit *)
+  | Context_switch (** virtual-memory register reload *)
+  | Tlb_miss       (** translation-buffer refill after an invalidation *)
+  | Stub_client    (** client call stub work, excluding argument copies *)
+  | Stub_server    (** server entry stub work *)
+  | Kernel_transfer(** binding validation, linkage, E-stack management *)
+  | Copy           (** argument/result byte copying *)
+  | Lock           (** lock acquire/release work (not waiting) *)
+  | Scheduling     (** baseline RPC thread rendezvous / handoff *)
+  | Buffer_mgmt    (** baseline RPC message buffer allocation *)
+  | Queueing       (** baseline RPC message enqueue/dequeue, flow control *)
+  | Dispatch       (** baseline RPC receive-side message dispatch *)
+  | Validation     (** baseline RPC access validation *)
+  | Marshal        (** baseline RPC stub marshaling beyond raw copies *)
+  | Runtime        (** baseline RPC run-time library bookkeeping *)
+  | Exchange       (** LRPC idle-processor exchange (MP optimization) *)
+  | Network        (** wire time and protocol work of cross-machine RPC *)
+  | Server_work    (** time spent inside the server procedure body *)
+  | Client_work    (** time spent in client application code *)
+  | Other
+
+val all : t list
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val compare : t -> t -> int

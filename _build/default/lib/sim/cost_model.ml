@@ -1,0 +1,145 @@
+type t = {
+  name : string;
+  proc_call : Time.t;
+  trap : Time.t;
+  vm_reload : Time.t;
+  tlb_miss : Time.t;
+  tlb_capacity : int;
+  tlb_tagged : bool;
+  page_size : int;
+  per_value : Time.t;
+  per_byte : Time.t;
+  client_stub_call : Time.t;
+  client_stub_return : Time.t;
+  server_stub_call : Time.t;
+  server_stub_return : Time.t;
+  kernel_call : Time.t;
+  kernel_return : Time.t;
+  processor_exchange : Time.t;
+  astack_lock : Time.t;
+  coherency_per_byte : Time.t;
+  bus_alpha : float;
+  spin_quantum : Time.t;
+}
+
+(* Miss-count derivation: the VAX page is 512 bytes and the C-VAX TLB is
+   flushed on every context switch. After the call-side switch the path
+   touches kernel code (8 pages) and data (4), the server stub (2) and
+   procedure (2), the E-stack (4), the A-stack (1), the PDL (1), the
+   linkage area (1) and binding table (2): 25 pages. After the return-side
+   switch it touches kernel code/data again (10), the client stub (2),
+   code (2) and stack (4): 18 pages. 43 total, matching the paper's
+   hand-calculated estimate. *)
+let call_side_tlb_misses = 25
+let return_side_tlb_misses = 18
+let null_tlb_misses = call_side_tlb_misses + return_side_tlb_misses
+
+let cvax_firefly =
+  {
+    name = "C-VAX Firefly";
+    proc_call = Time.us 7;
+    trap = Time.us 18;
+    vm_reload = Time.us_f 13.65;
+    tlb_miss = Time.us_f 0.9;
+    tlb_capacity = 64;
+    tlb_tagged = false;
+    page_size = 512;
+    per_value = Time.ns 1_667;
+    per_byte = Time.ns 167;
+    client_stub_call = Time.us 10;
+    client_stub_return = Time.us 5;
+    server_stub_call = Time.us 2;
+    server_stub_return = Time.us 1;
+    kernel_call = Time.us 20;
+    kernel_return = Time.us 7;
+    processor_exchange = Time.us 17;
+    astack_lock = Time.us_f 1.5;
+    coherency_per_byte = Time.ns 62;
+    bus_alpha = 0.027;
+    spin_quantum = Time.ns 500;
+  }
+
+let scaled t ~factor ~name =
+  let f x = Time.scale x factor in
+  {
+    t with
+    name;
+    proc_call = f t.proc_call;
+    trap = f t.trap;
+    vm_reload = f t.vm_reload;
+    tlb_miss = f t.tlb_miss;
+    per_value = f t.per_value;
+    per_byte = f t.per_byte;
+    client_stub_call = f t.client_stub_call;
+    client_stub_return = f t.client_stub_return;
+    server_stub_call = f t.server_stub_call;
+    server_stub_return = f t.server_stub_return;
+    kernel_call = f t.kernel_call;
+    kernel_return = f t.kernel_return;
+    processor_exchange = f t.processor_exchange;
+    astack_lock = f t.astack_lock;
+    coherency_per_byte = f t.coherency_per_byte;
+  }
+
+let microvax2_firefly =
+  let m = scaled cvax_firefly ~factor:2.2 ~name:"MicroVAX II Firefly" in
+  (* Slower processors put proportionally less pressure on the shared
+     memory bus per unit time, but the paper's 4.3x speedup at five
+     processors implies slightly higher per-processor interference than
+     the C-VAX's 3.7x at four; fitted accordingly. *)
+  { m with bus_alpha = 0.035 }
+
+let m68020 =
+  {
+    name = "68020";
+    proc_call = Time.us 10;
+    trap = Time.us_f 28.5;
+    vm_reload = Time.us 30;
+    tlb_miss = Time.us_f 1.0;
+    tlb_capacity = 64;
+    tlb_tagged = false;
+    page_size = 1024;
+    per_value = Time.ns 2_000;
+    per_byte = Time.ns 200;
+    client_stub_call = Time.us 13;
+    client_stub_return = Time.us 7;
+    server_stub_call = Time.us 3;
+    server_stub_return = Time.us 1;
+    kernel_call = Time.us 24;
+    kernel_return = Time.us 9;
+    processor_exchange = Time.us 20;
+    astack_lock = Time.us_f 1.8;
+    coherency_per_byte = Time.ns 80;
+    bus_alpha = 0.03;
+    spin_quantum = Time.ns 500;
+  }
+
+let perq_accent =
+  {
+    name = "PERQ";
+    proc_call = Time.us 25;
+    trap = Time.us 80;
+    vm_reload = Time.us 65;
+    tlb_miss = Time.us_f 3.0;
+    tlb_capacity = 32;
+    tlb_tagged = false;
+    page_size = 512;
+    per_value = Time.us 5;
+    per_byte = Time.ns 600;
+    client_stub_call = Time.us 30;
+    client_stub_return = Time.us 15;
+    server_stub_call = Time.us 5;
+    server_stub_return = Time.us 3;
+    kernel_call = Time.us 50;
+    kernel_return = Time.us 18;
+    processor_exchange = Time.us 40;
+    astack_lock = Time.us 4;
+    coherency_per_byte = Time.ns 150;
+    bus_alpha = 0.03;
+    spin_quantum = Time.ns 500;
+  }
+
+let null_minimum t =
+  let open Time in
+  t.proc_call + t.trap + t.trap + t.vm_reload + t.vm_reload
+  + scale t.tlb_miss (float_of_int null_tlb_misses)

@@ -1,0 +1,466 @@
+exception Thread_killed
+exception Not_in_thread
+
+type state = Embryo | Ready | Running | Blocked | Spinning | Done | Failed
+
+type thread = {
+  tid : int;
+  name : string;
+  mutable domain : int;
+  mutable state : state;
+  mutable cpu : int; (* index, -1 when not on a processor *)
+  mutable last_cpu : int;
+  home : int; (* preferred processor, -1 for any *)
+  mutable cont : cont option;
+  mutable body : (unit -> unit) option;
+  mutable pending_exn : exn option;
+  mutable spin_start : Time.t;
+  mutable ever_placed : bool;
+}
+
+and cont = K : (unit, unit) Effect.Deep.continuation -> cont
+
+type cpu = {
+  idx : int;
+  mutable running : thread option;
+  mutable context : int option;
+  tlb : Tlb.t;
+  mutable busy : Time.t;
+}
+
+type event = Run of thread
+
+type t = {
+  cm : Cost_model.t;
+  cpus_ : cpu array;
+  q : event Heap.t;
+  ready : thread Queue.t;
+  mutable now_ : Time.t;
+  mutable next_tid : int;
+  mutable current : thread option;
+  mutable failures_ : (thread * exn) list;
+  mutable threads : thread list;
+  breakdown_ : (Category.t, Time.t ref) Hashtbl.t;
+  mutable running_host : bool;
+  mutable tracer : Trace.t option;
+}
+
+type _ Effect.t +=
+  | Delay : Category.t * Time.t -> unit Effect.t
+  | Suspend : (thread -> unit) -> unit Effect.t
+
+let create ?(processors = 1) cm =
+  assert (processors > 0);
+  let cpus_ =
+    Array.init processors (fun idx ->
+        {
+          idx;
+          running = None;
+          context = None;
+          tlb = Tlb.create ~capacity:cm.Cost_model.tlb_capacity ~tagged:cm.Cost_model.tlb_tagged;
+          busy = Time.zero;
+        })
+  in
+  {
+    cm;
+    cpus_;
+    q = Heap.create ();
+    ready = Queue.create ();
+    now_ = Time.zero;
+    next_tid = 0;
+    current = None;
+    failures_ = [];
+    threads = [];
+    breakdown_ = Hashtbl.create 32;
+    running_host = false;
+    tracer = None;
+  }
+
+let set_tracer t tracer = t.tracer <- tracer
+
+let trace t ~tid ~cpu ~kind ~detail =
+  match t.tracer with
+  | Some tr -> Trace.emit tr ~at:t.now_ ~tid ~cpu ~kind ~detail
+  | None -> ()
+
+let cost_model t = t.cm
+let now t = t.now_
+let cpus t = t.cpus_
+
+let charge t cat d =
+  match Hashtbl.find_opt t.breakdown_ cat with
+  | Some r -> r := Time.add !r d
+  | None -> Hashtbl.replace t.breakdown_ cat (ref d)
+
+let breakdown t =
+  List.filter_map
+    (fun cat ->
+      match Hashtbl.find_opt t.breakdown_ cat with
+      | Some r when !r <> Time.zero -> Some (cat, !r)
+      | _ -> None)
+    Category.all
+
+let reset_breakdown t = Hashtbl.reset t.breakdown_
+
+let total_tlb_misses t =
+  Array.fold_left (fun acc c -> acc + Tlb.miss_count c.tlb) 0 t.cpus_
+
+let thread_id th = th.tid
+let thread_name th = th.name
+let thread_domain th = th.domain
+
+let thread_cpu t th = if th.cpu >= 0 then Some t.cpus_.(th.cpu) else None
+
+let alive th = match th.state with Done | Failed -> false | _ -> true
+
+let has_pending_interrupt th = th.pending_exn <> None
+
+let failures t = t.failures_
+
+let stuck_threads t =
+  List.filter
+    (fun th ->
+      match th.state with
+      | Blocked | Spinning | Ready | Embryo -> true
+      | Running | Done | Failed -> false)
+    t.threads
+
+(* --- dispatch machinery ------------------------------------------------ *)
+
+(* Assign [th] to the free processor [c], charging a context switch when
+   the loaded VM context differs from the thread's domain, and schedule
+   its resumption. *)
+let place t th c =
+  assert (c.running = None);
+  assert (th.cpu = -1);
+  c.running <- Some th;
+  th.cpu <- c.idx;
+  th.last_cpu <- c.idx;
+  th.state <- Running;
+  let cost =
+    if c.context <> Some th.domain then begin
+      Tlb.invalidate c.tlb;
+      c.context <- Some th.domain;
+      (* The very first placement models a process that already existed
+         when the measurement window opened (as in the paper's set-up);
+         it loads the context without charging anyone. *)
+      if th.ever_placed then begin
+        charge t Category.Context_switch t.cm.Cost_model.vm_reload;
+        c.busy <- Time.add c.busy t.cm.Cost_model.vm_reload;
+        t.cm.Cost_model.vm_reload
+      end
+      else Time.zero
+    end
+    else Time.zero
+  in
+  th.ever_placed <- true;
+  trace t ~tid:th.tid ~cpu:c.idx ~kind:"dispatch"
+    ~detail:
+      (Printf.sprintf "%s domain=%d%s" th.name th.domain
+         (if cost <> Time.zero then " +switch" else ""));
+  Heap.push t.q ~time:(Time.add t.now_ cost) (Run th)
+
+let free_cpu_of t th =
+  if th.cpu >= 0 then begin
+    let c = t.cpus_.(th.cpu) in
+    c.running <- None;
+    th.last_cpu <- th.cpu;
+    th.cpu <- -1
+  end
+
+let pick_cpu t th =
+  let free i = i >= 0 && i < Array.length t.cpus_ && t.cpus_.(i).running = None in
+  if free th.home then Some t.cpus_.(th.home)
+  else if free th.last_cpu then Some t.cpus_.(th.last_cpu)
+  else
+    let found = ref None in
+    Array.iter
+      (fun c -> if !found = None && c.running = None then found := Some c)
+      t.cpus_;
+    !found
+
+let rec try_dispatch t =
+  if not (Queue.is_empty t.ready) then begin
+    let th = Queue.peek t.ready in
+    match th.state with
+    | Embryo | Ready -> (
+        match pick_cpu t th with
+        | Some c ->
+            ignore (Queue.pop t.ready);
+            place t th c;
+            try_dispatch t
+        | None -> ())
+    | Running | Blocked | Spinning | Done | Failed ->
+        (* Stale queue entry (the thread was killed or woken elsewhere). *)
+        ignore (Queue.pop t.ready);
+        try_dispatch t
+  end
+
+let spawn ?(name = "thread") ?(home = -1) t ~domain body =
+  let th =
+    {
+      tid = t.next_tid;
+      name;
+      domain;
+      state = Embryo;
+      cpu = -1;
+      last_cpu = -1;
+      home;
+      cont = None;
+      body = Some body;
+      pending_exn = None;
+      spin_start = Time.zero;
+      ever_placed = false;
+    }
+  in
+  t.next_tid <- t.next_tid + 1;
+  t.threads <- th :: t.threads;
+  Queue.push th t.ready;
+  try_dispatch t;
+  th
+
+(* --- execution --------------------------------------------------------- *)
+
+let finish t th fail =
+  trace t ~tid:th.tid ~cpu:th.cpu ~kind:"finish"
+    ~detail:
+      (match fail with
+      | None -> th.name
+      | Some e -> th.name ^ ": " ^ Printexc.to_string e);
+  th.state <- (match fail with None -> Done | Some _ -> Failed);
+  (match fail with
+  | Some e -> t.failures_ <- (th, e) :: t.failures_
+  | None -> ());
+  th.cont <- None;
+  th.body <- None;
+  free_cpu_of t th;
+  try_dispatch t
+
+let take_cont th =
+  match th.cont with
+  | Some k ->
+      th.cont <- None;
+      k
+  | None -> assert false
+
+let executing_count t =
+  Array.fold_left
+    (fun acc c ->
+      match c.running with
+      | Some th when th.state = Running -> acc + 1
+      | _ -> acc)
+    0 t.cpus_
+
+let handle_delay t th cat d k =
+  assert (th.cpu >= 0);
+  let execn = executing_count t in
+  let factor =
+    1.0 +. (t.cm.Cost_model.bus_alpha *. float_of_int (max 0 (execn - 1)))
+  in
+  let d' = Time.scale d factor in
+  charge t cat d';
+  let c = t.cpus_.(th.cpu) in
+  c.busy <- Time.add c.busy d';
+  th.cont <- Some k;
+  Heap.push t.q ~time:(Time.add t.now_ d') (Run th)
+
+let start t th body =
+  Effect.Deep.match_with body ()
+    {
+      retc = (fun () -> finish t th None);
+      exnc =
+        (fun e ->
+          match e with
+          | Thread_killed -> finish t th None
+          | e -> finish t th (Some e));
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Delay (cat, d) ->
+              Some
+                (fun (k : (a, _) Effect.Deep.continuation) ->
+                  handle_delay t th cat d (K k))
+          | Suspend f ->
+              Some
+                (fun (k : (a, _) Effect.Deep.continuation) ->
+                  th.cont <- Some (K k);
+                  f th)
+          | _ -> None);
+    }
+
+let exec t th =
+  t.current <- Some th;
+  (match th.pending_exn with
+  | Some e when th.body <> None ->
+      (* Killed before first instruction. *)
+      th.pending_exn <- None;
+      th.body <- None;
+      finish t th (match e with Thread_killed -> None | e -> Some e)
+  | Some e ->
+      th.pending_exn <- None;
+      let (K k) = take_cont th in
+      Effect.Deep.discontinue k e
+  | None -> (
+      match th.body with
+      | Some body ->
+          th.body <- None;
+          start t th body
+      | None ->
+          let (K k) = take_cont th in
+          Effect.Deep.continue k ()));
+  t.current <- None
+
+let run ?until t =
+  if t.running_host then invalid_arg "Engine.run: re-entrant call";
+  t.running_host <- true;
+  Fun.protect
+    ~finally:(fun () -> t.running_host <- false)
+    (fun () ->
+      let continue_ = ref true in
+      while !continue_ do
+        match Heap.peek_time t.q with
+        | None -> continue_ := false
+        | Some tm
+          when match until with Some u -> Time.compare tm u > 0 | None -> false
+          ->
+            continue_ := false
+        | Some _ -> (
+            match Heap.pop t.q with
+            | None -> continue_ := false
+            | Some (tm, Run th) ->
+                t.now_ <- tm;
+                (match th.state with
+                | Running -> exec t th
+                | Embryo | Ready | Blocked | Spinning | Done | Failed ->
+                    (* Stale event: the thread moved on (e.g. it was
+                       killed while waiting and already discontinued). *)
+                    ()))
+      done)
+
+(* --- in-thread operations ---------------------------------------------- *)
+
+let self t = match t.current with Some th -> th | None -> raise Not_in_thread
+
+let current_cpu t =
+  let th = self t in
+  if th.cpu < 0 then raise Not_in_thread else t.cpus_.(th.cpu)
+
+let delay ?(category = Category.Other) _t d =
+  Effect.perform (Delay (category, d))
+
+let suspend _t f = Effect.perform (Suspend f)
+
+let block t =
+  suspend t (fun th ->
+      trace t ~tid:th.tid ~cpu:th.last_cpu ~kind:"block" ~detail:th.name;
+      th.state <- Blocked;
+      free_cpu_of t th;
+      try_dispatch t)
+
+let yield t =
+  suspend t (fun th ->
+      th.state <- Ready;
+      free_cpu_of t th;
+      Queue.push th t.ready;
+      try_dispatch t)
+
+let spin_suspend t =
+  suspend t (fun th ->
+      th.state <- Spinning;
+      th.spin_start <- t.now_)
+
+let handoff t ~to_ =
+  suspend t (fun me ->
+      assert (to_.state = Blocked);
+      me.state <- Blocked;
+      let c = t.cpus_.(me.cpu) in
+      free_cpu_of t me;
+      place t to_ c)
+
+let yield_to t ~to_ =
+  suspend t (fun me ->
+      assert (to_.state = Blocked);
+      me.state <- Ready;
+      let c = t.cpus_.(me.cpu) in
+      free_cpu_of t me;
+      Queue.push me t.ready;
+      place t to_ c)
+
+let touch_pages t ~pages =
+  let th = self t in
+  let c = current_cpu t in
+  let misses = Tlb.access c.tlb ~domain:th.domain ~pages in
+  if misses > 0 then
+    delay ~category:Category.Tlb_miss t
+      (Time.scale t.cm.Cost_model.tlb_miss (float_of_int misses))
+
+let switch_self_context t ~domain =
+  let th = self t in
+  let c = current_cpu t in
+  if c.context <> Some domain then begin
+    trace t ~tid:th.tid ~cpu:c.idx ~kind:"switch"
+      ~detail:(Printf.sprintf "domain %d -> %d" th.domain domain);
+    Tlb.invalidate c.tlb;
+    c.context <- Some domain;
+    th.domain <- domain;
+    delay ~category:Category.Context_switch t t.cm.Cost_model.vm_reload
+  end
+  else th.domain <- domain
+
+let exchange_processors t ~target =
+  let th = self t in
+  assert (target.running = None);
+  trace t ~tid:th.tid ~cpu:th.cpu ~kind:"exchange"
+    ~detail:(Printf.sprintf "cpu %d -> %d" th.cpu target.idx);
+  let old = t.cpus_.(th.cpu) in
+  old.running <- None;
+  th.cpu <- target.idx;
+  th.last_cpu <- target.idx;
+  target.running <- Some th;
+  delay ~category:Category.Exchange t t.cm.Cost_model.processor_exchange;
+  try_dispatch t
+
+(* --- cross-thread operations ------------------------------------------- *)
+
+let wake t th =
+  (match th.state with
+  | Blocked | Spinning ->
+      trace t ~tid:th.tid ~cpu:th.cpu ~kind:"wake" ~detail:th.name
+  | _ -> ());
+  match th.state with
+  | Blocked -> (
+      match pick_cpu t th with
+      | Some c -> place t th c
+      | None ->
+          th.state <- Ready;
+          Queue.push th t.ready)
+  | Spinning ->
+      th.state <- Running;
+      let c = t.cpus_.(th.cpu) in
+      c.busy <- Time.add c.busy (Time.sub t.now_ th.spin_start);
+      charge t Category.Lock (Time.sub t.now_ th.spin_start);
+      Heap.push t.q ~time:t.now_ (Run th)
+  | Embryo | Ready | Running | Done | Failed -> ()
+
+let place_on t th c =
+  assert (th.state = Blocked);
+  place t th c
+
+let ready_enqueue t th =
+  match th.state with
+  | Blocked ->
+      th.state <- Ready;
+      Queue.push th t.ready;
+      try_dispatch t
+  | Embryo | Ready | Running | Spinning | Done | Failed -> ()
+
+let interrupt t th e =
+  match th.state with
+  | Done | Failed -> ()
+  | _ -> (
+      th.pending_exn <- Some e;
+      match th.state with
+      | Blocked | Spinning -> wake t th
+      | Embryo | Ready | Running | Done | Failed -> ())
+
+let kill t th = interrupt t th Thread_killed

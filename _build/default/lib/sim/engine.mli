@@ -1,0 +1,181 @@
+(** Discrete-event simulated shared-memory multiprocessor.
+
+    The engine runs simulated kernel threads as OCaml effect-handled
+    coroutines over an array of simulated processors. Simulated time only
+    advances through {!delay}; everything between delays is instantaneous
+    in simulated time, so a run is a deterministic interleaving fixed by
+    the event queue's (time, sequence) order.
+
+    A processor remembers which protection domain's virtual-memory context
+    it has loaded and owns a {!Tlb.t}; context switches are charged by the
+    engine when it places a thread on a processor whose context differs
+    (or explicitly by the kernel via {!switch_self_context} when a thread
+    migrates between domains mid-call, which is the essence of LRPC).
+
+    Concurrency-related waiting comes in two flavours mirroring real
+    kernels: {!block} releases the processor (the thread is re-dispatched
+    later), while spin-waiting (see {!Spinlock}) keeps the processor busy.
+
+    A crude shared-memory-bus model dilates every delay by
+    [1 + bus_alpha * (executing_processors - 1)]; with the fitted alpha
+    this reproduces Figure 2's sub-linear 3.7x speedup at four C-VAX
+    processors. *)
+
+type t
+
+type thread
+
+type cpu = {
+  idx : int;
+  mutable running : thread option;
+  mutable context : int option;  (** domain whose VM context is loaded *)
+  tlb : Tlb.t;
+  mutable busy : Time.t;  (** cumulative busy time, for utilization *)
+}
+
+exception Thread_killed
+(** Raised inside a thread destroyed with {!kill}. *)
+
+exception Not_in_thread
+(** Raised by in-thread operations invoked outside any simulated thread. *)
+
+(** {1 Construction and execution} *)
+
+val create : ?processors:int -> Cost_model.t -> t
+(** [create cm] builds a machine with [processors] (default 1) CPUs, each
+    with a cold TLB per [cm]. *)
+
+val cost_model : t -> Cost_model.t
+val now : t -> Time.t
+val cpus : t -> cpu array
+
+val spawn : ?name:string -> ?home:int -> t -> domain:int -> (unit -> unit) -> thread
+(** Create a thread in [domain]. It becomes runnable immediately and is
+    dispatched to a free processor ([home] is preferred when free) or
+    queued. The body runs as a coroutine; any exception it does not catch
+    marks the thread failed (see {!failures}) without aborting the
+    simulation. *)
+
+val run : ?until:Time.t -> t -> unit
+(** Process events until the queue empties or the next event would be
+    after [until]. Re-entrant calls are forbidden. *)
+
+(** {1 Thread inspection (engine level)} *)
+
+val thread_id : thread -> int
+val thread_name : thread -> string
+val thread_domain : thread -> int
+val thread_cpu : t -> thread -> cpu option
+val alive : thread -> bool
+
+val has_pending_interrupt : thread -> bool
+(** True between {!interrupt}/{!kill} and the actual in-thread delivery of
+    the exception; such a thread is as good as gone for synchronization
+    purposes (wait queues skip it). *)
+
+val failures : t -> (thread * exn) list
+(** Threads that died with an uncaught exception other than
+    [Thread_killed], most recent first. *)
+
+val stuck_threads : t -> thread list
+(** Threads still waiting (blocked, spinning or queued) — useful to assert
+    quiescence in tests. *)
+
+(** {1 In-thread operations}
+
+    These must be called from inside a simulated thread. *)
+
+val self : t -> thread
+val current_cpu : t -> cpu
+
+val delay : ?category:Category.t -> t -> Time.t -> unit
+(** Consume simulated CPU time on the current processor, dilated by the
+    bus-contention factor and charged to [category] (default [Other]). *)
+
+val block : t -> unit
+(** Release the processor and sleep until {!wake}. *)
+
+val suspend : t -> (thread -> unit) -> unit
+(** Low-level: capture the continuation, then run the callback (at engine
+    level — it must not perform effects) to decide what to do with the
+    thread and its processor. Building block for wait queues and locks. *)
+
+val yield : t -> unit
+(** Go to the back of the ready queue. *)
+
+val spin_suspend : t -> unit
+(** Wait while {e keeping} the processor (busy-waiting); resumed by
+    {!wake}, at which point the spin time has been charged to the [Lock]
+    category and to the processor's busy time. Used by {!Spinlock}. *)
+
+val handoff : t -> to_:thread -> unit
+(** Handoff scheduling: block the calling thread and give its processor
+    directly to [to_] (which must be blocked), bypassing the ready queue.
+    A context switch is charged if the processor must change VM context. *)
+
+val yield_to : t -> to_:thread -> unit
+(** Like {!handoff}, but the caller stays runnable (back of the ready
+    queue) instead of blocking — a server donating its processor to a
+    replied-to client while it still has queued work. *)
+
+val touch_pages : t -> pages:int list -> unit
+(** Access the given pages through the current processor's TLB in the
+    current thread's domain, charging [Tlb_miss] per miss. *)
+
+val switch_self_context : t -> domain:int -> unit
+(** The running thread crosses into [domain] on its current processor:
+    if the loaded context differs, charge one VM reload, invalidate the
+    TLB (untagged case) and update the processor; always retag the
+    thread. This is LRPC's direct context switch. *)
+
+val exchange_processors : t -> target:cpu -> unit
+(** The LRPC/MP idle-processor optimization: move the running thread onto
+    [target] (which must be idle), leaving its old processor idle with its
+    context intact, and charge one [Exchange]. The thread is retagged to
+    the target's loaded context's domain by the caller via
+    {!switch_self_context} (free when contexts already match). *)
+
+(** {1 Cross-thread operations (engine level)} *)
+
+val wake : t -> thread -> unit
+(** Make a blocked thread runnable (dispatching it to a free processor if
+    any, preferring the one it last ran on), or resume a spinning thread
+    on the processor it is holding. No-op on running/ready/dead threads. *)
+
+val place_on : t -> thread -> cpu -> unit
+(** Hand a blocked thread the given free processor directly, bypassing the
+    ready queue (handoff scheduling). Charges a context switch if the
+    processor's loaded context differs from the thread's domain. *)
+
+val ready_enqueue : t -> thread -> unit
+(** Make a blocked thread runnable via the general ready queue only,
+    without immediate dispatch (models the slow scheduling path). *)
+
+val interrupt : t -> thread -> exn -> unit
+(** Arrange for [exn] to be raised inside the thread at its next
+    scheduling point (immediately if it is waiting). *)
+
+val kill : t -> thread -> unit
+(** [interrupt] with {!Thread_killed}; the engine treats the resulting
+    death as normal termination. *)
+
+(** {1 Accounting} *)
+
+val charge : t -> Category.t -> Time.t -> unit
+(** Attribute time to a category without consuming simulated time (used
+    for costs folded into another thread's wait). Rare; prefer {!delay}. *)
+
+val breakdown : t -> (Category.t * Time.t) list
+(** Accumulated charged time per category, in {!Category.all} order,
+    omitting empty categories. *)
+
+val reset_breakdown : t -> unit
+
+val total_tlb_misses : t -> int
+(** Sum of TLB misses across processors since creation. *)
+
+val set_tracer : t -> Trace.t option -> unit
+(** Attach (or detach) an execution tracer; scheduling events —
+    dispatches, blocks, wakes, context switches, processor exchanges,
+    thread deaths — are emitted to it. Off by default; zero cost when
+    detached. *)

@@ -1,0 +1,22 @@
+(** Binary min-heap keyed by [(time, sequence)].
+
+    The event queue of the discrete-event engine. Ties on time are broken
+    by insertion sequence so that simulation runs are deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+val push : 'a t -> time:Time.t -> 'a -> unit
+(** Insertion order among equal times is preserved on [pop]. *)
+
+val pop : 'a t -> (Time.t * 'a) option
+(** Remove and return the earliest event. *)
+
+val peek_time : 'a t -> Time.t option
+
+val clear : 'a t -> unit

@@ -1,0 +1,59 @@
+type t = {
+  name : string;
+  engine : Engine.t;
+  overhead : Time.t;
+  category : Category.t;
+  mutable holder : Engine.thread option;
+  waiters : Engine.thread Queue.t;
+  mutable contended : int;
+  mutable acquires : int;
+}
+
+let create ?(name = "lock") ?(overhead = Time.zero) ?(category = Category.Lock)
+    engine =
+  {
+    name;
+    engine;
+    overhead;
+    category;
+    holder = None;
+    waiters = Queue.create ();
+    contended = 0;
+    acquires = 0;
+  }
+
+let acquire t =
+  let me = Engine.self t.engine in
+  t.acquires <- t.acquires + 1;
+  (match t.holder with
+  | None -> t.holder <- Some me
+  | Some _ ->
+      t.contended <- t.contended + 1;
+      Queue.push me t.waiters;
+      (* Spin until a releaser hands us the lock: when [spin_suspend]
+         returns, [release] has already made us the holder. *)
+      Engine.spin_suspend t.engine;
+      assert (match t.holder with Some th -> th == me | None -> false));
+  if t.overhead <> Time.zero then
+    Engine.delay ~category:t.category t.engine t.overhead
+
+let release t =
+  (match t.holder with
+  | Some th when th == Engine.self t.engine -> ()
+  | _ -> invalid_arg (t.name ^ ": release by non-holder"));
+  if t.overhead <> Time.zero then
+    Engine.delay ~category:t.category t.engine t.overhead;
+  match Queue.take_opt t.waiters with
+  | Some next ->
+      t.holder <- Some next;
+      Engine.wake t.engine next
+  | None -> t.holder <- None
+
+let with_lock t ~hold f =
+  acquire t;
+  if hold <> Time.zero then Engine.delay ~category:t.category t.engine hold;
+  Fun.protect ~finally:(fun () -> release t) f
+
+let holder t = t.holder
+let contended_acquires t = t.contended
+let total_acquires t = t.acquires

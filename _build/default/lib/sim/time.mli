@@ -1,0 +1,35 @@
+(** Simulated time.
+
+    All simulated durations and instants are integer nanoseconds, which
+    keeps arithmetic exact: the C-VAX cost constants from the paper (e.g.
+    a 0.9 microsecond TLB miss) are representable without floating-point
+    drift over hundred-thousand-call runs. *)
+
+type t = int
+(** Nanoseconds. Instants are nanoseconds since simulation boot. *)
+
+val zero : t
+
+val ns : int -> t
+val us : int -> t
+val ms : int -> t
+val s : int -> t
+
+val us_f : float -> t
+(** Fractional microseconds, rounded to the nearest nanosecond. *)
+
+val to_us : t -> float
+val to_s : t -> float
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : t -> float -> t
+(** [scale t f] multiplies a duration by a dilation factor, rounding to the
+    nearest nanosecond. *)
+
+val compare : t -> t -> int
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Prints in microseconds with three decimals, e.g. ["157.000us"]. *)

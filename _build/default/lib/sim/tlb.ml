@@ -1,0 +1,63 @@
+(* LRU as a doubly-linked order encoded in a (key -> stamp) table plus a
+   monotonically increasing clock; eviction scans for the minimum stamp.
+   Capacities are tens of entries, so the linear eviction scan is cheap
+   and keeps the structure simple. *)
+
+type key = int * int (* domain, page; domain is 0 when untagged *)
+
+type t = {
+  capacity : int;
+  tagged : bool;
+  entries : (key, int) Hashtbl.t; (* key -> last-use stamp *)
+  mutable clock : int;
+  mutable misses : int;
+  mutable flushes : int;
+}
+
+let create ~capacity ~tagged =
+  assert (capacity > 0);
+  { capacity; tagged; entries = Hashtbl.create 64; clock = 0; misses = 0; flushes = 0 }
+
+let invalidate t =
+  if (not t.tagged) && Hashtbl.length t.entries > 0 then begin
+    Hashtbl.reset t.entries;
+    t.flushes <- t.flushes + 1
+  end
+
+let key t ~domain ~page = if t.tagged then (domain, page) else (0, page)
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k stamp ->
+      match !victim with
+      | Some (_, s) when s <= stamp -> ()
+      | _ -> victim := Some (k, stamp))
+    t.entries;
+  match !victim with
+  | Some (k, _) -> Hashtbl.remove t.entries k
+  | None -> ()
+
+let touch t k =
+  t.clock <- t.clock + 1;
+  match Hashtbl.find_opt t.entries k with
+  | Some _ ->
+      Hashtbl.replace t.entries k t.clock;
+      false
+  | None ->
+      if Hashtbl.length t.entries >= t.capacity then evict_lru t;
+      Hashtbl.replace t.entries k t.clock;
+      true
+
+let access t ~domain ~pages =
+  let misses = ref 0 in
+  List.iter
+    (fun page -> if touch t (key t ~domain ~page) then incr misses)
+    pages;
+  t.misses <- t.misses + !misses;
+  !misses
+
+let resident t ~domain ~page = Hashtbl.mem t.entries (key t ~domain ~page)
+
+let miss_count t = t.misses
+let flush_count t = t.flushes

@@ -1,0 +1,29 @@
+(** Translation lookaside buffer model.
+
+    One per simulated processor. Pages are abstract integer identifiers
+    handed out by the kernel's virtual-memory layer. The TLB is a bounded
+    LRU set: [access] reports how many of the touched pages missed (the
+    caller charges [misses * cost_model.tlb_miss]). An untagged TLB is
+    flushed wholesale by [invalidate] on every context switch — the effect
+    responsible for ~25% of the Null LRPC's latency (paper §4) — whereas a
+    process-tagged TLB (ablation A1) keys entries by (domain, page) and
+    survives switches. *)
+
+type t
+
+val create : capacity:int -> tagged:bool -> t
+
+val invalidate : t -> unit
+(** Flush. A no-op on a tagged TLB (invalidation is what tagging avoids). *)
+
+val access : t -> domain:int -> pages:int list -> int
+(** Touch the given pages in the context of [domain]; returns the number of
+    misses and inserts the pages (evicting LRU entries if full). *)
+
+val resident : t -> domain:int -> page:int -> bool
+
+val miss_count : t -> int
+(** Cumulative misses since creation. *)
+
+val flush_count : t -> int
+(** Cumulative invalidations that actually flushed entries. *)

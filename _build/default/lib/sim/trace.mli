@@ -1,0 +1,38 @@
+(** Execution tracing for the simulator.
+
+    A bounded ring of timestamped scheduling events (dispatches, blocks,
+    wakes, context switches, processor exchanges, thread deaths), off by
+    default and attached to an engine with {!Engine.set_tracer}. Useful
+    for debugging deadlocks in simulated protocols and for tests that
+    assert on the *sequence* of scheduling decisions rather than on
+    time. *)
+
+type event = {
+  at : Time.t;
+  tid : int;  (** thread id, -1 for engine-level events *)
+  cpu : int;  (** processor index, -1 when off-processor *)
+  kind : string;  (** "dispatch", "block", "wake", "switch", ... *)
+  detail : string;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Keep at most [capacity] (default 4096) most-recent events. *)
+
+val emit : t -> at:Time.t -> tid:int -> cpu:int -> kind:string -> detail:string -> unit
+
+val events : t -> event list
+(** Oldest first. *)
+
+val count : t -> int
+(** Total events emitted, including those that fell off the ring. *)
+
+val find : t -> kind:string -> event list
+
+val clear : t -> unit
+
+val pp_event : Format.formatter -> event -> unit
+
+val dump : t -> string
+(** One line per retained event. *)

@@ -1,0 +1,1 @@
+lib/util/chart.ml: Array Buffer Float Format List String

@@ -1,0 +1,1 @@
+lib/util/table.ml: Buffer Format List Printf String

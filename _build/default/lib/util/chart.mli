@@ -1,0 +1,15 @@
+(** ASCII line charts for figure reproduction (paper Figure 2).
+
+    A chart holds one or more named series of (x, y) points and renders
+    them on a shared character grid with axes and a legend. *)
+
+type t
+
+val create : ?height:int -> ?width:int -> x_label:string -> y_label:string -> unit -> t
+
+val add_series : t -> name:string -> (float * float) list -> unit
+(** Series are drawn with distinct marker characters in insertion order. *)
+
+val render : t -> Format.formatter -> unit
+
+val to_string : t -> string

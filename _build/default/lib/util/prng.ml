@@ -1,0 +1,85 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = seed }
+
+(* SplitMix64 output function: advance by the golden gamma, then mix. *)
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = create ~seed:(next_int64 t)
+
+let copy t = { state = t.state }
+
+let int t bound =
+  assert (bound > 0);
+  let mask = Int64.shift_right_logical (next_int64 t) 1 in
+  Int64.to_int (Int64.rem mask (Int64.of_int bound))
+
+let float t bound =
+  assert (bound > 0.);
+  (* 53 high bits give a uniform double in [0,1). *)
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits /. 9007199254740992. *. bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let bernoulli t ~p = float t 1.0 < p
+
+let exponential t ~mean =
+  let u = 1.0 -. float t 1.0 in
+  -.mean *. log u
+
+let geometric t ~p =
+  assert (p > 0. && p <= 1.);
+  if p >= 1. then 0
+  else
+    let u = 1.0 -. float t 1.0 in
+    int_of_float (Float.floor (log u /. log (1. -. p)))
+
+let zipf_table ~n ~s =
+  assert (n > 0);
+  let acc = Array.make n 0.0 in
+  let total = ref 0.0 in
+  for k = 1 to n do
+    total := !total +. (1.0 /. Float.pow (float_of_int k) s);
+    acc.(k - 1) <- !total
+  done;
+  let z = !total in
+  Array.map (fun x -> x /. z) acc
+
+let zipf_from_table t table =
+  let u = float t 1.0 in
+  (* Binary search for the first index with cumulative weight > u. *)
+  let lo = ref 0 and hi = ref (Array.length table - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if table.(mid) > u then hi := mid else lo := mid + 1
+  done;
+  !lo + 1
+
+let zipf t ~n ~s = zipf_from_table t (zipf_table ~n ~s)
+
+let choose t ~weights =
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 weights in
+  assert (total > 0.);
+  let u = float t total in
+  let rec pick acc = function
+    | [] -> invalid_arg "Prng.choose: empty weights"
+    | [ (_, x) ] -> x
+    | (w, x) :: rest -> if acc +. w > u then x else pick (acc +. w) rest
+  in
+  pick 0.0 weights
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,1 @@
+lib/workload/driver.mli: Lrpc_core Lrpc_idl Lrpc_kernel Lrpc_msgrpc Lrpc_sim

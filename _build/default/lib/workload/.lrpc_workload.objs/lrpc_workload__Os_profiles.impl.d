@@ -1,0 +1,1 @@
+lib/workload/os_profiles.ml: List Lrpc_util

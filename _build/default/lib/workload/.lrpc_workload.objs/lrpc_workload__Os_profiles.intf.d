@@ -1,0 +1,1 @@
+lib/workload/os_profiles.mli: Lrpc_util

@@ -1,0 +1,1 @@
+lib/workload/session.ml: Bytes List Lrpc_core Lrpc_idl Lrpc_kernel Lrpc_net Lrpc_sim Lrpc_util Option Os_profiles Printexc Printf String

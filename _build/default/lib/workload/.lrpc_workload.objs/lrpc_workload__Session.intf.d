@@ -1,0 +1,1 @@
+lib/workload/session.mli: Lrpc_sim Os_profiles

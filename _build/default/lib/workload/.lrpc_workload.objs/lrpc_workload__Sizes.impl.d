@@ -1,0 +1,1 @@
+lib/workload/sizes.ml: Array List Lrpc_util Printf

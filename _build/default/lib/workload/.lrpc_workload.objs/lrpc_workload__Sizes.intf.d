@@ -1,0 +1,1 @@
+lib/workload/sizes.mli: Lrpc_util

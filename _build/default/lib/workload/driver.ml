@@ -1,0 +1,198 @@
+module Engine = Lrpc_sim.Engine
+module Time = Lrpc_sim.Time
+module Cost_model = Lrpc_sim.Cost_model
+module Kernel = Lrpc_kernel.Kernel
+module I = Lrpc_idl.Types
+module V = Lrpc_idl.Value
+module Api = Lrpc_core.Api
+module Server_ctx = Lrpc_core.Server_ctx
+module Mpass = Lrpc_msgrpc.Mpass
+module Profile = Lrpc_msgrpc.Profile
+
+type test = { test_name : string; proc : string; args : V.t list }
+
+let four_tests () =
+  [
+    { test_name = "Null"; proc = "null"; args = [] };
+    { test_name = "Add"; proc = "add"; args = [ V.int 1; V.int 2 ] };
+    { test_name = "BigIn"; proc = "big_in"; args = [ V.bytes (Bytes.make 200 'a') ] };
+    {
+      test_name = "BigInOut";
+      proc = "big_in_out";
+      args = [ V.bytes (Bytes.make 200 'a') ];
+    };
+  ]
+
+let bench_interface =
+  I.interface "Bench"
+    [
+      I.proc "null" [];
+      I.proc ~result:I.Int32 "add" [ I.param "a" I.Int32; I.param "b" I.Int32 ];
+      I.proc "big_in" [ I.param "buf" (I.Fixed_bytes 200) ];
+      I.proc "big_in_out" [ I.param ~mode:I.In_out "buf" (I.Fixed_bytes 200) ];
+    ]
+
+let bench_impls =
+  [
+    ("null", fun _ctx -> []);
+    ( "add",
+      fun ctx ->
+        match Server_ctx.args ctx with
+        | [ V.Int a; V.Int b ] -> [ V.int (a + b) ]
+        | _ -> invalid_arg "add" );
+    ("big_in", fun _ctx -> []);
+    ( "big_in_out",
+      fun ctx ->
+        match Server_ctx.arg ctx 0 with
+        | V.Bytes b -> [ V.bytes b ]
+        | _ -> invalid_arg "big_in_out" );
+  ]
+
+let mpass_bench_impls =
+  [
+    ("null", fun _ -> []);
+    ( "add",
+      fun args ->
+        match args with
+        | [ V.Int a; V.Int b ] -> [ V.int (a + b) ]
+        | _ -> invalid_arg "add" );
+    ("big_in", fun _ -> []);
+    ( "big_in_out",
+      fun args ->
+        match args with [ V.Bytes b ] -> [ V.bytes b ] | _ -> invalid_arg "big_in_out" );
+  ]
+
+type lrpc_world = {
+  lw_engine : Engine.t;
+  lw_kernel : Kernel.t;
+  lw_rt : Api.t;
+  lw_server : Lrpc_kernel.Pdomain.t;
+  lw_client : Lrpc_kernel.Pdomain.t;
+}
+
+let make_lrpc ?(cost_model = Cost_model.cvax_firefly) ?(processors = 1) ?config
+    ?(defensive = false) ?(domain_caching = false) () =
+  let lw_engine = Engine.create ~processors cost_model in
+  let lw_kernel = Kernel.boot lw_engine in
+  Kernel.set_domain_caching lw_kernel domain_caching;
+  let lw_rt = Api.init ?config lw_kernel in
+  let lw_server = Kernel.create_domain lw_kernel ~name:"bench-server" in
+  let lw_client = Kernel.create_domain lw_kernel ~name:"bench-client" in
+  ignore
+    (Api.export lw_rt ~domain:lw_server ~defensive_copies:defensive
+       bench_interface ~impls:bench_impls);
+  { lw_engine; lw_kernel; lw_rt; lw_server; lw_client }
+
+let run_all engine =
+  Engine.run engine;
+  match Engine.failures engine with
+  | [] -> ()
+  | (th, exn) :: _ ->
+      failwith
+        (Printf.sprintf "simulated thread %s died: %s" (Engine.thread_name th)
+           (Printexc.to_string exn))
+
+let lrpc_latency ?(warmup = 5) ?(calls = 200) w ~proc ~args =
+  let out = ref 0.0 in
+  ignore
+    (Kernel.spawn w.lw_kernel w.lw_client ~name:"latency-driver" (fun () ->
+         let b = Api.import w.lw_rt ~domain:w.lw_client ~interface:"Bench" in
+         for _ = 1 to warmup do
+           ignore (Api.call w.lw_rt b ~proc args)
+         done;
+         let t0 = Engine.now w.lw_engine in
+         for _ = 1 to calls do
+           ignore (Api.call w.lw_rt b ~proc args)
+         done;
+         out :=
+           Time.to_us (Time.sub (Engine.now w.lw_engine) t0)
+           /. float_of_int calls));
+  run_all w.lw_engine;
+  !out
+
+let lrpc_throughput ?(cost_model = Cost_model.cvax_firefly)
+    ?(domain_caching = false) ~processors ~clients ~horizon () =
+  let engine = Engine.create ~processors cost_model in
+  let kernel = Kernel.boot engine in
+  Kernel.set_domain_caching kernel domain_caching;
+  let rt = Api.init kernel in
+  let server = Kernel.create_domain kernel ~name:"server" in
+  ignore (Api.export rt ~domain:server bench_interface ~impls:bench_impls);
+  let count = ref 0 in
+  for i = 0 to clients - 1 do
+    let client =
+      Kernel.create_domain kernel ~name:(Printf.sprintf "client%d" i)
+    in
+    ignore
+      (Kernel.spawn kernel client ~home:(i mod processors)
+         ~name:(Printf.sprintf "caller%d" i) (fun () ->
+           let b = Api.import rt ~domain:client ~interface:"Bench" in
+           while true do
+             ignore (Api.call rt b ~proc:"null" []);
+             incr count
+           done))
+  done;
+  Engine.run ~until:horizon engine;
+  (match Engine.failures engine with
+  | [] -> ()
+  | (th, exn) :: _ ->
+      failwith
+        (Printf.sprintf "caller %s died: %s" (Engine.thread_name th)
+           (Printexc.to_string exn)));
+  float_of_int !count /. Time.to_s horizon
+
+let mpass_latency ?(warmup = 5) ?(calls = 200) profile ~proc ~args =
+  let engine = Engine.create ~processors:1 profile.Profile.hw in
+  let kernel = Kernel.boot engine in
+  let sd = Kernel.create_domain kernel ~name:"server" in
+  let client = Kernel.create_domain kernel ~name:"client" in
+  let server =
+    Mpass.create_server kernel profile ~domain:sd bench_interface
+      ~impls:mpass_bench_impls
+  in
+  let out = ref 0.0 in
+  ignore
+    (Kernel.spawn kernel client ~name:"latency-driver" (fun () ->
+         let conn = Mpass.connect server ~client in
+         for _ = 1 to warmup do
+           ignore (Mpass.call conn ~proc args)
+         done;
+         let t0 = Engine.now engine in
+         for _ = 1 to calls do
+           ignore (Mpass.call conn ~proc args)
+         done;
+         out := Time.to_us (Time.sub (Engine.now engine) t0) /. float_of_int calls));
+  run_all engine;
+  !out
+
+let mpass_throughput profile ~processors ~clients ~horizon =
+  let profile = { profile with Profile.receivers = max clients profile.Profile.receivers } in
+  let engine = Engine.create ~processors profile.Profile.hw in
+  let kernel = Kernel.boot engine in
+  let sd = Kernel.create_domain kernel ~name:"server" in
+  let server =
+    Mpass.create_server kernel profile ~domain:sd bench_interface
+      ~impls:mpass_bench_impls
+  in
+  let count = ref 0 in
+  for i = 0 to clients - 1 do
+    let client =
+      Kernel.create_domain kernel ~name:(Printf.sprintf "client%d" i)
+    in
+    ignore
+      (Kernel.spawn kernel client ~home:(i mod processors)
+         ~name:(Printf.sprintf "caller%d" i) (fun () ->
+           let conn = Mpass.connect server ~client in
+           while true do
+             ignore (Mpass.call conn ~proc:"null" []);
+             incr count
+           done))
+  done;
+  Engine.run ~until:horizon engine;
+  (match Engine.failures engine with
+  | [] -> ()
+  | (th, exn) :: _ ->
+      failwith
+        (Printf.sprintf "caller %s died: %s" (Engine.thread_name th)
+           (Printexc.to_string exn)));
+  float_of_int !count /. Time.to_s horizon

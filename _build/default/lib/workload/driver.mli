@@ -1,0 +1,71 @@
+(** Closed-loop measurement drivers shared by the experiment harness,
+    the benchmarks and the examples.
+
+    The canonical workload is the paper's four-test suite (Table 4):
+    Null, Add (two 4-byte arguments, one 4-byte result), BigIn (one
+    200-byte argument) and BigInOut (200 bytes in and out). Latency is
+    measured exactly as the paper did — a tight loop of calls, elapsed
+    (simulated) time divided by the count — and throughput as completed
+    calls per simulated second across concurrent callers. *)
+
+type test = { test_name : string; proc : string; args : Lrpc_idl.Value.t list }
+
+val four_tests : unit -> test list
+(** Null, Add, BigIn, BigInOut with the paper's argument sizes. *)
+
+val bench_interface : Lrpc_idl.Types.interface
+val bench_impls : (string * Lrpc_core.Rt.impl) list
+val mpass_bench_impls : (string * Lrpc_msgrpc.Mpass.impl) list
+
+(** {1 LRPC} *)
+
+type lrpc_world = {
+  lw_engine : Lrpc_sim.Engine.t;
+  lw_kernel : Lrpc_kernel.Kernel.t;
+  lw_rt : Lrpc_core.Api.t;
+  lw_server : Lrpc_kernel.Pdomain.t;
+  lw_client : Lrpc_kernel.Pdomain.t;
+}
+
+val make_lrpc :
+  ?cost_model:Lrpc_sim.Cost_model.t ->
+  ?processors:int ->
+  ?config:Lrpc_core.Rt.config ->
+  ?defensive:bool ->
+  ?domain_caching:bool ->
+  unit ->
+  lrpc_world
+
+val run_all : Lrpc_sim.Engine.t -> unit
+(** Run the engine to quiescence; raise [Failure] if any simulated
+    thread died of an uncaught exception. *)
+
+val lrpc_latency :
+  ?warmup:int -> ?calls:int -> lrpc_world -> proc:string ->
+  args:Lrpc_idl.Value.t list -> float
+(** Steady-state per-call latency in simulated microseconds. *)
+
+val lrpc_throughput :
+  ?cost_model:Lrpc_sim.Cost_model.t ->
+  ?domain_caching:bool ->
+  processors:int ->
+  clients:int ->
+  horizon:Lrpc_sim.Time.t ->
+  unit ->
+  float
+(** Null calls per simulated second, [clients] closed-loop callers (one
+    domain each, pinned one per processor). Domain caching defaults to
+    off, matching Figure 2's setup where every call context-switches. *)
+
+(** {1 Message-passing baselines} *)
+
+val mpass_latency :
+  ?warmup:int -> ?calls:int -> Lrpc_msgrpc.Profile.t -> proc:string ->
+  args:Lrpc_idl.Value.t list -> float
+
+val mpass_throughput :
+  Lrpc_msgrpc.Profile.t ->
+  processors:int ->
+  clients:int ->
+  horizon:Lrpc_sim.Time.t ->
+  float

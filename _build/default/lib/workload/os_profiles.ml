@@ -1,0 +1,94 @@
+module Prng = Lrpc_util.Prng
+
+type op_class = {
+  class_name : string;
+  weight : float;
+  remote_probability : float;
+}
+
+type model = {
+  os_name : string;
+  classes : op_class list;
+  paper_percent : float;
+}
+
+type result = {
+  model : model;
+  operations : int;
+  cross_machine : int;
+  cross_domain : int;
+  percent_cross_machine : float;
+}
+
+let cls class_name weight remote_probability =
+  { class_name; weight; remote_probability }
+
+let v_system =
+  {
+    os_name = "V";
+    classes =
+      [
+        (* all V system functions are message sends; servers for the
+           common ones were pushed into the kernel for efficiency *)
+        cls "kernel-resident servers (Send/Receive)" 0.40 0.0;
+        cls "process & naming services" 0.25 0.005;
+        cls "window system" 0.20 0.0;
+        cls "file access" 0.10 0.25;
+        cls "internet/network services" 0.05 0.10;
+      ];
+    paper_percent = 3.0;
+  }
+
+let taos =
+  {
+    os_name = "Taos";
+    classes =
+      [
+        cls "window management" 0.55 0.0;
+        cls "domain & thread management" 0.25 0.0;
+        (* each Firefly has a small local disk to cut network file ops *)
+        cls "file system (local disk absorbs 70%)" 0.15 0.30;
+        cls "network protocols & naming" 0.05 0.15;
+      ];
+    paper_percent = 5.3;
+  }
+
+let unix_nfs =
+  {
+    os_name = "Sun UNIX+NFS";
+    classes =
+      [
+        (* inexpensive syscalls encourage frequent kernel interaction *)
+        cls "process/memory/signal syscalls" 0.55 0.0;
+        cls "pipes, sockets, tty" 0.25 0.0;
+        (* diskless, but the client cache absorbs ~97% of file access *)
+        cls "file operations (NFS, 3% cache misses)" 0.20 0.03;
+      ];
+    paper_percent = 0.6;
+  }
+
+let all = [ v_system; taos; unix_nfs ]
+
+let expected_percent m =
+  let total = List.fold_left (fun acc c -> acc +. c.weight) 0.0 m.classes in
+  100.0
+  *. List.fold_left
+       (fun acc c -> acc +. (c.weight /. total *. c.remote_probability))
+       0.0 m.classes
+
+let run rng m ~operations =
+  assert (operations > 0);
+  let weights = List.map (fun c -> (c.weight, c)) m.classes in
+  let remote = ref 0 in
+  for _ = 1 to operations do
+    let c = Prng.choose rng ~weights in
+    if Prng.bernoulli rng ~p:c.remote_probability then incr remote
+  done;
+  {
+    model = m;
+    operations;
+    cross_machine = !remote;
+    cross_domain = operations - !remote;
+    percent_cross_machine =
+      100.0 *. float_of_int !remote /. float_of_int operations;
+  }

@@ -1,0 +1,55 @@
+(** Operation-mix models of the three systems measured in Table 1.
+
+    The paper instrumented live systems (V for Williamson's counts, Taos
+    over a five-hour work period, a diskless Sun over four days); those
+    traces are unobtainable, so each system is modelled as a mix of
+    operation classes with a per-class probability of leaving the
+    machine, encoding the structural story the paper tells: V routes
+    everything through message sends but keeps servers local (many in
+    the kernel); Taos nodes carry a small local disk precisely to cut
+    network file operations; UNIX+NFS combines cheap local syscalls with
+    a client file cache that absorbs most remote access. The headline
+    percentage *emerges* from sampling the mix. *)
+
+type op_class = {
+  class_name : string;
+  weight : float;  (** share of this class in the operation stream *)
+  remote_probability : float;
+      (** chance one such operation must leave the machine *)
+}
+
+type model = {
+  os_name : string;
+  classes : op_class list;
+  paper_percent : float;  (** Table 1's published value, for comparison *)
+}
+
+type result = {
+  model : model;
+  operations : int;
+  cross_machine : int;
+  cross_domain : int;
+  percent_cross_machine : float;
+}
+
+val v_system : model
+(** 97% of calls crossed protection but not machine boundaries
+    (Williamson 1989): kernel-resident servers and local services
+    dominate; only a slice of file and naming traffic leaves the node. *)
+
+val taos : model
+(** 344,888 local vs 18,366 network RPCs in five hours: window, domain
+    and most file traffic stay local thanks to the per-node disk. *)
+
+val unix_nfs : model
+(** >100M syscalls but <1M file-server RPCs in four days: cheap local
+    system calls plus a client cache that absorbs ~97% of file access. *)
+
+val all : model list
+
+val expected_percent : model -> float
+(** The analytic cross-machine percentage of the mix (weights times
+    remote probabilities); sampling converges here. *)
+
+val run : Lrpc_util.Prng.t -> model -> operations:int -> result
+(** Sample [operations] operations and classify each. *)

@@ -1,0 +1,36 @@
+(** A simulated workstation session.
+
+    Where {!Os_profiles} samples an operation mix statistically, this
+    module actually *builds* the workstation: one protection domain per
+    service class, LRPC bindings from an application domain to each, a
+    remote twin (on another machine, reached through the network RPC
+    path) for every class that can leave the node — and then runs an
+    application thread that performs the operations for real. The
+    cross-machine percentage, the wall-clock split between local and
+    remote communication, and the call rate all fall out of the
+    simulation.
+
+    This grounds Table 1's numbers — and quantifies the paper's remark
+    that "a cross-machine RPC is slower than even a slow cross-domain
+    RPC": a fraction of a percent of remote operations can dominate the
+    communication time. *)
+
+type report = {
+  model : Os_profiles.model;
+  operations : int;
+  local_calls : int;
+  remote_calls : int;
+  percent_remote_calls : float;
+  elapsed : Lrpc_sim.Time.t;  (** simulated session duration *)
+  network_time : Lrpc_sim.Time.t;  (** time inside cross-machine RPCs *)
+  percent_time_remote : float;
+      (** share of the session spent on the network — far larger than
+          the call-count share *)
+}
+
+val run :
+  ?seed:int64 -> ?operations:int -> Os_profiles.model -> report
+(** Build the workstation for [model] and run [operations] (default
+    20,000) operations through it. Deterministic per seed. *)
+
+val render : report -> string

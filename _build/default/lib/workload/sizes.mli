@@ -1,0 +1,58 @@
+(** The interface-population and call-traffic model behind Figure 1 and
+    the static statistics of paper §2.2.
+
+    Statics (from the paper's survey of 28 SRC RPC services): 366
+    procedures, over 1000 parameters; four of five parameters fixed-size;
+    65% of parameters four bytes or fewer; two thirds of procedures pass
+    only fixed-size parameters; 60% transfer 32 or fewer bytes.
+
+    Dynamics (four-day trace, 1,487,105 calls): 112 distinct procedures
+    called; 95% of calls to ten procedures, 75% to just three, none of
+    whose stubs needed real marshaling; the most frequent calls move
+    under 50 bytes and a majority under 200; single-packet maximum 1448
+    bytes, which RPC programmers strive to stay under. *)
+
+type param_profile = { fixed : bool; bytes : int }
+(** [bytes] is the exact size when fixed, the maximum otherwise. *)
+
+type proc_profile = {
+  sp_name : string;
+  sp_params : param_profile list;
+  result_bytes : int;
+  marshals_simply : bool;  (** byte copying suffices (no recursive types) *)
+}
+
+type population = { services : int; procs : proc_profile array }
+
+type traffic_stats = {
+  calls : int;
+  distinct_procs : int;
+  top3_share : float;
+  top10_share : float;
+  histogram : Lrpc_util.Histogram.t;  (** total argument/result bytes *)
+  max_single : int;
+}
+
+val single_packet_max : int
+(** 1448 bytes, Figure 1's "Maximum Single Packet" marker. *)
+
+val generate_population : Lrpc_util.Prng.t -> population
+(** 28 services / 366 procedures satisfying the static facts above
+    (verified by tests within sampling tolerance). *)
+
+val static_fixed_param_fraction : population -> float
+val static_small_param_fraction : population -> float
+(** Fraction of parameters of four bytes or fewer. *)
+
+val static_all_fixed_proc_fraction : population -> float
+val static_small_proc_fraction : population -> float
+(** Fraction of procedures transferring 32 bytes or fewer. *)
+
+val param_count : population -> int
+
+val synthesize_traffic :
+  Lrpc_util.Prng.t -> population -> calls:int -> traffic_stats
+(** Draw [calls] calls: procedure by the concentrated popularity law
+    (75% to three procedures, 95% to ten, 112 ever called), per-call
+    size from the procedure's profile (variable-size parameters draw a
+    length). The histogram uses Figure 1's 50-byte bins up to 1800. *)

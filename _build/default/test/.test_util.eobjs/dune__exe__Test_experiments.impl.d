@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Float List Lrpc_experiments Lrpc_sim Lrpc_util Lrpc_workload Printf String

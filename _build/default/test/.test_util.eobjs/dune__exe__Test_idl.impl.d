@@ -1,0 +1,1 @@
+test/test_idl.ml: Alcotest Bytes Gen List Lrpc_idl Option Printf QCheck QCheck_alcotest Result String Sys

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Array Bytes Category Cost_model Engine Kernel List Lrpc_kernel Lrpc_sim Option Pdomain Time Vm

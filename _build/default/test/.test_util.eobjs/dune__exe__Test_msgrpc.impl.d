@@ -1,0 +1,1 @@
+test/test_msgrpc.ml: Alcotest Bytes Char Cost_model Engine Kernel List Lrpc_idl Lrpc_kernel Lrpc_msgrpc Lrpc_sim Mpass Pdomain Printexc Printf Profile Time Vm

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Api Category Cost_model Engine Kernel List Lrpc_core Lrpc_idl Lrpc_kernel Lrpc_net Lrpc_sim Option Rt Time

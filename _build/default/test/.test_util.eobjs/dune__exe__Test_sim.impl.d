@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Buffer Category Cost_model Engine Heap List Lrpc_sim Option Printf QCheck QCheck_alcotest Spinlock String Time Tlb Trace Waitq

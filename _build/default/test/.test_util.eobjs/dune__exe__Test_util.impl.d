@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Buffer Chart Float Format Fun Gen Histogram List Lrpc_util Prng QCheck QCheck_alcotest Stats String Table

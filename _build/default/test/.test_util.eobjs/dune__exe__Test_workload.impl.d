@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Bytes Float List Lrpc_idl Lrpc_sim Lrpc_util Lrpc_workload Printf

@@ -1,0 +1,293 @@
+open Lrpc_sim
+open Lrpc_kernel
+
+let cm = Cost_model.cvax_firefly
+
+let boot ?(processors = 1) () =
+  let e = Engine.create ~processors cm in
+  (e, Kernel.boot e)
+
+(* --- domains --------------------------------------------------------------- *)
+
+let test_domain_ids_unique () =
+  let _, k = boot () in
+  let a = Kernel.create_domain k ~name:"a" in
+  let b = Kernel.create_domain k ~name:"b" in
+  Alcotest.(check bool) "distinct" true (a.Pdomain.id <> b.Pdomain.id);
+  Alcotest.(check bool) "kernel is 0" true ((Kernel.kernel_domain k).Pdomain.id = 0);
+  Alcotest.(check int) "find" a.Pdomain.id
+    (Option.get (Kernel.find_domain k a.Pdomain.id)).Pdomain.id
+
+let test_domain_machine () =
+  let _, k = boot () in
+  let local = Kernel.create_domain k ~name:"l" in
+  let remote = Kernel.create_domain k ~machine:2 ~name:"r" in
+  Alcotest.(check bool) "local pair" true (Pdomain.is_local local local);
+  Alcotest.(check bool) "remote pair" false (Pdomain.is_local local remote)
+
+(* --- memory --------------------------------------------------------------- *)
+
+let test_page_budget_enforced () =
+  let _, k = boot () in
+  let d = Kernel.create_domain k ~page_limit:10 ~name:"small" in
+  let pages = Kernel.alloc_pages k d 10 in
+  Alcotest.(check int) "got 10" 10 (List.length pages);
+  Alcotest.check_raises "budget" Out_of_memory (fun () ->
+      ignore (Kernel.alloc_pages k d 1));
+  Kernel.free_pages k d pages;
+  Alcotest.(check int) "freed" 0 d.Pdomain.pages_allocated
+
+let test_pages_never_reused () =
+  let _, k = boot () in
+  let d = Kernel.create_domain k ~name:"d" in
+  let a = Kernel.alloc_pages k d 5 in
+  Kernel.free_pages k d a;
+  let b = Kernel.alloc_pages k d 5 in
+  List.iter
+    (fun p -> Alcotest.(check bool) "fresh ids" false (List.mem p a))
+    b
+
+let test_region_rounds_to_pages () =
+  let _, k = boot () in
+  let d = Kernel.create_domain k ~name:"d" in
+  (* 513 bytes on 512-byte pages = 2 pages *)
+  let r = Kernel.alloc_region k ~owner:d ~name:"r" ~bytes:513 ~mapped:[ d ] in
+  Alcotest.(check int) "2 pages" 2 (List.length r.Vm.pages);
+  Alcotest.(check int) "charged" 2 d.Pdomain.pages_allocated
+
+let test_region_release () =
+  let _, k = boot () in
+  let d = Kernel.create_domain k ~name:"d" in
+  let r = Kernel.alloc_region k ~owner:d ~name:"r" ~bytes:512 ~mapped:[ d ] in
+  Kernel.release_region k ~owner:d r;
+  Alcotest.(check bool) "invalid" false r.Vm.region_valid;
+  Alcotest.(check int) "pages back" 0 d.Pdomain.pages_allocated;
+  Alcotest.(check bool) "no access" false (Vm.accessible r d)
+
+let test_dead_domain_cannot_allocate () =
+  let _, k = boot () in
+  let d = Kernel.create_domain k ~name:"d" in
+  Kernel.terminate_domain k d;
+  Alcotest.check_raises "terminated" (Kernel.Domain_terminated "d") (fun () ->
+      ignore (Kernel.alloc_pages k d 1))
+
+(* --- Vm data movement -------------------------------------------------------- *)
+
+let test_vm_write_read () =
+  let _, k = boot () in
+  let d = Kernel.create_domain k ~name:"d" in
+  let r = Kernel.alloc_region k ~owner:d ~name:"r" ~bytes:64 ~mapped:[ d ] in
+  Vm.write_bytes ~by:d r ~off:8 (Bytes.of_string "payload");
+  let back = Vm.read_bytes ~by:d r ~off:8 ~len:7 in
+  Alcotest.(check string) "roundtrip" "payload" (Bytes.to_string back)
+
+let test_vm_access_control () =
+  let _, k = boot () in
+  let d = Kernel.create_domain k ~name:"d" in
+  let other = Kernel.create_domain k ~name:"other" in
+  let r = Kernel.alloc_region k ~owner:d ~name:"r" ~bytes:64 ~mapped:[ d ] in
+  (match Vm.write_bytes ~by:other r ~off:0 (Bytes.of_string "x") with
+  | exception Vm.Protection_violation _ -> ()
+  | _ -> Alcotest.fail "unmapped write allowed");
+  Vm.map_into r other;
+  Vm.write_bytes ~by:other r ~off:0 (Bytes.of_string "x");
+  Vm.unmap_from r other;
+  match Vm.peek ~by:other r ~off:0 ~len:1 with
+  | exception Vm.Protection_violation _ -> ()
+  | _ -> Alcotest.fail "unmapped peek allowed"
+
+let test_vm_audit_counts () =
+  let _, k = boot () in
+  let d = Kernel.create_domain k ~name:"d" in
+  let r = Kernel.alloc_region k ~owner:d ~name:"r" ~bytes:64 ~mapped:[ d ] in
+  let audit = Vm.audit_create () in
+  Vm.write_bytes ~audit ~label:"A" ~by:d r ~off:0 (Bytes.create 10);
+  ignore (Vm.read_bytes ~audit ~label:"F" ~by:d r ~off:0 ~len:10);
+  Alcotest.(check int) "two ops" 2 audit.Vm.copy_ops;
+  Alcotest.(check int) "twenty bytes" 20 audit.Vm.bytes_copied;
+  Alcotest.(check (list string)) "labels" [ "F"; "A" ] audit.Vm.labels;
+  Vm.audit_reset audit;
+  Alcotest.(check int) "reset" 0 audit.Vm.copy_ops
+
+let test_vm_copy_charges_time () =
+  let e, k = boot () in
+  let d = Kernel.create_domain k ~name:"d" in
+  let r = Kernel.alloc_region k ~owner:d ~name:"r" ~bytes:512 ~mapped:[ d ] in
+  let elapsed = ref 0 in
+  ignore
+    (Kernel.spawn k d (fun () ->
+         let t0 = Engine.now e in
+         Vm.write_bytes ~engine:e ~by:d r ~off:0 (Bytes.create 100);
+         elapsed := Time.sub (Engine.now e) t0));
+  Engine.run e;
+  (* per_value + 100 * per_byte = 1667 + 16700 ns *)
+  Alcotest.(check int) "copy cost" 18_367 !elapsed
+
+let test_vm_rate_override () =
+  let e, k = boot () in
+  let d = Kernel.create_domain k ~name:"d" in
+  let r = Kernel.alloc_region k ~owner:d ~name:"r" ~bytes:512 ~mapped:[ d ] in
+  let elapsed = ref 0 in
+  ignore
+    (Kernel.spawn k d (fun () ->
+         let t0 = Engine.now e in
+         Vm.write_bytes ~engine:e ~rate:(Time.us 1, Time.ns 10) ~by:d r ~off:0
+           (Bytes.create 100);
+         elapsed := Time.sub (Engine.now e) t0));
+  Engine.run e;
+  Alcotest.(check int) "override rate" 2_000 !elapsed
+
+let test_region_to_region () =
+  let _, k = boot () in
+  let d = Kernel.create_domain k ~name:"d" in
+  let a = Kernel.alloc_region k ~owner:d ~name:"a" ~bytes:64 ~mapped:[ d ] in
+  let b = Kernel.alloc_region k ~owner:d ~name:"b" ~bytes:64 ~mapped:[ d ] in
+  Vm.poke ~by:d a ~off:0 (Bytes.of_string "transit");
+  Vm.region_to_region ~src:a ~src_off:0 ~dst:b ~dst_off:8 ~len:7 ();
+  Alcotest.(check string) "arrived" "transit"
+    (Bytes.to_string (Vm.peek ~by:d b ~off:8 ~len:7))
+
+(* --- traps, spawn, termination -------------------------------------------------- *)
+
+let test_trap_charges () =
+  let e, k = boot () in
+  let d = Kernel.create_domain k ~name:"d" in
+  ignore (Kernel.spawn k d (fun () -> Kernel.trap k));
+  Engine.run e;
+  let traps =
+    List.assoc_opt Category.Trap (Engine.breakdown e) |> Option.value ~default:0
+  in
+  Alcotest.(check int) "18us" cm.Cost_model.trap traps
+
+let test_spawn_tracked () =
+  let _, k = boot () in
+  let d = Kernel.create_domain k ~name:"d" in
+  let th = Kernel.spawn k d (fun () -> ()) in
+  Alcotest.(check bool) "tracked" true (List.memq th d.Pdomain.threads)
+
+let test_terminate_runs_hooks_once () =
+  let _, k = boot () in
+  let d = Kernel.create_domain k ~name:"d" in
+  let hits = ref [] in
+  Kernel.on_terminate k (fun dom -> hits := ("first", dom.Pdomain.name) :: !hits);
+  Kernel.on_terminate k (fun dom -> hits := ("second", dom.Pdomain.name) :: !hits);
+  Kernel.terminate_domain k d;
+  Kernel.terminate_domain k d;
+  (* idempotent *)
+  Alcotest.(check (list (pair string string)))
+    "hooks in order, once"
+    [ ("second", "d"); ("first", "d") ]
+    !hits;
+  Alcotest.(check bool) "dead" true (d.Pdomain.state = Pdomain.Dead)
+
+let test_terminate_kills_threads () =
+  (* Two processors: the looping victim never yields its CPU, so the
+     killer needs one of its own. *)
+  let e, k = boot ~processors:2 () in
+  let d = Kernel.create_domain k ~name:"d" in
+  let th =
+    Kernel.spawn k d (fun () ->
+        while true do
+          Engine.delay e (Time.us 10)
+        done)
+  in
+  ignore
+    (Kernel.spawn k (Kernel.create_domain k ~name:"killer") (fun () ->
+         Engine.delay e (Time.us 100);
+         Kernel.terminate_domain k d));
+  Engine.run e;
+  Alcotest.(check bool) "looping thread killed" false (Engine.alive th);
+  Alcotest.(check (list pass)) "kill is clean" [] (Engine.failures e)
+
+(* --- idle-processor management -------------------------------------------------- *)
+
+let test_find_idle_in_context () =
+  let e, k = boot ~processors:2 () in
+  let d = Kernel.create_domain k ~name:"d" in
+  Alcotest.(check bool) "none initially" true
+    (Kernel.find_idle_processor_in_context k d = None);
+  (Engine.cpus e).(1).Engine.context <- Some d.Pdomain.id;
+  (match Kernel.find_idle_processor_in_context k d with
+  | Some c -> Alcotest.(check int) "cpu1" 1 c.Engine.idx
+  | None -> Alcotest.fail "should find cpu1");
+  (* a busy processor in the right context does not count *)
+  ignore
+    (Kernel.spawn k d ~home:1 (fun () -> Engine.delay e (Time.us 10)));
+  Alcotest.(check bool) "busy excluded" true
+    (Kernel.find_idle_processor_in_context k d = None)
+
+let test_note_miss_prods_idle () =
+  let e, k = boot ~processors:2 () in
+  Kernel.set_domain_caching k true;
+  let d = Kernel.create_domain k ~name:"hot" in
+  Alcotest.(check int) "no misses yet" 0 (Kernel.context_misses k d);
+  Kernel.note_context_miss k d;
+  Alcotest.(check int) "one miss" 1 (Kernel.context_misses k d);
+  (* an idle processor was prodded into the hot domain's context *)
+  let claimed =
+    Array.exists
+      (fun c -> c.Engine.context = Some d.Pdomain.id)
+      (Engine.cpus e)
+  in
+  Alcotest.(check bool) "idle cpu claimed" true claimed
+
+let test_note_miss_respects_hotter_domain () =
+  let e, k = boot ~processors:1 () in
+  Kernel.set_domain_caching k true;
+  let hot = Kernel.create_domain k ~name:"hot" in
+  let cold = Kernel.create_domain k ~name:"cold" in
+  for _ = 1 to 5 do
+    Kernel.note_context_miss k hot
+  done;
+  (* the single idle cpu belongs to hot now *)
+  Alcotest.(check (option int)) "hot owns it" (Some hot.Pdomain.id)
+    (Engine.cpus e).(0).Engine.context;
+  Kernel.note_context_miss k cold;
+  (* one miss does not evict a five-miss domain *)
+  Alcotest.(check (option int)) "hot keeps it" (Some hot.Pdomain.id)
+    (Engine.cpus e).(0).Engine.context;
+  for _ = 1 to 10 do
+    Kernel.note_context_miss k cold
+  done;
+  Alcotest.(check (option int)) "cold out-misses hot" (Some cold.Pdomain.id)
+    (Engine.cpus e).(0).Engine.context
+
+let () =
+  Alcotest.run "lrpc_kernel"
+    [
+      ( "domains",
+        [
+          Alcotest.test_case "ids" `Quick test_domain_ids_unique;
+          Alcotest.test_case "machines" `Quick test_domain_machine;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "budget" `Quick test_page_budget_enforced;
+          Alcotest.test_case "fresh pages" `Quick test_pages_never_reused;
+          Alcotest.test_case "page rounding" `Quick test_region_rounds_to_pages;
+          Alcotest.test_case "release" `Quick test_region_release;
+          Alcotest.test_case "dead domain" `Quick test_dead_domain_cannot_allocate;
+        ] );
+      ( "vm",
+        [
+          Alcotest.test_case "write/read" `Quick test_vm_write_read;
+          Alcotest.test_case "access control" `Quick test_vm_access_control;
+          Alcotest.test_case "audit" `Quick test_vm_audit_counts;
+          Alcotest.test_case "copy cost" `Quick test_vm_copy_charges_time;
+          Alcotest.test_case "rate override" `Quick test_vm_rate_override;
+          Alcotest.test_case "region to region" `Quick test_region_to_region;
+        ] );
+      ( "kernel",
+        [
+          Alcotest.test_case "trap" `Quick test_trap_charges;
+          Alcotest.test_case "spawn tracked" `Quick test_spawn_tracked;
+          Alcotest.test_case "terminate hooks" `Quick test_terminate_runs_hooks_once;
+          Alcotest.test_case "terminate kills" `Quick test_terminate_kills_threads;
+        ] );
+      ( "idle processors",
+        [
+          Alcotest.test_case "find idle" `Quick test_find_idle_in_context;
+          Alcotest.test_case "prodding" `Quick test_note_miss_prods_idle;
+          Alcotest.test_case "hotter wins" `Quick test_note_miss_respects_hotter_domain;
+        ] );
+    ]

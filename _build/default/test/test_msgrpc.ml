@@ -1,0 +1,352 @@
+open Lrpc_sim
+open Lrpc_kernel
+open Lrpc_msgrpc
+module I = Lrpc_idl.Types
+module V = Lrpc_idl.Value
+
+let arith_iface =
+  I.interface "Arith"
+    [
+      I.proc "null" [];
+      I.proc ~result:I.Int32 "add" [ I.param "a" I.Int32; I.param "b" I.Int32 ];
+      I.proc "big_in" [ I.param "buf" (I.Fixed_bytes 200) ];
+      I.proc "big_in_out" [ I.param ~mode:I.In_out "buf" (I.Fixed_bytes 200) ];
+    ]
+
+let arith_impls =
+  [
+    ("null", fun _ -> []);
+    ( "add",
+      fun args ->
+        match args with
+        | [ V.Int a; V.Int b ] -> [ V.int (a + b) ]
+        | _ -> failwith "bad args" );
+    ("big_in", fun _ -> []);
+    ( "big_in_out",
+      fun args ->
+        match args with [ V.Bytes b ] -> [ V.bytes b ] | _ -> failwith "bad" );
+  ]
+
+type world = {
+  engine : Engine.t;
+  kernel : Kernel.t;
+  server : Mpass.server;
+  client : Pdomain.t;
+}
+
+let make_world ?(processors = 1) profile =
+  let engine = Engine.create ~processors profile.Profile.hw in
+  let kernel = Kernel.boot engine in
+  let sd = Kernel.create_domain kernel ~name:"server" in
+  let client = Kernel.create_domain kernel ~name:"client" in
+  let server =
+    Mpass.create_server kernel profile ~domain:sd arith_iface ~impls:arith_impls
+  in
+  { engine; kernel; server; client }
+
+let in_client w body =
+  ignore (Kernel.spawn w.kernel w.client ~name:"test-client" body);
+  Engine.run w.engine;
+  match Engine.failures w.engine with
+  | [] -> ()
+  | (th, exn) :: _ ->
+      Alcotest.failf "thread %s died: %s" (Engine.thread_name th)
+        (Printexc.to_string exn)
+
+let measure ?(warmup = 3) ?(calls = 50) w ~proc ~args =
+  let result = ref 0.0 in
+  in_client w (fun () ->
+      let conn = Mpass.connect w.server ~client:w.client in
+      for _ = 1 to warmup do
+        ignore (Mpass.call conn ~proc args)
+      done;
+      let t0 = Engine.now w.engine in
+      for _ = 1 to calls do
+        ignore (Mpass.call conn ~proc args)
+      done;
+      result := Time.to_us (Engine.now w.engine - t0) /. float_of_int calls);
+  !result
+
+let check_us = Alcotest.(check (float 0.01))
+let check_us_loose = Alcotest.(check (float 2.0))
+
+(* --- functional --------------------------------------------------------- *)
+
+let test_add_works () =
+  let w = make_world Profile.src_rpc in
+  in_client w (fun () ->
+      let conn = Mpass.connect w.server ~client:w.client in
+      match Mpass.call conn ~proc:"add" [ V.int 20; V.int 22 ] with
+      | [ V.Int 42 ] -> ()
+      | _ -> Alcotest.fail "wrong result")
+
+let test_bytes_roundtrip_all_regimes () =
+  List.iter
+    (fun profile ->
+      let w = make_world profile in
+      in_client w (fun () ->
+          let conn = Mpass.connect w.server ~client:w.client in
+          let payload = Bytes.init 200 (fun i -> Char.chr (i mod 251)) in
+          match Mpass.call conn ~proc:"big_in_out" [ V.bytes payload ] with
+          | [ V.Bytes out ] ->
+              Alcotest.(check bytes)
+                (profile.Profile.p_name ^ " payload")
+                payload out
+          | _ -> Alcotest.fail "bad shape"))
+    [ Profile.src_rpc; Profile.mach; Profile.dash ]
+
+let test_server_exception_propagates () =
+  let engine = Engine.create Profile.src_rpc.Profile.hw in
+  let kernel = Kernel.boot engine in
+  let sd = Kernel.create_domain kernel ~name:"server" in
+  let client = Kernel.create_domain kernel ~name:"client" in
+  let server =
+    Mpass.create_server kernel Profile.src_rpc ~domain:sd
+      (I.interface "F" [ I.proc "fail" [] ])
+      ~impls:[ ("fail", fun _ -> failwith "server bug") ]
+  in
+  let caught = ref false in
+  ignore
+    (Kernel.spawn kernel client (fun () ->
+         let conn = Mpass.connect server ~client in
+         match Mpass.call conn ~proc:"fail" [] with
+         | exception Failure m when m = "server bug" -> caught := true
+         | _ -> ()));
+  Engine.run engine;
+  Alcotest.(check bool) "exception crossed back" true !caught
+
+(* --- latency (Tables 2 and 4) -------------------------------------------- *)
+
+let test_src_null_464 () =
+  let w = make_world Profile.src_rpc in
+  check_us "SRC Null" 464.0 (measure w ~proc:"null" ~args:[])
+
+let test_src_add_480 () =
+  let w = make_world Profile.src_rpc in
+  check_us_loose "SRC Add" 480.0
+    (measure w ~proc:"add" ~args:[ V.int 1; V.int 2 ])
+
+let test_src_bigin_539 () =
+  let w = make_world Profile.src_rpc in
+  check_us_loose "SRC BigIn" 539.0
+    (measure w ~proc:"big_in" ~args:[ V.bytes (Bytes.make 200 'x') ])
+
+let test_src_biginout_636 () =
+  let w = make_world Profile.src_rpc in
+  check_us_loose "SRC BigInOut" 636.0
+    (measure w ~proc:"big_in_out" ~args:[ V.bytes (Bytes.make 200 'x') ])
+
+let table2_expectations =
+  [
+    ("Accent", Profile.accent, 444.0, 2300.0);
+    ("Taos (SRC RPC)", Profile.src_rpc, 109.0, 464.0);
+    ("Mach", Profile.mach, 89.7, 753.7);
+    ("V", Profile.v_system, 170.0, 730.0);
+    ("Amoeba", Profile.amoeba, 170.0, 800.0);
+    ("DASH", Profile.dash, 170.0, 1590.0);
+  ]
+
+let test_table2_null_times () =
+  List.iter
+    (fun (name, profile, min_us, actual_us) ->
+      Alcotest.(check (float 0.5))
+        (name ^ " theoretical minimum")
+        min_us
+        (Time.to_us (Cost_model.null_minimum profile.Profile.hw));
+      let w = make_world profile in
+      Alcotest.(check (float 0.5))
+        (name ^ " actual Null")
+        actual_us
+        (measure w ~proc:"null" ~args:[]))
+    table2_expectations
+
+(* --- copy regimes (Table 3) ----------------------------------------------- *)
+
+let copy_labels audit = List.rev audit.Vm.labels
+
+let labels_for profile ~proc ~args =
+  let w = make_world profile in
+  let audit = Vm.audit_create () in
+  in_client w (fun () ->
+      let conn = Mpass.connect w.server ~client:w.client in
+      ignore (Mpass.call ~audit conn ~proc args));
+  copy_labels audit
+
+let test_traditional_copies () =
+  (* Two in-args (A each), message through the kernel (B, C), unmarshal
+     (E each); reply back through the kernel (B, C), readback (F). *)
+  Alcotest.(check (list string))
+    "Mach labels"
+    [ "A"; "A"; "B"; "C"; "E"; "E"; "B"; "C"; "F" ]
+    (labels_for Profile.mach ~proc:"add" ~args:[ V.int 1; V.int 2 ])
+
+let test_shared_copies () =
+  (* SRC: globally shared buffers, no transfer copies: A A E E F. *)
+  Alcotest.(check (list string))
+    "SRC labels"
+    [ "A"; "A"; "E"; "E"; "F" ]
+    (labels_for Profile.src_rpc ~proc:"add" ~args:[ V.int 1; V.int 2 ])
+
+let test_restricted_copies () =
+  Alcotest.(check (list string))
+    "DASH labels"
+    [ "A"; "A"; "D"; "E"; "E"; "D"; "F" ]
+    (labels_for Profile.dash ~proc:"add" ~args:[ V.int 1; V.int 2 ])
+
+(* --- register passing (paper §2.2, footnote 2) ------------------------------ *)
+
+let registers_profile =
+  { Profile.v_system with Profile.register_words = 8 }
+
+let test_registers_skip_all_copies () =
+  let w = make_world registers_profile in
+  let audit = Vm.audit_create () in
+  in_client w (fun () ->
+      let conn = Mpass.connect w.server ~client:w.client in
+      match Mpass.call ~audit conn ~proc:"add" [ V.int 20; V.int 22 ] with
+      | [ V.Int 42 ] -> ()
+      | _ -> Alcotest.fail "wrong result");
+  (* arguments and result rode in registers: no buffer copies at all *)
+  Alcotest.(check int) "zero copy operations" 0 audit.Vm.copy_ops
+
+let test_registers_overflow_uses_buffers () =
+  let w = make_world registers_profile in
+  let audit = Vm.audit_create () in
+  in_client w (fun () ->
+      let conn = Mpass.connect w.server ~client:w.client in
+      ignore
+        (Mpass.call ~audit conn ~proc:"big_in" [ V.bytes (Bytes.make 200 'x') ]));
+  Alcotest.(check bool) "full copy path taken" true (audit.Vm.copy_ops > 0)
+
+let test_registers_faster_but_correct () =
+  let fast = make_world registers_profile in
+  let reg_t = measure fast ~proc:"add" ~args:[ V.int 1; V.int 2 ] in
+  let plain = make_world Profile.v_system in
+  let plain_t = measure plain ~proc:"add" ~args:[ V.int 1; V.int 2 ] in
+  Alcotest.(check bool)
+    (Printf.sprintf "registers faster (%.1f vs %.1f)" reg_t plain_t)
+    true (reg_t < plain_t -. 50.0)
+
+(* --- concurrency / the global lock (Figure 2 ingredient) ------------------- *)
+
+let throughput profile ~processors ~clients ~horizon_ms =
+  let engine = Engine.create ~processors profile.Profile.hw in
+  let kernel = Kernel.boot engine in
+  let sd = Kernel.create_domain kernel ~name:"server" in
+  let server =
+    Mpass.create_server kernel profile ~domain:sd arith_iface
+      ~impls:arith_impls
+  in
+  let count = ref 0 in
+  for i = 0 to clients - 1 do
+    let cd = Kernel.create_domain kernel ~name:(Printf.sprintf "client%d" i) in
+    ignore
+      (Kernel.spawn kernel cd ~home:i (fun () ->
+           let conn = Mpass.connect server ~client:cd in
+           while true do
+             ignore (Mpass.call conn ~proc:"null" []);
+             incr count
+           done))
+  done;
+  Engine.run ~until:(Time.ms horizon_ms) engine;
+  float_of_int !count /. (float_of_int horizon_ms /. 1000.)
+
+let test_src_throughput_caps_at_4000 () =
+  let one = throughput Profile.src_rpc ~processors:2 ~clients:1 ~horizon_ms:100 in
+  let two = throughput Profile.src_rpc ~processors:4 ~clients:2 ~horizon_ms:100 in
+  let four = throughput Profile.src_rpc ~processors:8 ~clients:4 ~horizon_ms:100 in
+  Alcotest.(check bool)
+    (Printf.sprintf "single %.0f in 2000..2400" one)
+    true
+    (one > 2000. && one < 2400.);
+  Alcotest.(check bool)
+    (Printf.sprintf "two clients %.0f near the 4000 cap" two)
+    true
+    (two > 3300. && two < 4600.);
+  Alcotest.(check bool)
+    (Printf.sprintf "four clients %.0f still capped" four)
+    true
+    (four > 3300. && four < 4600.);
+  Alcotest.(check bool) "no further scaling" true (four < two *. 1.15)
+
+let test_lock_contention_counted () =
+  let engine = Engine.create ~processors:4 Profile.src_rpc.Profile.hw in
+  let kernel = Kernel.boot engine in
+  let sd = Kernel.create_domain kernel ~name:"server" in
+  let server =
+    Mpass.create_server kernel Profile.src_rpc ~domain:sd arith_iface
+      ~impls:arith_impls
+  in
+  for i = 0 to 1 do
+    let cd = Kernel.create_domain kernel ~name:(Printf.sprintf "c%d" i) in
+    ignore
+      (Kernel.spawn kernel cd ~home:i (fun () ->
+           let conn = Mpass.connect server ~client:cd in
+           for _ = 1 to 50 do
+             ignore (Mpass.call conn ~proc:"null" [])
+           done))
+  done;
+  Engine.run engine;
+  Alcotest.(check bool) "some contention with two clients" true
+    (Mpass.lock_contention server > 0)
+
+let test_flow_control_blocks_not_fails () =
+  (* More concurrent callers than message buffers: calls must all
+     complete, some having waited for a free buffer. *)
+  let profile = { Profile.src_rpc with Profile.receivers = 1 } in
+  let engine = Engine.create ~processors:12 profile.Profile.hw in
+  let kernel = Kernel.boot engine in
+  let sd = Kernel.create_domain kernel ~name:"server" in
+  let server =
+    Mpass.create_server kernel profile ~domain:sd arith_iface
+      ~impls:arith_impls
+  in
+  let cd = Kernel.create_domain kernel ~name:"client" in
+  let conn = Mpass.connect server ~client:cd in
+  let finished = ref 0 in
+  for i = 0 to 9 do
+    ignore
+      (Kernel.spawn kernel cd ~home:i (fun () ->
+           ignore (Mpass.call conn ~proc:"null" []);
+           incr finished))
+  done;
+  Engine.run engine;
+  Alcotest.(check (list pass)) "no failures" [] (Engine.failures engine);
+  Alcotest.(check int) "all completed" 10 !finished
+
+let () =
+  Alcotest.run "lrpc_msgrpc"
+    [
+      ( "functional",
+        [
+          Alcotest.test_case "add" `Quick test_add_works;
+          Alcotest.test_case "bytes roundtrip" `Quick test_bytes_roundtrip_all_regimes;
+          Alcotest.test_case "server exception" `Quick test_server_exception_propagates;
+        ] );
+      ( "latency",
+        [
+          Alcotest.test_case "src null 464" `Quick test_src_null_464;
+          Alcotest.test_case "src add 480" `Quick test_src_add_480;
+          Alcotest.test_case "src bigin 539" `Quick test_src_bigin_539;
+          Alcotest.test_case "src biginout 636" `Quick test_src_biginout_636;
+          Alcotest.test_case "table 2" `Quick test_table2_null_times;
+        ] );
+      ( "copies",
+        [
+          Alcotest.test_case "traditional" `Quick test_traditional_copies;
+          Alcotest.test_case "shared" `Quick test_shared_copies;
+          Alcotest.test_case "restricted" `Quick test_restricted_copies;
+        ] );
+      ( "registers",
+        [
+          Alcotest.test_case "skip copies" `Quick test_registers_skip_all_copies;
+          Alcotest.test_case "overflow" `Quick test_registers_overflow_uses_buffers;
+          Alcotest.test_case "faster" `Quick test_registers_faster_but_correct;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "src caps at 4000" `Quick test_src_throughput_caps_at_4000;
+          Alcotest.test_case "lock contention" `Quick test_lock_contention_counted;
+          Alcotest.test_case "flow control" `Quick test_flow_control_blocks_not_fails;
+        ] );
+    ]

@@ -1,0 +1,122 @@
+open Lrpc_sim
+open Lrpc_kernel
+open Lrpc_core
+module Netrpc = Lrpc_net.Netrpc
+module I = Lrpc_idl.Types
+module V = Lrpc_idl.Value
+
+let iface =
+  I.interface "Echo"
+    [
+      I.proc ~result:I.Int32 "echo" [ I.param "x" I.Int32 ];
+      I.proc ~result:(I.Var_bytes 4096) "blob" [ I.param "b" (I.Var_bytes 4096) ];
+    ]
+
+let impls =
+  [
+    ("echo", fun args -> match args with [ V.Int x ] -> [ V.int x ] | _ -> assert false);
+    ("blob", fun args -> match args with [ V.Bytes b ] -> [ V.bytes b ] | _ -> assert false);
+  ]
+
+let make_world () =
+  let engine = Engine.create Cost_model.cvax_firefly in
+  let kernel = Kernel.boot engine in
+  let rt = Api.init kernel in
+  let client = Kernel.create_domain kernel ~name:"client" in
+  let server = Kernel.create_domain kernel ~machine:1 ~name:"remote" in
+  (engine, kernel, rt, client, server)
+
+let test_wire_time_null () =
+  Alcotest.(check int) "2660us" (Time.us 2660) (Netrpc.wire_time ~bytes:0)
+
+let test_wire_time_grows_with_bytes () =
+  let small = Netrpc.wire_time ~bytes:100 in
+  let large = Netrpc.wire_time ~bytes:1000 in
+  Alcotest.(check bool) "monotone" true (Time.compare large small > 0)
+
+let test_wire_time_multipacket_penalty () =
+  (* just under vs just over one MTU: the packet boundary costs extra
+     beyond the per-byte difference *)
+  let under = Netrpc.wire_time ~bytes:1400 in
+  let over = Netrpc.wire_time ~bytes:1600 in
+  let per_byte_only = Time.ns (200 * 800) in
+  Alcotest.(check bool) "discontinuity" true
+    (Time.compare (Time.sub over under) per_byte_only > 0)
+
+let test_remote_call_roundtrip () =
+  let engine, kernel, rt, client, server = make_world () in
+  Netrpc.reset_remote_calls ();
+  let b = Netrpc.import_remote rt ~client ~server iface ~impls in
+  let got = ref 0 in
+  ignore
+    (Kernel.spawn kernel client (fun () ->
+         match Api.call rt b ~proc:"echo" [ V.int 55 ] with
+         | [ V.Int x ] -> got := x
+         | _ -> ()));
+  Engine.run engine;
+  Alcotest.(check (list pass)) "no failures" [] (Engine.failures engine);
+  Alcotest.(check int) "result" 55 !got;
+  Alcotest.(check int) "counted" 1 (Netrpc.remote_calls ())
+
+let test_remote_call_slow () =
+  let engine, kernel, rt, client, server = make_world () in
+  let b = Netrpc.import_remote rt ~client ~server iface ~impls in
+  let elapsed = ref 0 in
+  ignore
+    (Kernel.spawn kernel client (fun () ->
+         let t0 = Engine.now engine in
+         ignore (Api.call rt b ~proc:"echo" [ V.int 1 ]);
+         elapsed := Time.sub (Engine.now engine) t0));
+  Engine.run engine;
+  Alcotest.(check bool) "millisecond scale" true (!elapsed > Time.us 2600);
+  (* and the network time is attributed to the Network category *)
+  let net =
+    List.assoc_opt Category.Network (Engine.breakdown engine)
+    |> Option.value ~default:0
+  in
+  Alcotest.(check bool) "network category" true (net > Time.us 2600)
+
+let test_local_pair_rejected () =
+  let _, kernel, rt, client, _ = make_world () in
+  let local_server = Kernel.create_domain kernel ~name:"local" in
+  match Netrpc.import_remote rt ~client ~server:local_server iface ~impls with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "local pair accepted as remote"
+
+let test_remote_conformance_checked () =
+  let engine, kernel, rt, client, server = make_world () in
+  let b = Netrpc.import_remote rt ~client ~server iface ~impls in
+  ignore
+    (Kernel.spawn kernel client (fun () ->
+         (match Api.call rt b ~proc:"echo" [ V.bool true ] with
+         | exception V.Conformance_error _ -> ()
+         | _ -> Alcotest.fail "bad type accepted");
+         match Api.call rt b ~proc:"missing" [] with
+         | exception Rt.Bad_binding _ -> ()
+         | _ -> Alcotest.fail "missing proc accepted"));
+  Engine.run engine;
+  Alcotest.(check (list pass)) "no failures" [] (Engine.failures engine)
+
+let test_remote_binding_has_remote_bit () =
+  let _, _, rt, client, server = make_world () in
+  let b = Netrpc.import_remote rt ~client ~server iface ~impls in
+  Alcotest.(check bool) "remote bit" true (b.Rt.b_remote <> None)
+
+let () =
+  Alcotest.run "lrpc_net"
+    [
+      ( "wire model",
+        [
+          Alcotest.test_case "null time" `Quick test_wire_time_null;
+          Alcotest.test_case "per byte" `Quick test_wire_time_grows_with_bytes;
+          Alcotest.test_case "multipacket" `Quick test_wire_time_multipacket_penalty;
+        ] );
+      ( "remote calls",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_remote_call_roundtrip;
+          Alcotest.test_case "slow" `Quick test_remote_call_slow;
+          Alcotest.test_case "local rejected" `Quick test_local_pair_rejected;
+          Alcotest.test_case "conformance" `Quick test_remote_conformance_checked;
+          Alcotest.test_case "remote bit" `Quick test_remote_binding_has_remote_bit;
+        ] );
+    ]

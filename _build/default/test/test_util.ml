@@ -1,0 +1,332 @@
+open Lrpc_util
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Prng -------------------------------------------------------------- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:42L and b = Prng.create ~seed:42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create ~seed:1L and b = Prng.create ~seed:2L in
+  Alcotest.(check bool) "different streams" false
+    (Prng.next_int64 a = Prng.next_int64 b)
+
+let test_prng_split_independent () =
+  let a = Prng.create ~seed:7L in
+  let c = Prng.split a in
+  let x = Prng.next_int64 a and y = Prng.next_int64 c in
+  Alcotest.(check bool) "split diverges" true (x <> y)
+
+let test_prng_copy () =
+  let a = Prng.create ~seed:9L in
+  ignore (Prng.next_int64 a);
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Prng.next_int64 a)
+    (Prng.next_int64 b)
+
+let test_prng_int_bounds () =
+  let g = Prng.create ~seed:3L in
+  for _ = 1 to 10_000 do
+    let v = Prng.int g 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_prng_float_bounds () =
+  let g = Prng.create ~seed:4L in
+  for _ = 1 to 10_000 do
+    let v = Prng.float g 2.5 in
+    Alcotest.(check bool) "in range" true (v >= 0. && v < 2.5)
+  done
+
+let test_prng_bernoulli_mean () =
+  let g = Prng.create ~seed:5L in
+  let hits = ref 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    if Prng.bernoulli g ~p:0.3 then incr hits
+  done;
+  let mean = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "roughly 0.3" true (Float.abs (mean -. 0.3) < 0.01)
+
+let test_prng_exponential_mean () =
+  let g = Prng.create ~seed:6L in
+  let acc = ref 0.0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    acc := !acc +. Prng.exponential g ~mean:5.0
+  done;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check bool) "mean near 5" true (Float.abs (mean -. 5.0) < 0.2)
+
+let test_prng_zipf_skew () =
+  let g = Prng.create ~seed:8L in
+  let table = Prng.zipf_table ~n:100 ~s:1.2 in
+  let counts = Array.make 101 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let r = Prng.zipf_from_table g table in
+    Alcotest.(check bool) "rank in range" true (r >= 1 && r <= 100);
+    counts.(r) <- counts.(r) + 1
+  done;
+  Alcotest.(check bool) "rank 1 most popular" true
+    (counts.(1) > counts.(2) && counts.(2) > counts.(10))
+
+let test_prng_choose_weights () =
+  let g = Prng.create ~seed:10L in
+  let a = ref 0 and b = ref 0 in
+  for _ = 1 to 10_000 do
+    match Prng.choose g ~weights:[ (9.0, `A); (1.0, `B) ] with
+    | `A -> incr a
+    | `B -> incr b
+  done;
+  Alcotest.(check bool) "ratio about 9:1" true (!a > !b * 5)
+
+let test_prng_shuffle_permutation () =
+  let g = Prng.create ~seed:11L in
+  let a = Array.init 50 Fun.id in
+  Prng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 Fun.id) sorted
+
+(* --- Histogram --------------------------------------------------------- *)
+
+let test_histogram_binning () =
+  let h = Histogram.create ~bin_width:50 ~max_value:200 in
+  List.iter (Histogram.add h) [ 0; 49; 50; 149; 199; 200; 1000 ];
+  Alcotest.(check int) "count" 7 (Histogram.count h);
+  Alcotest.(check int) "bin 0" 2 (Histogram.bin_value h 0);
+  Alcotest.(check int) "bin 1" 1 (Histogram.bin_value h 1);
+  Alcotest.(check int) "bin 2" 1 (Histogram.bin_value h 2);
+  Alcotest.(check int) "bin 3" 1 (Histogram.bin_value h 3);
+  Alcotest.(check int) "overflow" 2 (Histogram.bin_value h 4)
+
+let test_histogram_cumulative () =
+  let h = Histogram.create ~bin_width:10 ~max_value:100 in
+  List.iter (Histogram.add h) [ 5; 15; 25; 35 ];
+  check_float "half at 19" 0.5 (Histogram.cumulative_at h 19);
+  check_float "all at 99" 1.0 (Histogram.cumulative_at h 99)
+
+let test_histogram_percentile () =
+  let h = Histogram.create ~bin_width:10 ~max_value:100 in
+  for v = 0 to 99 do
+    Histogram.add h v
+  done;
+  Alcotest.(check int) "p50" 50 (Histogram.percentile h 50.0);
+  Alcotest.(check int) "p100" 100 (Histogram.percentile h 100.0)
+
+let test_histogram_mode () =
+  let h = Histogram.create ~bin_width:10 ~max_value:100 in
+  List.iter (Histogram.add h) [ 11; 12; 13; 55 ];
+  Alcotest.(check int) "mode bin" 1 (Histogram.mode_bin h)
+
+let test_histogram_rejects_negative () =
+  let h = Histogram.create ~bin_width:10 ~max_value:100 in
+  Alcotest.check_raises "negative" (Invalid_argument "Histogram.add: negative sample")
+    (fun () -> Histogram.add h (-1))
+
+let test_histogram_render_smoke () =
+  let h = Histogram.create ~bin_width:50 ~max_value:200 in
+  List.iter (Histogram.add h) [ 10; 20; 60; 170 ];
+  let buf = Buffer.create 64 in
+  Histogram.render h (Format.formatter_of_buffer buf);
+  Alcotest.(check bool) "mentions total" true
+    (let s = Buffer.contents buf in
+     String.length s > 0)
+
+let test_histogram_fraction_below () =
+  let h = Histogram.create ~bin_width:10 ~max_value:100 in
+  List.iter (Histogram.add h) [ 5; 15; 25; 35 ];
+  Alcotest.(check (float 1e-9)) "at boundary" 0.25 (Histogram.fraction_below h 10);
+  Alcotest.(check (float 1e-9)) "interpolated" 0.375 (Histogram.fraction_below h 15);
+  Alcotest.(check (float 1e-9)) "zero" 0.0 (Histogram.fraction_below h 0);
+  Alcotest.(check (float 1e-9)) "all" 1.0 (Histogram.fraction_below h 1000)
+
+let test_histogram_iter_covers_all_bins () =
+  let h = Histogram.create ~bin_width:25 ~max_value:100 in
+  List.iter (Histogram.add h) [ 0; 30; 99; 500 ];
+  let seen = ref 0 and counted = ref 0 and overflow = ref None in
+  Histogram.iter h (fun ~lower:_ ~upper ~count ->
+      incr seen;
+      counted := !counted + count;
+      if upper = None then overflow := Some count);
+  Alcotest.(check int) "bins visited" (Histogram.bin_count h) !seen;
+  Alcotest.(check int) "samples counted" 4 !counted;
+  Alcotest.(check (option int)) "overflow bin" (Some 1) !overflow
+
+let test_histogram_empty_percentile () =
+  let h = Histogram.create ~bin_width:10 ~max_value:100 in
+  Alcotest.(check int) "empty p99" 0 (Histogram.percentile h 99.0);
+  Alcotest.(check (float 1e-9)) "empty cumulative" 0.0 (Histogram.cumulative_at h 50)
+
+(* --- Stats ------------------------------------------------------------- *)
+
+let test_stats_basic () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.(check int) "n" 4 (Stats.n s);
+  check_float "mean" 2.5 (Stats.mean s);
+  check_float "min" 1.0 (Stats.min_value s);
+  check_float "max" 4.0 (Stats.max_value s);
+  check_float "total" 10.0 (Stats.total s);
+  Alcotest.(check bool) "variance"
+    true
+    (Float.abs (Stats.variance s -. (5.0 /. 3.0)) < 1e-9)
+
+let test_stats_pp_renders () =
+  let s = Stats.create () in
+  Alcotest.(check string) "empty" "(no samples)" (Format.asprintf "%a" Stats.pp s);
+  Stats.add s 1.5;
+  Stats.add s 2.5;
+  let rendered = Format.asprintf "%a" Stats.pp s in
+  Alcotest.(check bool) "mentions mean" true
+    (String.length rendered > 0 && String.sub rendered 0 4 = "2.00")
+
+let test_stats_merge_with_empty () =
+  let a = Stats.create () and b = Stats.create () in
+  Stats.add a 5.0;
+  let m1 = Stats.merge a b and m2 = Stats.merge b a in
+  Alcotest.(check int) "n left" 1 (Stats.n m1);
+  Alcotest.(check int) "n right" 1 (Stats.n m2);
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Stats.mean m2)
+
+let test_stats_merge_equals_combined () =
+  let a = Stats.create () and b = Stats.create () and all = Stats.create () in
+  let values = [ 1.5; 2.5; 10.0; -3.0; 7.25; 0.0 ] in
+  List.iteri
+    (fun i v ->
+      Stats.add all v;
+      Stats.add (if i mod 2 = 0 then a else b) v)
+    values;
+  let m = Stats.merge a b in
+  check_float "mean" (Stats.mean all) (Stats.mean m);
+  Alcotest.(check bool) "variance close" true
+    (Float.abs (Stats.variance all -. Stats.variance m) < 1e-9);
+  Alcotest.(check int) "n" (Stats.n all) (Stats.n m)
+
+(* --- Table / Chart ----------------------------------------------------- *)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_table_render () =
+  let t = Table.create ~columns:[ ("name", Table.Left); ("us", Table.Right) ] in
+  Table.add_row t [ "Null"; "157" ];
+  Table.add_row t [ "Add"; "164" ];
+  let s = Table.to_string t in
+  Alcotest.(check bool) "has Null row" true (contains ~needle:"Null" s);
+  Alcotest.(check bool) "has header" true (contains ~needle:"name" s)
+
+let test_table_wrong_arity () =
+  let t = Table.create ~columns:[ ("a", Table.Left) ] in
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Table.add_row: wrong number of cells") (fun () ->
+      Table.add_row t [ "x"; "y" ])
+
+let test_chart_render () =
+  let c = Chart.create ~x_label:"processors" ~y_label:"calls/s" () in
+  Chart.add_series c ~name:"LRPC" [ (1., 6300.); (4., 23000.) ];
+  let s = Chart.to_string c in
+  Alcotest.(check bool) "non-empty" true (String.length s > 100)
+
+(* --- Property tests ---------------------------------------------------- *)
+
+let prop_histogram_total =
+  QCheck.Test.make ~name:"histogram count equals samples added" ~count:200
+    QCheck.(list (int_bound 5000))
+    (fun samples ->
+      let h = Histogram.create ~bin_width:100 ~max_value:2000 in
+      List.iter (Histogram.add h) samples;
+      Histogram.count h = List.length samples)
+
+let prop_histogram_cumulative_monotone =
+  QCheck.Test.make ~name:"histogram cumulative is monotone" ~count:100
+    QCheck.(list_of_size (Gen.return 50) (int_bound 1000))
+    (fun samples ->
+      let h = Histogram.create ~bin_width:37 ~max_value:900 in
+      List.iter (Histogram.add h) samples;
+      let ok = ref true in
+      let prev = ref 0.0 in
+      for v = 0 to 1000 do
+        let c = Histogram.cumulative_at h v in
+        if c < !prev -. 1e-12 then ok := false;
+        prev := c
+      done;
+      !ok)
+
+let prop_stats_mean_bounded =
+  QCheck.Test.make ~name:"stats mean within min..max" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_range (-1e6) 1e6))
+    (fun samples ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) samples;
+      Stats.mean s >= Stats.min_value s -. 1e-6
+      && Stats.mean s <= Stats.max_value s +. 1e-6)
+
+let prop_prng_int_in_range =
+  QCheck.Test.make ~name:"prng int respects bound" ~count:500
+    QCheck.(pair int64 (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let g = Prng.create ~seed in
+      let v = Prng.int g bound in
+      v >= 0 && v < bound)
+
+let () =
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest
+      [
+        prop_histogram_total;
+        prop_histogram_cumulative_monotone;
+        prop_stats_mean_bounded;
+        prop_prng_int_in_range;
+      ]
+  in
+  Alcotest.run "lrpc_util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "split independent" `Quick test_prng_split_independent;
+          Alcotest.test_case "copy" `Quick test_prng_copy;
+          Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+          Alcotest.test_case "float bounds" `Quick test_prng_float_bounds;
+          Alcotest.test_case "bernoulli mean" `Quick test_prng_bernoulli_mean;
+          Alcotest.test_case "exponential mean" `Quick test_prng_exponential_mean;
+          Alcotest.test_case "zipf skew" `Quick test_prng_zipf_skew;
+          Alcotest.test_case "choose weights" `Quick test_prng_choose_weights;
+          Alcotest.test_case "shuffle permutation" `Quick test_prng_shuffle_permutation;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "binning" `Quick test_histogram_binning;
+          Alcotest.test_case "cumulative" `Quick test_histogram_cumulative;
+          Alcotest.test_case "percentile" `Quick test_histogram_percentile;
+          Alcotest.test_case "mode" `Quick test_histogram_mode;
+          Alcotest.test_case "rejects negative" `Quick test_histogram_rejects_negative;
+          Alcotest.test_case "render" `Quick test_histogram_render_smoke;
+          Alcotest.test_case "fraction below" `Quick test_histogram_fraction_below;
+          Alcotest.test_case "iter" `Quick test_histogram_iter_covers_all_bins;
+          Alcotest.test_case "empty percentile" `Quick test_histogram_empty_percentile;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basic" `Quick test_stats_basic;
+          Alcotest.test_case "pp" `Quick test_stats_pp_renders;
+          Alcotest.test_case "merge empty" `Quick test_stats_merge_with_empty;
+          Alcotest.test_case "merge" `Quick test_stats_merge_equals_combined;
+        ] );
+      ( "table+chart",
+        [
+          Alcotest.test_case "table render" `Quick test_table_render;
+          Alcotest.test_case "table arity" `Quick test_table_wrong_arity;
+          Alcotest.test_case "chart render" `Quick test_chart_render;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,207 @@
+module Prng = Lrpc_util.Prng
+module Histogram = Lrpc_util.Histogram
+module Os = Lrpc_workload.Os_profiles
+module Sizes = Lrpc_workload.Sizes
+module Driver = Lrpc_workload.Driver
+module Time = Lrpc_sim.Time
+module V = Lrpc_idl.Value
+
+(* --- Table 1 models --------------------------------------------------------- *)
+
+let test_expected_percents_match_paper () =
+  List.iter
+    (fun m ->
+      let expected = Os.expected_percent m in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s analytic %.2f near paper %.1f" m.Os.os_name expected
+           m.Os.paper_percent)
+        true
+        (Float.abs (expected -. m.Os.paper_percent) < 0.3))
+    Os.all
+
+let test_sampling_converges () =
+  let rng = Prng.create ~seed:11L in
+  List.iter
+    (fun m ->
+      let r = Os.run (Prng.split rng) m ~operations:400_000 in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s sampled %.2f" m.Os.os_name r.Os.percent_cross_machine)
+        true
+        (Float.abs (r.Os.percent_cross_machine -. Os.expected_percent m) < 0.25);
+      Alcotest.(check int) "counts partition" r.Os.operations
+        (r.Os.cross_domain + r.Os.cross_machine))
+    Os.all
+
+let test_cross_domain_dominates_everywhere () =
+  let rng = Prng.create ~seed:5L in
+  List.iter
+    (fun m ->
+      let r = Os.run (Prng.split rng) m ~operations:50_000 in
+      Alcotest.(check bool) "cross-domain dominates" true
+        (r.Os.cross_domain > 9 * r.Os.cross_machine))
+    Os.all
+
+let test_run_deterministic () =
+  let run () = Os.run (Prng.create ~seed:3L) Os.taos ~operations:10_000 in
+  Alcotest.(check int) "same counts" (run ()).Os.cross_machine
+    (run ()).Os.cross_machine
+
+(* --- Figure 1 population ------------------------------------------------------ *)
+
+let pop = Sizes.generate_population (Prng.create ~seed:42L)
+
+let test_population_shape () =
+  Alcotest.(check int) "services" 28 pop.Sizes.services;
+  Alcotest.(check int) "procedures" 366 (Array.length pop.Sizes.procs);
+  Alcotest.(check bool) "over 1000 parameters" true (Sizes.param_count pop > 1000)
+
+let near name target tolerance value =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %.3f within %.3f of %.3f" name value tolerance target)
+    true
+    (Float.abs (value -. target) <= tolerance)
+
+let test_population_statics () =
+  near "fixed params (4 of 5)" 0.80 0.05 (Sizes.static_fixed_param_fraction pop);
+  near "small params (65%)" 0.65 0.05 (Sizes.static_small_param_fraction pop);
+  near "all-fixed procs (2/3)" 0.67 0.07 (Sizes.static_all_fixed_proc_fraction pop);
+  near "small procs (60%)" 0.60 0.10 (Sizes.static_small_proc_fraction pop)
+
+let test_traffic_landmarks () =
+  let rng = Prng.create ~seed:42L in
+  let stats = Sizes.synthesize_traffic rng pop ~calls:300_000 in
+  Alcotest.(check int) "112 distinct procs" 112 stats.Sizes.distinct_procs;
+  near "top-3 share" 0.75 0.02 stats.Sizes.top3_share;
+  near "top-10 share" 0.95 0.02 stats.Sizes.top10_share;
+  let h = stats.Sizes.histogram in
+  Alcotest.(check int) "mode under 50 bytes" 0 (Histogram.mode_bin h);
+  Alcotest.(check bool) "majority under 200" true
+    (Histogram.cumulative_at h 199 > 0.5);
+  Alcotest.(check bool) "visible tail beyond 200" true
+    (Histogram.cumulative_at h 199 < 0.99)
+
+let test_traffic_deterministic () =
+  let stats seed =
+    let rng = Prng.create ~seed in
+    let p = Sizes.generate_population rng in
+    Sizes.synthesize_traffic rng p ~calls:20_000
+  in
+  let a = stats 9L and b = stats 9L in
+  Alcotest.(check int) "same max" a.Sizes.max_single b.Sizes.max_single;
+  Alcotest.(check (float 1e-12)) "same share" a.Sizes.top3_share b.Sizes.top3_share
+
+(* --- Session: a real simulated workstation ------------------------------------ *)
+
+module Session = Lrpc_workload.Session
+
+let test_session_counts_partition () =
+  let r = Session.run ~operations:3_000 Os.taos in
+  Alcotest.(check int) "all operations performed" r.Session.operations
+    (r.Session.local_calls + r.Session.remote_calls);
+  Alcotest.(check int) "3000 total" 3_000 r.Session.operations
+
+let test_session_percent_near_model () =
+  let r = Session.run ~operations:20_000 Os.taos in
+  Alcotest.(check bool)
+    (Printf.sprintf "%.2f%% near 5.3%%" r.Session.percent_remote_calls)
+    true
+    (Float.abs (r.Session.percent_remote_calls -. 5.25) < 1.0)
+
+let test_session_time_amplification () =
+  (* the paper's motivation: a cross-machine RPC is slower than even a
+     slow cross-domain RPC, so a sliver of remote calls dominates time *)
+  let r = Session.run ~operations:10_000 Os.taos in
+  Alcotest.(check bool) "time share >> call share" true
+    (r.Session.percent_time_remote > 4.0 *. r.Session.percent_remote_calls);
+  Alcotest.(check bool) "network time below elapsed" true
+    (Lrpc_sim.Time.compare r.Session.network_time r.Session.elapsed < 0)
+
+let test_session_no_remote_for_pure_local_model () =
+  let local_only =
+    {
+      Os.os_name = "local-only";
+      classes = [ { Os.class_name = "ipc"; weight = 1.0; remote_probability = 0.0 } ];
+      paper_percent = 0.0;
+    }
+  in
+  let r = Session.run ~operations:500 local_only in
+  Alcotest.(check int) "no remote calls" 0 r.Session.remote_calls;
+  Alcotest.(check int) "no network time" 0 r.Session.network_time
+
+let test_session_deterministic () =
+  let a = Session.run ~seed:7L ~operations:2_000 Os.v_system in
+  let b = Session.run ~seed:7L ~operations:2_000 Os.v_system in
+  Alcotest.(check int) "same remote count" a.Session.remote_calls
+    b.Session.remote_calls;
+  Alcotest.(check int) "same elapsed" a.Session.elapsed b.Session.elapsed
+
+(* --- Driver ----------------------------------------------------------------- *)
+
+let test_driver_four_tests_shapes () =
+  let tests = Driver.four_tests () in
+  Alcotest.(check (list string))
+    "names"
+    [ "Null"; "Add"; "BigIn"; "BigInOut" ]
+    (List.map (fun t -> t.Driver.test_name) tests);
+  let bigin = List.nth tests 2 in
+  match bigin.Driver.args with
+  | [ V.Bytes b ] -> Alcotest.(check int) "200 bytes" 200 (Bytes.length b)
+  | _ -> Alcotest.fail "BigIn args"
+
+let test_driver_lrpc_latency_sane () =
+  let w = Driver.make_lrpc () in
+  let null = Driver.lrpc_latency ~calls:50 w ~proc:"null" ~args:[] in
+  Alcotest.(check (float 0.01)) "157" 157.0 null
+
+let test_driver_throughput_matches_latency () =
+  let tput =
+    Driver.lrpc_throughput ~processors:1 ~clients:1 ~horizon:(Time.ms 100) ()
+  in
+  (* 1e6/157 = 6369 *)
+  Alcotest.(check bool)
+    (Printf.sprintf "%.0f in 6300..6400" tput)
+    true
+    (tput > 6_300. && tput < 6_400.)
+
+let test_driver_failure_propagates () =
+  (* A driver world with a broken impl must raise, not hang or succeed. *)
+  let w = Driver.make_lrpc () in
+  match
+    Driver.lrpc_latency ~calls:1 w ~proc:"add" ~args:[ V.bool true; V.int 2 ]
+  with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "type error should surface"
+
+let () =
+  Alcotest.run "lrpc_workload"
+    [
+      ( "table1 models",
+        [
+          Alcotest.test_case "analytic percents" `Quick test_expected_percents_match_paper;
+          Alcotest.test_case "sampling converges" `Quick test_sampling_converges;
+          Alcotest.test_case "cross-domain dominates" `Quick test_cross_domain_dominates_everywhere;
+          Alcotest.test_case "deterministic" `Quick test_run_deterministic;
+        ] );
+      ( "figure1 model",
+        [
+          Alcotest.test_case "population shape" `Quick test_population_shape;
+          Alcotest.test_case "population statics" `Quick test_population_statics;
+          Alcotest.test_case "traffic landmarks" `Quick test_traffic_landmarks;
+          Alcotest.test_case "deterministic" `Quick test_traffic_deterministic;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "counts partition" `Quick test_session_counts_partition;
+          Alcotest.test_case "percent near model" `Quick test_session_percent_near_model;
+          Alcotest.test_case "time amplification" `Quick test_session_time_amplification;
+          Alcotest.test_case "pure local" `Quick test_session_no_remote_for_pure_local_model;
+          Alcotest.test_case "deterministic" `Quick test_session_deterministic;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "four tests" `Quick test_driver_four_tests_shapes;
+          Alcotest.test_case "latency sane" `Quick test_driver_lrpc_latency_sane;
+          Alcotest.test_case "throughput" `Quick test_driver_throughput_matches_latency;
+          Alcotest.test_case "failures surface" `Quick test_driver_failure_propagates;
+        ] );
+    ]
