@@ -1,0 +1,24 @@
+SMOKE_JSON := /tmp/lrpc_trace_smoke.json
+
+.PHONY: check build test smoke clean
+
+check: build test smoke
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# End-to-end: the tracer must exit cleanly and emit valid Chrome JSON.
+smoke: build
+	dune exec bin/lrpc_trace.exe -- --calls 2 --chrome $(SMOKE_JSON) > /dev/null
+	@if command -v jq > /dev/null; then \
+	  jq -e '.traceEvents | length > 0' $(SMOKE_JSON) > /dev/null; \
+	else \
+	  python3 -c "import json; d = json.load(open('$(SMOKE_JSON)')); assert d['traceEvents']"; \
+	fi
+	@echo "smoke OK"
+
+clean:
+	dune clean

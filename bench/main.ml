@@ -47,6 +47,20 @@ let experiments () =
   print_endline (E.Latency.render (E.Latency.run ~horizon ()))
 
 (* ------------------------------------------------------------------ *)
+(* Metrics registry snapshot of a fixed workload                       *)
+(* ------------------------------------------------------------------ *)
+
+let metrics_snapshot () =
+  section "Metrics registry snapshot (100 serial Null calls, fixed seed)";
+  let w = Driver.make_lrpc () in
+  ignore (Driver.lrpc_latency ~warmup:0 ~calls:100 w ~proc:"null" ~args:[]);
+  print_string
+    (Lrpc_obs.Metrics.render
+       (Lrpc_obs.Metrics.snapshot
+          (Lrpc_sim.Engine.metrics w.Driver.lw_engine)));
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks of the host-level implementation  *)
 (* ------------------------------------------------------------------ *)
 
@@ -121,6 +135,7 @@ let microbenchmarks () =
 
 let () =
   experiments ();
+  metrics_snapshot ();
   microbenchmarks ();
   print_newline ();
   print_endline "bench: done"

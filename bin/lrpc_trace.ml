@@ -1,19 +1,23 @@
 (* Print the scheduling timeline and cost breakdown of LRPC calls — a
    debugging lens on the simulator.
 
-     lrpc_trace            # one serial Null call on one C-VAX
-     lrpc_trace --mp       # with domain caching on two processors
-     lrpc_trace --calls 3  # several calls (watch the steady state form)
+     lrpc_trace                       # one serial Null call on one C-VAX
+     lrpc_trace --mp                  # with domain caching on two processors
+     lrpc_trace --calls 3             # several calls (watch the steady state)
+     lrpc_trace --chrome trace.json   # write a Chrome trace for Perfetto
+     lrpc_trace --metrics             # dump the metrics registry snapshot
 *)
 
 module Engine = Lrpc_sim.Engine
 module Time = Lrpc_sim.Time
 module Trace = Lrpc_sim.Trace
+module Metrics = Lrpc_obs.Metrics
+module Chrome_trace = Lrpc_obs.Chrome_trace
 module Kernel = Lrpc_kernel.Kernel
 module Api = Lrpc_core.Api
 module Driver = Lrpc_workload.Driver
 
-let run mp calls =
+let run mp calls chrome metrics =
   let w =
     Driver.make_lrpc
       ~processors:(if mp then 2 else 1)
@@ -31,8 +35,11 @@ let run mp calls =
            ignore (Api.call w.Driver.lw_rt b ~proc:"null" [])
          done));
   Engine.run w.Driver.lw_engine;
-  Format.printf "=== scheduling timeline (%d events) ===@."
-    (Trace.count tracer);
+  Format.printf "=== scheduling timeline (%d events%s) ===@."
+    (Trace.count tracer)
+    (match Trace.dropped tracer with
+    | 0 -> ""
+    | n -> Printf.sprintf ", %d dropped" n);
   print_string (Trace.dump tracer);
   Format.printf "@.=== cost breakdown ===@.";
   List.iter
@@ -44,7 +51,23 @@ let run mp calls =
   Format.printf "total simulated time: %.1f us over %d call(s)%s@."
     (Time.to_us (Engine.now w.Driver.lw_engine))
     calls
-    (if mp then " (domain caching on)" else "")
+    (if mp then " (domain caching on)" else "");
+  if metrics then begin
+    Format.printf "@.=== metrics registry ===@.";
+    print_string
+      (Metrics.render (Metrics.snapshot (Engine.metrics w.Driver.lw_engine)))
+  end;
+  match chrome with
+  | None -> ()
+  | Some path -> (
+      try
+        let oc = open_out path in
+        output_string oc (Chrome_trace.to_json tracer);
+        close_out oc;
+        Format.printf "@.wrote Chrome trace to %s (open in Perfetto)@." path
+      with Sys_error msg ->
+        Format.eprintf "lrpc_trace: cannot write Chrome trace: %s@." msg;
+        exit 1)
 
 open Cmdliner
 
@@ -54,10 +77,22 @@ let mp_arg =
 let calls_arg =
   Arg.(value & opt int 1 & info [ "calls" ] ~doc:"Number of Null calls.")
 
+let chrome_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chrome" ] ~docv:"PATH"
+        ~doc:"Write the trace as Chrome trace_event JSON to $(docv).")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ] ~doc:"Print the engine's metrics registry snapshot.")
+
 let cmd =
   Cmd.v
     (Cmd.info "lrpc_trace" ~version:"1.0"
        ~doc:"Trace the scheduling events of simulated LRPC calls.")
-    Term.(const run $ mp_arg $ calls_arg)
+    Term.(const run $ mp_arg $ calls_arg $ chrome_arg $ metrics_arg)
 
 let () = exit (Cmd.eval cmd)

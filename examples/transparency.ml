@@ -77,5 +77,5 @@ let () =
          Format.printf "remote settime(7); gettime() = %d@." (gettime remote)));
   Engine.run engine;
   assert (Engine.failures engine = []);
-  Format.printf "network RPCs performed: %d@." (Lrpc_net.Netrpc.remote_calls ());
+  Format.printf "network RPCs performed: %d@." (Lrpc_net.Netrpc.remote_calls rt);
   Format.printf "transparency: ok@."

@@ -1,5 +1,12 @@
 open Rt
 
+let note_bound rt b =
+  let e = engine rt in
+  Metrics.Counter.incr (Metrics.counter (Engine.metrics e) "lrpc.bindings");
+  Engine.emit e
+    (Event.Bound
+       { interface = b.b_export.ex_iface.I.interface_name; binding = b.bid })
+
 let export rt ~domain ?(defensive_copies = false) iface ~impls =
   (match I.validate iface with
   | Ok () -> ()
@@ -116,12 +123,15 @@ let build_binding rt ~client ex =
       b_export = ex;
       b_procs = procs;
       b_client_stub_pages = client_stubs.Vm.pages;
+      b_stats =
+        make_call_stats rt ~bid:rt.next_binding ~client ~server;
       b_revoked = false;
       b_remote = None;
     }
   in
   rt.next_binding <- rt.next_binding + 1;
   Hashtbl.replace rt.bindings b.bid b;
+  note_bound rt b;
   b
 
 let rec import ?(wait = false) rt ~domain ~interface =
@@ -165,12 +175,15 @@ let make_remote_binding rt ~client ~server iface ~transport =
         };
       b_procs = [];
       b_client_stub_pages = [];
+      b_stats =
+        make_call_stats rt ~bid:rt.next_binding ~client ~server;
       b_revoked = false;
       b_remote = Some transport;
     }
   in
   rt.next_binding <- rt.next_binding + 1;
   Hashtbl.replace rt.bindings b.bid b;
+  note_bound rt b;
   b
 
 let verify rt b ~caller ~proc =

@@ -1,7 +1,7 @@
 open Rt
 module Category = Lrpc_sim.Category
 
-let calls_completed rt = rt.calls_completed
+let calls_completed rt = Metrics.Counter.value rt.c_calls_completed
 
 (* Ablation A4: the counterfactual global kernel lock. LRPC proper runs
    this section lock-free. *)
@@ -17,6 +17,7 @@ let transfer_to rt ~target =
   if Kernel.domain_caching_enabled rt.kernel then
     match Kernel.find_idle_processor_in_context rt.kernel target with
     | Some cpu ->
+        Kernel.note_context_hit rt.kernel target;
         Engine.exchange_processors e ~target:cpu;
         (* The context is already loaded: retagging is free. *)
         Engine.switch_self_context e ~domain:target.Pdomain.id
@@ -99,13 +100,20 @@ let call ?audit rt b ~proc args =
   let e = engine rt in
   let cm = cost_model rt in
   let th = Engine.self e in
+  (* Stage boundaries for the per-binding latency histograms. Only the
+     total is meaningful on the remote path. *)
+  let t0 = Engine.now e in
   (* The formal procedure call into the client stub. *)
   Engine.delay ~category:Category.Proc_call e cm.Lrpc_sim.Cost_model.proc_call;
   match b.b_remote with
   | Some transport ->
       (* §5.1: the remote bit, tested by the stub's first instruction,
          branches to the conventional network RPC path. *)
-      transport ~proc args
+      let results = transport ~proc args in
+      Metrics.Counter.incr b.b_stats.cs_calls;
+      Metrics.Histo.observe_us b.b_stats.cs_total
+        (Time.sub (Engine.now e) t0);
+      results
   | None ->
       let client = b.b_client and server = b.b_server in
       (* The caller's identity is the domain the trapping thread actually
@@ -143,11 +151,13 @@ let call ?audit rt b ~proc args =
       let release_oob () =
         if oob then Kernel.release_region rt.kernel ~owner:client data_region
       in
+      let t_bind = Engine.now e in
       (try marshal_inputs rt ?audit ~client:caller ~region:data_region plan
        with exn ->
          release_oob ();
          Astack.checkin rt pb astack;
          raise exn);
+      let t_marshal = Engine.now e in
       let bytes_in =
         List.fold_left
           (fun acc (s : Layout.slot) -> acc + s.Layout.size)
@@ -204,6 +214,7 @@ let call ?audit rt b ~proc args =
       (* Upcall into the server's entry stub. *)
       Engine.delay ~category:Category.Stub_server e
         cm.Lrpc_sim.Cost_model.server_stub_call;
+      let t_transfer = Engine.now e in
       if b.b_export.ex_defensive then
         defensive_copies rt ?audit ~server ~region:data_region plan;
       let ctx =
@@ -231,6 +242,7 @@ let call ?audit rt b ~proc args =
          linkage record — no re-validation. *)
       Engine.delay ~category:Category.Stub_server e
         cm.Lrpc_sim.Cost_model.server_stub_return;
+      let t_server = Engine.now e in
       Kernel.trap rt.kernel;
       let was_valid, was_abandoned =
         klocked rt (fun () ->
@@ -281,6 +293,15 @@ let call ?audit rt b ~proc args =
       Astack.checkin rt pb astack;
       (match result with
       | Ok outputs ->
-          rt.calls_completed <- rt.calls_completed + 1;
+          Metrics.Counter.incr rt.c_calls_completed;
+          let st = b.b_stats in
+          let t_end = Engine.now e in
+          Metrics.Counter.incr st.cs_calls;
+          Metrics.Histo.observe_us st.cs_total (Time.sub t_end t0);
+          Metrics.Histo.observe_us st.cs_bind (Time.sub t_bind t0);
+          Metrics.Histo.observe_us st.cs_marshal (Time.sub t_marshal t_bind);
+          Metrics.Histo.observe_us st.cs_transfer (Time.sub t_transfer t_marshal);
+          Metrics.Histo.observe_us st.cs_server (Time.sub t_server t_transfer);
+          Metrics.Histo.observe_us st.cs_return (Time.sub t_end t_server);
           outputs
       | Error exn -> raise exn)

@@ -9,6 +9,8 @@
 
 module Engine = Lrpc_sim.Engine
 module Time = Lrpc_sim.Time
+module Event = Lrpc_obs.Event
+module Metrics = Lrpc_obs.Metrics
 module Spinlock = Lrpc_sim.Spinlock
 module Waitq = Lrpc_sim.Waitq
 module Kernel = Lrpc_kernel.Kernel
@@ -109,6 +111,19 @@ and astack = {
   mutable a_last_used : Time.t;
 }
 
+(* Per-binding call statistics, kept in the engine's metrics registry
+   (labels: binding id, client and server names). Latencies are in
+   microseconds, one histogram per stage of the call path. *)
+type call_stats = {
+  cs_calls : Metrics.counter;
+  cs_total : Metrics.histogram;
+  cs_bind : Metrics.histogram;
+  cs_marshal : Metrics.histogram;
+  cs_transfer : Metrics.histogram;
+  cs_server : Metrics.histogram;
+  cs_return : Metrics.histogram;
+}
+
 type impl = server_ctx -> V.t list
 
 and export = {
@@ -148,6 +163,7 @@ and binding = {
   b_export : export;
   b_procs : (string * proc_binding) list;
   b_client_stub_pages : int list;
+  b_stats : call_stats;
   mutable b_revoked : bool;
   b_remote : remote_transport option;
       (** §5.1: set on bindings to truly remote servers; the stub's first
@@ -185,7 +201,7 @@ and runtime = {
   binding_table_pages : int list;
   mutable next_binding : int;
   mutable next_astack : int;
-  mutable calls_completed : int;
+  c_calls_completed : Metrics.counter;  (** ["lrpc.calls_completed"] *)
 }
 
 let engine rt = Kernel.engine rt.kernel
@@ -224,7 +240,30 @@ let create ?(config = default_config) kernel =
     binding_table_pages = btable.Vm.pages;
     next_binding = 1;
     next_astack = 1;
-    calls_completed = 0;
+    c_calls_completed =
+      Metrics.counter (Engine.metrics (Kernel.engine kernel))
+        "lrpc.calls_completed";
+  }
+
+(* Registered lazily at bind time; same-binding ids share instruments. *)
+let make_call_stats rt ~bid ~client ~server =
+  let m = Engine.metrics (Kernel.engine rt.kernel) in
+  let labels =
+    [
+      ("binding", string_of_int bid);
+      ("client", client.Pdomain.name);
+      ("server", server.Pdomain.name);
+    ]
+  in
+  let stage s = Metrics.histogram m ~labels:(("stage", s) :: labels) "lrpc.call_us" in
+  {
+    cs_calls = Metrics.counter m ~labels "lrpc.calls";
+    cs_total = stage "total";
+    cs_bind = stage "bind";
+    cs_marshal = stage "marshal";
+    cs_transfer = stage "transfer";
+    cs_server = stage "server";
+    cs_return = stage "return";
   }
 
 (* Client-code and client-stack pages of a domain, for the return-side TLB

@@ -1,6 +1,8 @@
 module Engine = Lrpc_sim.Engine
 module Cost_model = Lrpc_sim.Cost_model
 module Category = Lrpc_sim.Category
+module Event = Lrpc_obs.Event
+module Metrics = Lrpc_obs.Metrics
 
 exception Domain_terminated of string
 
@@ -8,11 +10,13 @@ type t = {
   engine : Engine.t;
   kernel_domain : Pdomain.t;
   mutable domains_ : Pdomain.t list; (* reversed *)
+  by_id : (Pdomain.id, Pdomain.t) Hashtbl.t; (* the call-path lookup *)
   mutable next_domain : int;
   mutable next_page : int;
   mutable next_region : int;
   mutable caching : bool;
-  misses : (Pdomain.id, int ref) Hashtbl.t;
+  misses : (Pdomain.id, Metrics.counter) Hashtbl.t;
+  hits : (Pdomain.id, Metrics.counter) Hashtbl.t;
   mutable hooks : (Pdomain.t -> unit) list; (* reversed *)
 }
 
@@ -28,15 +32,19 @@ let boot engine =
       page_limit = max_int;
     }
   in
+  let by_id = Hashtbl.create 64 in
+  Hashtbl.replace by_id kernel_domain.Pdomain.id kernel_domain;
   {
     engine;
     kernel_domain;
     domains_ = [ kernel_domain ];
+    by_id;
     next_domain = 1;
     next_page = 1;
     next_region = 1;
     caching = false;
     misses = Hashtbl.create 16;
+    hits = Hashtbl.create 16;
     hooks = [];
   }
 
@@ -58,12 +66,12 @@ let create_domain ?(machine = 0) ?(page_limit = 16_384) t ~name =
   in
   t.next_domain <- t.next_domain + 1;
   t.domains_ <- d :: t.domains_;
+  Hashtbl.replace t.by_id d.Pdomain.id d;
   d
 
 let domains t = List.rev t.domains_
 
-let find_domain t id =
-  List.find_opt (fun d -> d.Pdomain.id = id) t.domains_
+let find_domain t id = Hashtbl.find_opt t.by_id id
 
 let require_active d =
   if not (Pdomain.active d) then
@@ -118,6 +126,7 @@ let spawn ?(name = "thread") ?home t d body =
   th
 
 let trap t =
+  Engine.emit t.engine Event.Trap;
   Engine.delay ~category:Category.Trap t.engine
     (cost_model t).Cost_model.trap
 
@@ -139,15 +148,27 @@ let find_idle_processor_in_context t d =
     cpus;
   !found
 
-let miss_counter t d =
-  match Hashtbl.find_opt t.misses d.Pdomain.id with
-  | Some r -> r
+(* Per-domain counters live in the engine's metrics registry; the local
+   hashtables only cache the instrument handles for the hot path. *)
+let domain_counter t cache name d =
+  match Hashtbl.find_opt cache d.Pdomain.id with
+  | Some c -> c
   | None ->
-      let r = ref 0 in
-      Hashtbl.replace t.misses d.Pdomain.id r;
-      r
+      let c =
+        Metrics.counter (Engine.metrics t.engine)
+          ~labels:[ ("domain", string_of_int d.Pdomain.id) ]
+          name
+      in
+      Hashtbl.replace cache d.Pdomain.id c;
+      c
 
-let context_misses t d = !(miss_counter t d)
+let miss_counter t d = domain_counter t t.misses "kernel.context_misses" d
+let hit_counter t d = domain_counter t t.hits "kernel.context_hits" d
+
+let context_misses t d = Metrics.Counter.value (miss_counter t d)
+let context_hits t d = Metrics.Counter.value (hit_counter t d)
+
+let note_context_hit t d = Metrics.Counter.incr (hit_counter t d)
 
 (* Prod policy: when a miss is recorded, claim one idle processor whose
    loaded context belongs to no domain that out-misses this one, and
@@ -155,9 +176,9 @@ let context_misses t d = !(miss_counter t d)
    threads noticing the counters and spinning in busy domains. *)
 let note_context_miss t d =
   let r = miss_counter t d in
-  incr r;
+  Metrics.Counter.incr r;
   if t.caching then begin
-    let my_misses = !r in
+    let my_misses = Metrics.Counter.value r in
     let cpus = Engine.cpus t.engine in
     let candidate = ref None in
     Array.iter
@@ -168,7 +189,7 @@ let note_context_miss t d =
             | Some id when id = d.Pdomain.id -> max_int (* already ours *)
             | Some id -> (
                 match Hashtbl.find_opt t.misses id with
-                | Some m -> !m
+                | Some m -> Metrics.Counter.value m
                 | None -> 0)
             | None -> -1
           in
@@ -194,6 +215,7 @@ let terminate_domain t d =
   match d.Pdomain.state with
   | Pdomain.Dead | Pdomain.Terminating -> ()
   | Pdomain.Active ->
+      Engine.emit t.engine (Event.Terminated { domain = d.Pdomain.name });
       d.Pdomain.state <- Pdomain.Terminating;
       List.iter (fun hook -> hook d) (List.rev t.hooks);
       (* Stop homed threads that are still inside the domain. Threads that

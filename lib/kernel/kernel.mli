@@ -26,6 +26,8 @@ val create_domain :
 val domains : t -> Pdomain.t list
 
 val find_domain : t -> Pdomain.id -> Pdomain.t option
+(** O(1): the id-to-domain table is a hashtable — this sits on the call
+    path of every LRPC (caller identification). *)
 
 (** {1 Memory} *)
 
@@ -78,6 +80,14 @@ val note_context_miss : t -> Pdomain.t -> unit
     most-missed domain. *)
 
 val context_misses : t -> Pdomain.t -> int
+(** Reads ["kernel.context_misses{domain=<id>}"] from the engine's
+    metrics registry — the counters' single home. *)
+
+val note_context_hit : t -> Pdomain.t -> unit
+(** Record that a call found an idle processor already holding this
+    domain's context (a successful processor exchange). *)
+
+val context_hits : t -> Pdomain.t -> int
 
 (** {1 Termination (paper §5.3)} *)
 

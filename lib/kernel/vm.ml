@@ -45,10 +45,13 @@ let note ?audit ?(label = "copy") ~bytes () =
       a.labels <- label :: a.labels
   | None -> ()
 
-let charge_copy engine rate len =
+let charge_copy engine rate label len =
   match engine with
   | None -> ()
   | Some e ->
+      Lrpc_sim.Engine.emit e
+        (Lrpc_obs.Event.Copy
+           { label = Option.value label ~default:"copy"; bytes = len });
       let per_value, per_byte =
         match rate with
         | Some r -> r
@@ -66,14 +69,14 @@ let write_bytes ?engine ?rate ?audit ?label ~by r ~off src =
   check r by "write_bytes";
   Bytes.blit src 0 r.data off (Bytes.length src);
   note ?audit ?label ~bytes:(Bytes.length src) ();
-  charge_copy engine rate (Bytes.length src)
+  charge_copy engine rate label (Bytes.length src)
 
 let read_bytes ?engine ?rate ?audit ?label ~by r ~off ~len =
   check r by "read_bytes";
   let out = Bytes.create len in
   Bytes.blit r.data off out 0 len;
   note ?audit ?label ~bytes:len ();
-  charge_copy engine rate len;
+  charge_copy engine rate label len;
   out
 
 let peek ~by r ~off ~len =
@@ -90,4 +93,4 @@ let region_to_region ?engine ?rate ?audit ?label ~src ~src_off ~dst ~dst_off ~le
     raise (Protection_violation "region_to_region: invalid region");
   Bytes.blit src.data src_off dst.data dst_off len;
   note ?audit ?label ~bytes:len ();
-  charge_copy engine rate len
+  charge_copy engine rate label len

@@ -1,6 +1,7 @@
 module Engine = Lrpc_sim.Engine
 module Time = Lrpc_sim.Time
 module Category = Lrpc_sim.Category
+module Metrics = Lrpc_obs.Metrics
 module Spinlock = Lrpc_sim.Spinlock
 module Waitq = Lrpc_sim.Waitq
 module Cost_model = Lrpc_sim.Cost_model
@@ -48,6 +49,8 @@ and server = {
   srv_port : message Queue.t;
   srv_recv_wait : Waitq.t;
   srv_lock : Spinlock.t option;
+  srv_c_calls : Metrics.counter;  (** ["mpass.calls{profile=...}"] *)
+  srv_h_call : Metrics.histogram;  (** ["mpass.call_us{profile=...}"] *)
 }
 
 and conn = {
@@ -239,6 +242,16 @@ let create_server kernel profile ~domain iface ~impls =
         (if profile.Profile.global_lock then
            Some (Spinlock.create ~name:"rpc-global-lock" (Kernel.engine kernel))
          else None);
+      srv_c_calls =
+        Metrics.counter
+          (Engine.metrics (Kernel.engine kernel))
+          ~labels:[ ("profile", profile.Profile.p_name) ]
+          "mpass.calls";
+      srv_h_call =
+        Metrics.histogram
+          (Engine.metrics (Kernel.engine kernel))
+          ~labels:[ ("profile", profile.Profile.p_name) ]
+          "mpass.call_us";
     }
   in
   for i = 1 to profile.Profile.receivers do
@@ -343,6 +356,7 @@ let call ?audit conn ~proc args =
   let e = engine s in
   let cm = Kernel.cost_model s.srv_kernel in
   let me = Engine.self e in
+  let t0 = Engine.now e in
   Engine.delay ~category:Category.Proc_call e cm.Cost_model.proc_call;
   delay s Category.Stub_client p.Profile.stub_call_client;
   let layout =
@@ -369,9 +383,10 @@ let call ?audit conn ~proc args =
     | `None ->
         { bs_client = None; bs_kernel = None; bs_server = None; bs_shared = None }
   in
-  Fun.protect
-    ~finally:(fun () -> release_bufset conn holder)
-    (fun () ->
+  let results =
+    Fun.protect
+      ~finally:(fun () -> release_bufset conn holder)
+      (fun () ->
       if in_registers then register_moves s args
       else begin
         (* Copy A: client stack into the message, one op per value. *)
@@ -455,6 +470,10 @@ let call ?audit conn ~proc args =
                        ~off:slot.Layout.offset ~len:consumed);
                   v)
                 (Layout.output_slots plan)))
+  in
+  Metrics.Counter.incr s.srv_c_calls;
+  Metrics.Histo.observe_us s.srv_h_call (Time.sub (Engine.now e) t0);
+  results
 
 let lock_contention s =
   match s.srv_lock with Some lk -> Spinlock.contended_acquires lk | None -> 0

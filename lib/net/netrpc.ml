@@ -1,6 +1,8 @@
 module Engine = Lrpc_sim.Engine
 module Time = Lrpc_sim.Time
 module Category = Lrpc_sim.Category
+module Event = Lrpc_obs.Event
+module Metrics = Lrpc_obs.Metrics
 module Pdomain = Lrpc_kernel.Pdomain
 module I = Lrpc_idl.Types
 module V = Lrpc_idl.Value
@@ -20,9 +22,15 @@ let wire_time ~bytes =
     (Time.add (Time.us_f null_network_us) (Time.ns (bytes * per_byte_ns)))
     (Time.scale per_extra_packet (float_of_int (packets - 1)))
 
-let counter = ref 0
-let remote_calls () = !counter
-let reset_remote_calls () = counter := 0
+(* The counter's single home is the runtime engine's metrics registry:
+   one count per simulated machine set, not per process. *)
+let remote_counter rt =
+  Metrics.counter
+    (Engine.metrics (Lrpc_core.Api.engine rt))
+    "net.remote_calls"
+
+let remote_calls rt = Metrics.Counter.value (remote_counter rt)
+let reset_remote_calls rt = Metrics.Counter.reset (remote_counter rt)
 
 let import_remote rt ~client ~server iface ~impls =
   if Pdomain.is_local client server then
@@ -54,12 +62,17 @@ let import_remote rt ~client ~server iface ~impls =
            (Printf.sprintf "%s: expected %d arguments" proc (List.length inputs)));
     List.iter2 (fun (prm : I.param) v -> V.check_exn prm.I.ty v) inputs args;
     let results = impl args in
-    let bytes =
+    let arg_bytes =
       List.fold_left (fun acc v -> acc + V.payload_bytes v) 0 args
-      + List.fold_left (fun acc v -> acc + V.payload_bytes v) 0 results
     in
-    incr counter;
-    Engine.delay ~category:Category.Network engine (wire_time ~bytes);
+    let result_bytes =
+      List.fold_left (fun acc v -> acc + V.payload_bytes v) 0 results
+    in
+    Metrics.Counter.incr (remote_counter rt);
+    Engine.emit engine (Event.Net_send { bytes = arg_bytes });
+    Engine.delay ~category:Category.Network engine
+      (wire_time ~bytes:(arg_bytes + result_bytes));
+    Engine.emit engine (Event.Net_recv { bytes = result_bytes });
     results
   in
   Lrpc_core.Binding.make_remote_binding rt ~client ~server iface ~transport

@@ -35,7 +35,8 @@ val import_remote :
     Binding Object take the network path but look exactly like local
     ones to the caller. *)
 
-val remote_calls : unit -> int
-(** Process-wide count of network RPCs performed (workload statistics). *)
+val remote_calls : Lrpc_core.Api.t -> int
+(** Count of network RPCs performed through this runtime, read from
+    ["net.remote_calls"] in the engine's metrics registry. *)
 
-val reset_remote_calls : unit -> unit
+val reset_remote_calls : Lrpc_core.Api.t -> unit

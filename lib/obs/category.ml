@@ -1,0 +1,105 @@
+type t =
+  | Proc_call
+  | Trap
+  | Context_switch
+  | Tlb_miss
+  | Stub_client
+  | Stub_server
+  | Kernel_transfer
+  | Copy
+  | Lock
+  | Scheduling
+  | Buffer_mgmt
+  | Queueing
+  | Dispatch
+  | Validation
+  | Marshal
+  | Runtime
+  | Exchange
+  | Network
+  | Server_work
+  | Client_work
+  | Other
+
+let all =
+  [
+    Proc_call; Trap; Context_switch; Tlb_miss; Stub_client; Stub_server;
+    Kernel_transfer; Copy; Lock; Scheduling; Buffer_mgmt; Queueing; Dispatch;
+    Validation; Marshal; Runtime; Exchange; Network; Server_work; Client_work;
+    Other;
+  ]
+
+let to_string = function
+  | Proc_call -> "procedure call"
+  | Trap -> "kernel traps"
+  | Context_switch -> "context switch (VM reload)"
+  | Tlb_miss -> "TLB misses"
+  | Stub_client -> "client stub"
+  | Stub_server -> "server stub"
+  | Kernel_transfer -> "kernel transfer"
+  | Copy -> "argument copying"
+  | Lock -> "locking"
+  | Scheduling -> "scheduling"
+  | Buffer_mgmt -> "buffer management"
+  | Queueing -> "message queueing"
+  | Dispatch -> "dispatch"
+  | Validation -> "access validation"
+  | Marshal -> "marshaling"
+  | Runtime -> "runtime library"
+  | Exchange -> "processor exchange"
+  | Network -> "network"
+  | Server_work -> "server procedure"
+  | Client_work -> "client work"
+  | Other -> "other"
+
+let slug = function
+  | Proc_call -> "proc_call"
+  | Trap -> "trap"
+  | Context_switch -> "context_switch"
+  | Tlb_miss -> "tlb_miss"
+  | Stub_client -> "stub_client"
+  | Stub_server -> "stub_server"
+  | Kernel_transfer -> "kernel_transfer"
+  | Copy -> "copy"
+  | Lock -> "lock"
+  | Scheduling -> "scheduling"
+  | Buffer_mgmt -> "buffer_mgmt"
+  | Queueing -> "queueing"
+  | Dispatch -> "dispatch"
+  | Validation -> "validation"
+  | Marshal -> "marshal"
+  | Runtime -> "runtime"
+  | Exchange -> "exchange"
+  | Network -> "network"
+  | Server_work -> "server_work"
+  | Client_work -> "client_work"
+  | Other -> "other"
+
+let index = function
+  | Proc_call -> 0
+  | Trap -> 1
+  | Context_switch -> 2
+  | Tlb_miss -> 3
+  | Stub_client -> 4
+  | Stub_server -> 5
+  | Kernel_transfer -> 6
+  | Copy -> 7
+  | Lock -> 8
+  | Scheduling -> 9
+  | Buffer_mgmt -> 10
+  | Queueing -> 11
+  | Dispatch -> 12
+  | Validation -> 13
+  | Marshal -> 14
+  | Runtime -> 15
+  | Exchange -> 16
+  | Network -> 17
+  | Server_work -> 18
+  | Client_work -> 19
+  | Other -> 20
+
+let count = List.length all
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let compare = Stdlib.compare

@@ -1,0 +1,47 @@
+(** Cost-attribution categories.
+
+    Every simulated delay is tagged with the architectural event it models;
+    the engine accumulates time per category, which is how Table 5's
+    breakdown of the Null LRPC is produced (and how we check that nothing
+    is double-charged). *)
+
+type t =
+  | Proc_call      (** local (Modula2+) procedure call / return linkage *)
+  | Trap           (** kernel trap entry or exit *)
+  | Context_switch (** virtual-memory register reload *)
+  | Tlb_miss       (** translation-buffer refill after an invalidation *)
+  | Stub_client    (** client call stub work, excluding argument copies *)
+  | Stub_server    (** server entry stub work *)
+  | Kernel_transfer(** binding validation, linkage, E-stack management *)
+  | Copy           (** argument/result byte copying *)
+  | Lock           (** lock acquire/release work (not waiting) *)
+  | Scheduling     (** baseline RPC thread rendezvous / handoff *)
+  | Buffer_mgmt    (** baseline RPC message buffer allocation *)
+  | Queueing       (** baseline RPC message enqueue/dequeue, flow control *)
+  | Dispatch       (** baseline RPC receive-side message dispatch *)
+  | Validation     (** baseline RPC access validation *)
+  | Marshal        (** baseline RPC stub marshaling beyond raw copies *)
+  | Runtime        (** baseline RPC run-time library bookkeeping *)
+  | Exchange       (** LRPC idle-processor exchange (MP optimization) *)
+  | Network        (** wire time and protocol work of cross-machine RPC *)
+  | Server_work    (** time spent inside the server procedure body *)
+  | Client_work    (** time spent in client application code *)
+  | Other
+
+val all : t list
+
+val to_string : t -> string
+(** Human-readable label, e.g. ["context switch (VM reload)"]. *)
+
+val slug : t -> string
+(** Stable machine-readable identifier, e.g. ["context_switch"] — used as
+    a metrics label and in Chrome-trace categories. *)
+
+val index : t -> int
+(** Dense index into [0, count): categories as array subscripts. *)
+
+val count : int
+
+val pp : Format.formatter -> t -> unit
+
+val compare : t -> t -> int

@@ -1,0 +1,82 @@
+let esc = Metrics.json_escape
+
+let args_json kvs =
+  "{"
+  ^ String.concat ","
+      (List.map
+         (fun (k, v) ->
+           Printf.sprintf "\"%s\":%s" (esc k)
+             (match v with
+             | `Int i -> string_of_int i
+             | `Str s -> Printf.sprintf "\"%s\"" (esc s)))
+         kvs)
+  ^ "}"
+
+let ts_us (at : Time.t) = Printf.sprintf "%.3f" (Time.to_us at)
+
+(* Thread names are not carried on every event; recover them from the
+   dispatch/finish events present in the ring. *)
+let thread_names events =
+  let names = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Trace.event) ->
+      match e.Trace.kind with
+      | Event.Dispatch { thread; _ }
+      | Event.Block { thread }
+      | Event.Wake { thread }
+      | Event.Finish { thread; _ } ->
+          if not (Hashtbl.mem names e.Trace.tid) then
+            Hashtbl.replace names e.Trace.tid thread
+      | _ -> ())
+    events;
+  names
+
+let event_json ?(pid = 0) (e : Trace.event) =
+  let common =
+    Printf.sprintf "\"pid\":%d,\"tid\":%d,\"ts\":%s" pid e.Trace.tid
+      (ts_us e.Trace.at)
+  in
+  let args =
+    args_json (("cpu", `Int e.Trace.cpu) :: Event.args e.Trace.kind)
+  in
+  match e.Trace.kind with
+  | Event.Slice { category; dur } ->
+      (* A charged delay renders as a complete ("X") duration slice. *)
+      Printf.sprintf
+        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",%s,\"dur\":%s,\"args\":%s}"
+        (esc (Category.to_string category))
+        (esc (Category.slug category))
+        common (ts_us dur) args
+  | kind ->
+      (* Everything else is an instant event on the thread's track. *)
+      Printf.sprintf
+        "{\"name\":\"%s\",\"cat\":\"sched\",\"ph\":\"i\",\"s\":\"t\",%s,\"args\":%s}"
+        (esc (Event.name kind))
+        common args
+
+let to_json ?(pid = 0) ?(process_name = "lrpc-sim") tr =
+  let events = Trace.events tr in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  let first = ref true in
+  let add s =
+    if !first then first := false else Buffer.add_string buf ",";
+    Buffer.add_string buf s
+  in
+  add
+    (Printf.sprintf
+       "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"args\":{\"name\":\"%s\"}}"
+       pid (esc process_name));
+  let names = thread_names events in
+  Hashtbl.iter
+    (fun tid name ->
+      add
+        (Printf.sprintf
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+           pid tid
+           (esc (Printf.sprintf "%s (t%d)" name tid))))
+    names;
+  List.iter (fun e -> add (event_json ~pid e)) events;
+  Buffer.add_string buf
+    (Printf.sprintf "],\"otherData\":{\"droppedEvents\":%d}}" (Trace.dropped tr));
+  Buffer.contents buf

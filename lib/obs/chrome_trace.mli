@@ -1,0 +1,13 @@
+(** Chrome [trace_event] export.
+
+    Serializes a {!Trace.t} to the JSON Array/Object format understood by
+    [chrome://tracing] and {{:https://ui.perfetto.dev}Perfetto}: one track
+    per simulated thread, {!Event.Slice} events as duration slices
+    (phase ["X"]) and everything else as thread-scoped instants
+    (phase ["i"]). Timestamps are microseconds of simulated time and are
+    monotone in emission order. *)
+
+val to_json : ?pid:int -> ?process_name:string -> Trace.t -> string
+(** Render the retained events as a self-contained JSON document. The
+    number of events that fell off the ring is recorded under
+    [otherData.droppedEvents]. *)

@@ -1,0 +1,86 @@
+type t =
+  | Dispatch of { thread : string; domain : int; switched : bool }
+  | Block of { thread : string }
+  | Wake of { thread : string }
+  | Finish of { thread : string; error : string option }
+  | Switch of { from_domain : int; to_domain : int }
+  | Exchange of { from_cpu : int; to_cpu : int }
+  | Trap
+  | Copy of { label : string; bytes : int }
+  | Lock_acquire of { lock : string }
+  | Lock_contend of { lock : string }
+  | Bound of { interface : string; binding : int }
+  | Terminated of { domain : string }
+  | Net_send of { bytes : int }
+  | Net_recv of { bytes : int }
+  | Slice of { category : Category.t; dur : Time.t }
+  | Mark of { name : string; detail : string }
+
+let name = function
+  | Dispatch _ -> "dispatch"
+  | Block _ -> "block"
+  | Wake _ -> "wake"
+  | Finish _ -> "finish"
+  | Switch _ -> "switch"
+  | Exchange _ -> "exchange"
+  | Trap -> "trap"
+  | Copy _ -> "copy"
+  | Lock_acquire _ -> "acquire"
+  | Lock_contend _ -> "contend"
+  | Bound _ -> "bind"
+  | Terminated _ -> "terminate"
+  | Net_send _ -> "net-send"
+  | Net_recv _ -> "net-recv"
+  | Slice _ -> "slice"
+  | Mark m -> m.name
+
+(* Detail strings for the scheduling events match the pre-typed trace
+   verbatim, so dumps stay diffable across the refactor. *)
+let detail = function
+  | Dispatch d ->
+      Printf.sprintf "%s domain=%d%s" d.thread d.domain
+        (if d.switched then " +switch" else "")
+  | Block b -> b.thread
+  | Wake w -> w.thread
+  | Finish { thread; error = None } -> thread
+  | Finish { thread; error = Some e } -> thread ^ ": " ^ e
+  | Switch s -> Printf.sprintf "domain %d -> %d" s.from_domain s.to_domain
+  | Exchange e -> Printf.sprintf "cpu %d -> %d" e.from_cpu e.to_cpu
+  | Trap -> ""
+  | Copy c -> Printf.sprintf "%s %d bytes" c.label c.bytes
+  | Lock_acquire l -> l.lock
+  | Lock_contend l -> l.lock
+  | Bound b -> Printf.sprintf "%s #%d" b.interface b.binding
+  | Terminated t -> t.domain
+  | Net_send s -> Printf.sprintf "%d bytes" s.bytes
+  | Net_recv r -> Printf.sprintf "%d bytes" r.bytes
+  | Slice s ->
+      Printf.sprintf "%s %.3fus" (Category.to_string s.category)
+        (Time.to_us s.dur)
+  | Mark m -> m.detail
+
+(* Structured key/value payload, for the Chrome-trace [args] object. *)
+let args = function
+  | Dispatch d ->
+      [
+        ("thread", `Str d.thread);
+        ("domain", `Int d.domain);
+        ("switched", `Str (string_of_bool d.switched));
+      ]
+  | Block b -> [ ("thread", `Str b.thread) ]
+  | Wake w -> [ ("thread", `Str w.thread) ]
+  | Finish { thread; error } -> (
+      [ ("thread", `Str thread) ]
+      @ match error with Some e -> [ ("error", `Str e) ] | None -> [])
+  | Switch s -> [ ("from", `Int s.from_domain); ("to", `Int s.to_domain) ]
+  | Exchange e -> [ ("from", `Int e.from_cpu); ("to", `Int e.to_cpu) ]
+  | Trap -> []
+  | Copy c -> [ ("label", `Str c.label); ("bytes", `Int c.bytes) ]
+  | Lock_acquire l -> [ ("lock", `Str l.lock) ]
+  | Lock_contend l -> [ ("lock", `Str l.lock) ]
+  | Bound b -> [ ("interface", `Str b.interface); ("binding", `Int b.binding) ]
+  | Terminated t -> [ ("domain", `Str t.domain) ]
+  | Net_send s -> [ ("bytes", `Int s.bytes) ]
+  | Net_recv r -> [ ("bytes", `Int r.bytes) ]
+  | Slice s -> [ ("category", `Str (Category.slug s.category)) ]
+  | Mark m -> if m.detail = "" then [] else [ ("detail", `Str m.detail) ]

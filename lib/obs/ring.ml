@@ -1,0 +1,48 @@
+type 'a t = {
+  capacity : int;
+  slots : 'a option array;
+  mutable next : int; (* index of the slot the next push overwrites *)
+  mutable total : int; (* pushes since creation or last clear *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { capacity; slots = Array.make capacity None; next = 0; total = 0 }
+
+let capacity t = t.capacity
+
+let push t x =
+  t.slots.(t.next) <- Some x;
+  t.next <- (t.next + 1) mod t.capacity;
+  t.total <- t.total + 1
+
+let length t = min t.total t.capacity
+
+let total t = t.total
+
+let dropped t = t.total - length t
+
+(* Oldest first, touching only the populated slots. *)
+let iter t f =
+  let n = length t in
+  let start = (t.next - n + t.capacity) mod t.capacity in
+  for i = 0 to n - 1 do
+    match t.slots.((start + i) mod t.capacity) with
+    | Some x -> f x
+    | None -> assert false
+  done
+
+let to_list t =
+  let out = ref [] in
+  iter t (fun x -> out := x :: !out);
+  List.rev !out
+
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t (fun x -> acc := f !acc x);
+  !acc
+
+let clear t =
+  Array.fill t.slots 0 t.capacity None;
+  t.next <- 0;
+  t.total <- 0

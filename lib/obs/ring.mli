@@ -1,0 +1,36 @@
+(** Bounded ring buffer keeping the most recent pushes.
+
+    The storage underneath {!Trace}: O(1) push, and iteration touches only
+    the populated slots (never the full capacity array). Overwrites are
+    accounted for explicitly — [total] counts every push ever made,
+    [dropped] how many fell off the ring. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Keep at most [capacity] most-recent elements. Raises [Invalid_argument]
+    on a non-positive capacity. *)
+
+val capacity : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+(** Append, overwriting the oldest retained element when full. *)
+
+val length : 'a t -> int
+(** Elements currently retained: [min total capacity]. *)
+
+val total : 'a t -> int
+(** Every push since creation or the last {!clear}. *)
+
+val dropped : 'a t -> int
+(** Pushes lost to overwriting: [total - length]. *)
+
+val iter : 'a t -> ('a -> unit) -> unit
+(** Oldest first. *)
+
+val to_list : 'a t -> 'a list
+(** Oldest first. *)
+
+val fold : 'a t -> init:'b -> f:('b -> 'a -> 'b) -> 'b
+
+val clear : 'a t -> unit

@@ -1,0 +1,33 @@
+type event = { at : Time.t; tid : int; cpu : int; kind : Event.t }
+
+type t = { ring : event Ring.t }
+
+let create ?(capacity = 4096) () = { ring = Ring.create ~capacity }
+
+let emit t ~at ~tid ~cpu kind = Ring.push t.ring { at; tid; cpu; kind }
+
+let events t = Ring.to_list t.ring
+
+let iter t f = Ring.iter t.ring f
+
+let count t = Ring.total t.ring
+
+let dropped t = Ring.dropped t.ring
+
+let find t ~kind =
+  List.rev
+    (Ring.fold t.ring ~init:[] ~f:(fun acc e ->
+         if Event.name e.kind = kind then e :: acc else acc))
+
+let clear t = Ring.clear t.ring
+
+let pp_event ppf e =
+  Format.fprintf ppf "%a tid=%d cpu=%d %-10s %s" Time.pp e.at e.tid e.cpu
+    (Event.name e.kind) (Event.detail e.kind)
+
+let dump t =
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  iter t (fun e -> Format.fprintf ppf "%a@." pp_event e);
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf

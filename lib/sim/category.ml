@@ -1,57 +1,1 @@
-type t =
-  | Proc_call
-  | Trap
-  | Context_switch
-  | Tlb_miss
-  | Stub_client
-  | Stub_server
-  | Kernel_transfer
-  | Copy
-  | Lock
-  | Scheduling
-  | Buffer_mgmt
-  | Queueing
-  | Dispatch
-  | Validation
-  | Marshal
-  | Runtime
-  | Exchange
-  | Network
-  | Server_work
-  | Client_work
-  | Other
-
-let all =
-  [
-    Proc_call; Trap; Context_switch; Tlb_miss; Stub_client; Stub_server;
-    Kernel_transfer; Copy; Lock; Scheduling; Buffer_mgmt; Queueing; Dispatch;
-    Validation; Marshal; Runtime; Exchange; Network; Server_work; Client_work;
-    Other;
-  ]
-
-let to_string = function
-  | Proc_call -> "procedure call"
-  | Trap -> "kernel traps"
-  | Context_switch -> "context switch (VM reload)"
-  | Tlb_miss -> "TLB misses"
-  | Stub_client -> "client stub"
-  | Stub_server -> "server stub"
-  | Kernel_transfer -> "kernel transfer"
-  | Copy -> "argument copying"
-  | Lock -> "locking"
-  | Scheduling -> "scheduling"
-  | Buffer_mgmt -> "buffer management"
-  | Queueing -> "message queueing"
-  | Dispatch -> "dispatch"
-  | Validation -> "access validation"
-  | Marshal -> "marshaling"
-  | Runtime -> "runtime library"
-  | Exchange -> "processor exchange"
-  | Network -> "network"
-  | Server_work -> "server procedure"
-  | Client_work -> "client work"
-  | Other -> "other"
-
-let pp ppf t = Format.pp_print_string ppf (to_string t)
-
-let compare = Stdlib.compare
+include Lrpc_obs.Category

@@ -1,3 +1,6 @@
+module Event = Lrpc_obs.Event
+module Metrics = Lrpc_obs.Metrics
+
 exception Thread_killed
 exception Not_in_thread
 
@@ -40,7 +43,9 @@ type t = {
   mutable current : thread option;
   mutable failures_ : (thread * exn) list;
   mutable threads : thread list;
-  breakdown_ : (Category.t, Time.t ref) Hashtbl.t;
+  metrics_ : Metrics.t;
+  cat_time : Metrics.counter array; (* charged ns, indexed by Category.index *)
+  tlb_miss_count : Metrics.counter;
   mutable running_host : bool;
   mutable tracer : Trace.t option;
 }
@@ -61,6 +66,17 @@ let create ?(processors = 1) cm =
           busy = Time.zero;
         })
   in
+  let metrics_ = Metrics.create () in
+  (* Category.all is in Category.index order, so position = index. *)
+  let cat_time =
+    Array.of_list
+      (List.map
+         (fun cat ->
+           Metrics.counter metrics_
+             ~labels:[ ("category", Category.slug cat) ]
+             "sim.time_ns")
+         Category.all)
+  in
   {
     cm;
     cpus_;
@@ -71,36 +87,47 @@ let create ?(processors = 1) cm =
     current = None;
     failures_ = [];
     threads = [];
-    breakdown_ = Hashtbl.create 32;
+    metrics_;
+    cat_time;
+    tlb_miss_count = Metrics.counter metrics_ "sim.tlb_misses";
     running_host = false;
     tracer = None;
   }
 
 let set_tracer t tracer = t.tracer <- tracer
 
-let trace t ~tid ~cpu ~kind ~detail =
+let metrics t = t.metrics_
+
+let emit ?tid ?cpu t kind =
   match t.tracer with
-  | Some tr -> Trace.emit tr ~at:t.now_ ~tid ~cpu ~kind ~detail
   | None -> ()
+  | Some tr ->
+      let of_current f d =
+        match t.current with Some th -> f th | None -> d
+      in
+      let tid =
+        match tid with Some x -> x | None -> of_current (fun th -> th.tid) (-1)
+      in
+      let cpu =
+        match cpu with Some x -> x | None -> of_current (fun th -> th.cpu) (-1)
+      in
+      Trace.emit tr ~at:t.now_ ~tid ~cpu kind
 
 let cost_model t = t.cm
 let now t = t.now_
 let cpus t = t.cpus_
 
-let charge t cat d =
-  match Hashtbl.find_opt t.breakdown_ cat with
-  | Some r -> r := Time.add !r d
-  | None -> Hashtbl.replace t.breakdown_ cat (ref d)
+let charge t cat d = Metrics.Counter.add t.cat_time.(Category.index cat) d
 
 let breakdown t =
   List.filter_map
     (fun cat ->
-      match Hashtbl.find_opt t.breakdown_ cat with
-      | Some r when !r <> Time.zero -> Some (cat, !r)
-      | _ -> None)
+      match Metrics.Counter.value t.cat_time.(Category.index cat) with
+      | 0 -> None
+      | ns -> Some (cat, ns))
     Category.all
 
-let reset_breakdown t = Hashtbl.reset t.breakdown_
+let reset_breakdown t = Array.iter Metrics.Counter.reset t.cat_time
 
 let total_tlb_misses t =
   Array.fold_left (fun acc c -> acc + Tlb.miss_count c.tlb) 0 t.cpus_
@@ -154,10 +181,9 @@ let place t th c =
     else Time.zero
   in
   th.ever_placed <- true;
-  trace t ~tid:th.tid ~cpu:c.idx ~kind:"dispatch"
-    ~detail:
-      (Printf.sprintf "%s domain=%d%s" th.name th.domain
-         (if cost <> Time.zero then " +switch" else ""));
+  emit t ~tid:th.tid ~cpu:c.idx
+    (Event.Dispatch
+       { thread = th.name; domain = th.domain; switched = cost <> Time.zero });
   Heap.push t.q ~time:(Time.add t.now_ cost) (Run th)
 
 let free_cpu_of t th =
@@ -222,11 +248,12 @@ let spawn ?(name = "thread") ?(home = -1) t ~domain body =
 (* --- execution --------------------------------------------------------- *)
 
 let finish t th fail =
-  trace t ~tid:th.tid ~cpu:th.cpu ~kind:"finish"
-    ~detail:
-      (match fail with
-      | None -> th.name
-      | Some e -> th.name ^ ": " ^ Printexc.to_string e);
+  emit t ~tid:th.tid ~cpu:th.cpu
+    (Event.Finish
+       {
+         thread = th.name;
+         error = Option.map Printexc.to_string fail;
+       });
   th.state <- (match fail with None -> Done | Some _ -> Failed);
   (match fail with
   | Some e -> t.failures_ <- (th, e) :: t.failures_
@@ -259,6 +286,7 @@ let handle_delay t th cat d k =
   in
   let d' = Time.scale d factor in
   charge t cat d';
+  emit t ~tid:th.tid ~cpu:th.cpu (Event.Slice { category = cat; dur = d' });
   let c = t.cpus_.(th.cpu) in
   c.busy <- Time.add c.busy d';
   th.cont <- Some k;
@@ -352,7 +380,7 @@ let suspend _t f = Effect.perform (Suspend f)
 
 let block t =
   suspend t (fun th ->
-      trace t ~tid:th.tid ~cpu:th.last_cpu ~kind:"block" ~detail:th.name;
+      emit t ~tid:th.tid ~cpu:th.last_cpu (Event.Block { thread = th.name });
       th.state <- Blocked;
       free_cpu_of t th;
       try_dispatch t)
@@ -390,16 +418,18 @@ let touch_pages t ~pages =
   let th = self t in
   let c = current_cpu t in
   let misses = Tlb.access c.tlb ~domain:th.domain ~pages in
-  if misses > 0 then
+  if misses > 0 then begin
+    Metrics.Counter.add t.tlb_miss_count misses;
     delay ~category:Category.Tlb_miss t
       (Time.scale t.cm.Cost_model.tlb_miss (float_of_int misses))
+  end
 
 let switch_self_context t ~domain =
   let th = self t in
   let c = current_cpu t in
   if c.context <> Some domain then begin
-    trace t ~tid:th.tid ~cpu:c.idx ~kind:"switch"
-      ~detail:(Printf.sprintf "domain %d -> %d" th.domain domain);
+    emit t ~tid:th.tid ~cpu:c.idx
+      (Event.Switch { from_domain = th.domain; to_domain = domain });
     Tlb.invalidate c.tlb;
     c.context <- Some domain;
     th.domain <- domain;
@@ -410,8 +440,8 @@ let switch_self_context t ~domain =
 let exchange_processors t ~target =
   let th = self t in
   assert (target.running = None);
-  trace t ~tid:th.tid ~cpu:th.cpu ~kind:"exchange"
-    ~detail:(Printf.sprintf "cpu %d -> %d" th.cpu target.idx);
+  emit t ~tid:th.tid ~cpu:th.cpu
+    (Event.Exchange { from_cpu = th.cpu; to_cpu = target.idx });
   let old = t.cpus_.(th.cpu) in
   old.running <- None;
   th.cpu <- target.idx;
@@ -425,7 +455,7 @@ let exchange_processors t ~target =
 let wake t th =
   (match th.state with
   | Blocked | Spinning ->
-      trace t ~tid:th.tid ~cpu:th.cpu ~kind:"wake" ~detail:th.name
+      emit t ~tid:th.tid ~cpu:th.cpu (Event.Wake { thread = th.name })
   | _ -> ());
   match th.state with
   | Blocked -> (
@@ -437,8 +467,12 @@ let wake t th =
   | Spinning ->
       th.state <- Running;
       let c = t.cpus_.(th.cpu) in
-      c.busy <- Time.add c.busy (Time.sub t.now_ th.spin_start);
-      charge t Category.Lock (Time.sub t.now_ th.spin_start);
+      let spun = Time.sub t.now_ th.spin_start in
+      c.busy <- Time.add c.busy spun;
+      charge t Category.Lock spun;
+      if spun <> Time.zero then
+        emit t ~tid:th.tid ~cpu:th.cpu
+          (Event.Slice { category = Category.Lock; dur = spun });
       Heap.push t.q ~time:t.now_ (Run th)
   | Embryo | Ready | Running | Done | Failed -> ()
 

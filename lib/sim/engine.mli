@@ -174,8 +174,23 @@ val reset_breakdown : t -> unit
 val total_tlb_misses : t -> int
 (** Sum of TLB misses across processors since creation. *)
 
+(** {1 Observability} *)
+
+val metrics : t -> Lrpc_obs.Metrics.t
+(** The machine-wide metrics registry. The engine itself maintains
+    ["sim.time_ns{category=...}"] (the {!breakdown} counters) and
+    ["sim.tlb_misses"]; the kernel, LRPC runtime, and baselines register
+    their instruments here too, so one snapshot covers the machine. *)
+
 val set_tracer : t -> Trace.t option -> unit
 (** Attach (or detach) an execution tracer; scheduling events —
     dispatches, blocks, wakes, context switches, processor exchanges,
-    thread deaths — are emitted to it. Off by default; zero cost when
-    detached. *)
+    thread deaths — and one {!Lrpc_obs.Event.Slice} per charged delay are
+    emitted to it. Off by default; zero cost when detached. *)
+
+val emit : ?tid:int -> ?cpu:int -> t -> Lrpc_obs.Event.t -> unit
+(** Emit a typed event to the attached tracer (no-op when detached) at
+    the current simulated time. [tid]/[cpu] default to the currently
+    executing thread's, or -1 outside any thread. Used by the kernel and
+    runtime layers for traps, copies, binding, termination and network
+    events. *)

@@ -1,3 +1,6 @@
+module Event = Lrpc_obs.Event
+module Metrics = Lrpc_obs.Metrics
+
 type t = {
   name : string;
   engine : Engine.t;
@@ -5,12 +8,14 @@ type t = {
   category : Category.t;
   mutable holder : Engine.thread option;
   waiters : Engine.thread Queue.t;
-  mutable contended : int;
-  mutable acquires : int;
+  c_contended : Metrics.counter;
+  c_acquires : Metrics.counter;
 }
 
 let create ?(name = "lock") ?(overhead = Time.zero) ?(category = Category.Lock)
     engine =
+  let m = Engine.metrics engine in
+  let labels = [ ("lock", name) ] in
   {
     name;
     engine;
@@ -18,22 +23,26 @@ let create ?(name = "lock") ?(overhead = Time.zero) ?(category = Category.Lock)
     category;
     holder = None;
     waiters = Queue.create ();
-    contended = 0;
-    acquires = 0;
+    c_contended = Metrics.counter m ~labels "sim.lock_contended";
+    c_acquires = Metrics.counter m ~labels "sim.lock_acquires";
   }
 
 let acquire t =
   let me = Engine.self t.engine in
-  t.acquires <- t.acquires + 1;
+  Metrics.Counter.incr t.c_acquires;
   (match t.holder with
-  | None -> t.holder <- Some me
+  | None ->
+      t.holder <- Some me;
+      Engine.emit t.engine (Event.Lock_acquire { lock = t.name })
   | Some _ ->
-      t.contended <- t.contended + 1;
+      Metrics.Counter.incr t.c_contended;
+      Engine.emit t.engine (Event.Lock_contend { lock = t.name });
       Queue.push me t.waiters;
       (* Spin until a releaser hands us the lock: when [spin_suspend]
          returns, [release] has already made us the holder. *)
       Engine.spin_suspend t.engine;
-      assert (match t.holder with Some th -> th == me | None -> false));
+      assert (match t.holder with Some th -> th == me | None -> false);
+      Engine.emit t.engine (Event.Lock_acquire { lock = t.name }));
   if t.overhead <> Time.zero then
     Engine.delay ~category:t.category t.engine t.overhead
 
@@ -55,5 +64,5 @@ let with_lock t ~hold f =
   Fun.protect ~finally:(fun () -> release t) f
 
 let holder t = t.holder
-let contended_acquires t = t.contended
-let total_acquires t = t.acquires
+let contended_acquires t = Metrics.Counter.value t.c_contended
+let total_acquires t = Metrics.Counter.value t.c_acquires

@@ -15,7 +15,12 @@ type t
 
 val create :
   ?name:string -> ?overhead:Time.t -> ?category:Category.t -> Engine.t -> t
-(** [overhead] (default 0) is charged on each acquire and each release. *)
+(** [overhead] (default 0) is charged on each acquire and each release.
+    Acquire and contention counts are kept in the engine's metrics
+    registry under ["sim.lock_acquires{lock=<name>}"] and
+    ["sim.lock_contended{lock=<name>}"] — locks created with the same
+    [name] on the same engine share counters — and each acquire/contend
+    emits a typed trace event when a tracer is attached. *)
 
 val acquire : t -> unit
 (** Take the lock, spinning (processor busy) until available. *)
@@ -32,6 +37,6 @@ val with_lock : t -> hold:Time.t -> (unit -> 'a) -> 'a
 val holder : t -> Engine.thread option
 
 val contended_acquires : t -> int
-(** Number of acquires that had to wait. *)
+(** Number of acquires that had to wait (for this lock's name). *)
 
 val total_acquires : t -> int

@@ -1,17 +1,3 @@
-type t = int
-
-let zero = 0
-let ns x = x
-let us x = x * 1_000
-let ms x = x * 1_000_000
-let s x = x * 1_000_000_000
-let us_f x = int_of_float (Float.round (x *. 1_000.))
-let to_us t = float_of_int t /. 1_000.
-let to_s t = float_of_int t /. 1_000_000_000.
-let add = Stdlib.( + )
-let sub = Stdlib.( - )
-let scale t f = int_of_float (Float.round (float_of_int t *. f))
-let compare = Int.compare
-let ( + ) = add
-let ( - ) = sub
-let pp ppf t = Format.fprintf ppf "%.3fus" (to_us t)
+(* Simulated time now lives in the observability library; re-exported
+   here so [Lrpc_sim.Time] keeps working across the codebase. *)
+include Lrpc_obs.Time

@@ -1,51 +1,3 @@
-type event = {
-  at : Time.t;
-  tid : int;
-  cpu : int;
-  kind : string;
-  detail : string;
-}
-
-type t = {
-  capacity : int;
-  ring : event option array;
-  mutable next : int;
-  mutable total : int;
-}
-
-let create ?(capacity = 4096) () =
-  assert (capacity > 0);
-  { capacity; ring = Array.make capacity None; next = 0; total = 0 }
-
-let emit t ~at ~tid ~cpu ~kind ~detail =
-  t.ring.(t.next) <- Some { at; tid; cpu; kind; detail };
-  t.next <- (t.next + 1) mod t.capacity;
-  t.total <- t.total + 1
-
-let events t =
-  let out = ref [] in
-  for i = 0 to t.capacity - 1 do
-    let idx = (t.next + i) mod t.capacity in
-    match t.ring.(idx) with Some e -> out := e :: !out | None -> ()
-  done;
-  List.rev !out
-
-let count t = t.total
-
-let find t ~kind = List.filter (fun e -> e.kind = kind) (events t)
-
-let clear t =
-  Array.fill t.ring 0 t.capacity None;
-  t.next <- 0;
-  t.total <- 0
-
-let pp_event ppf e =
-  Format.fprintf ppf "%a tid=%d cpu=%d %-10s %s" Time.pp e.at e.tid e.cpu
-    e.kind e.detail
-
-let dump t =
-  let buf = Buffer.create 1024 in
-  let ppf = Format.formatter_of_buffer buf in
-  List.iter (fun e -> Format.fprintf ppf "%a@." pp_event e) (events t);
-  Format.pp_print_flush ppf ();
-  Buffer.contents buf
+(* The typed trace lives in the observability library; re-exported so
+   [Lrpc_sim.Trace] keeps working. *)
+include Lrpc_obs.Trace

@@ -45,7 +45,7 @@ let test_wire_time_multipacket_penalty () =
 
 let test_remote_call_roundtrip () =
   let engine, kernel, rt, client, server = make_world () in
-  Netrpc.reset_remote_calls ();
+  Netrpc.reset_remote_calls rt;
   let b = Netrpc.import_remote rt ~client ~server iface ~impls in
   let got = ref 0 in
   ignore
@@ -56,7 +56,7 @@ let test_remote_call_roundtrip () =
   Engine.run engine;
   Alcotest.(check (list pass)) "no failures" [] (Engine.failures engine);
   Alcotest.(check int) "result" 55 !got;
-  Alcotest.(check int) "counted" 1 (Netrpc.remote_calls ())
+  Alcotest.(check int) "counted" 1 (Netrpc.remote_calls rt)
 
 let test_remote_call_slow () =
   let engine, kernel, rt, client, server = make_world () in

@@ -500,7 +500,8 @@ let test_waitq_broadcast () =
 let test_trace_ring_bounded () =
   let tr = Trace.create ~capacity:4 () in
   for i = 1 to 10 do
-    Trace.emit tr ~at:i ~tid:i ~cpu:0 ~kind:"k" ~detail:""
+    Trace.emit tr ~at:i ~tid:i ~cpu:0
+      (Lrpc_obs.Event.Mark { name = "k"; detail = "" })
   done;
   Alcotest.(check int) "total counts all" 10 (Trace.count tr);
   let evs = Trace.events tr in
