@@ -1,8 +1,9 @@
 SMOKE_JSON := /tmp/lrpc_trace_smoke.json
+PIPELINE_JSON := /tmp/lrpc_pipeline_smoke.json
 
-.PHONY: check build test smoke clean
+.PHONY: check build test smoke pipeline-smoke bench-pipeline clean
 
-check: build test smoke
+check: build test smoke pipeline-smoke
 
 build:
 	dune build
@@ -19,6 +20,22 @@ smoke: build
 	  python3 -c "import json; d = json.load(open('$(SMOKE_JSON)')); assert d['traceEvents']"; \
 	fi
 	@echo "smoke OK"
+
+# End-to-end: the pipelining bench must run and emit one well-formed
+# result row per processor count (1-4), each with a positive speedup.
+pipeline-smoke: build
+	dune exec bench/pipeline.exe -- --smoke --out $(PIPELINE_JSON) > /dev/null
+	@python3 -c "import json; d = json.load(open('$(PIPELINE_JSON)')); \
+	  rs = d['results']; \
+	  assert d['bench'] == 'pipeline' and len(rs) == 4; \
+	  assert [r['processors'] for r in rs] == [1, 2, 3, 4]; \
+	  assert all(r['serial_calls_per_ms'] > 0 and r['pipelined_calls_per_ms'] > 0 \
+	             and r['speedup'] > 0 for r in rs)"
+	@echo "pipeline smoke OK"
+
+# Regenerate the committed BENCH_pipeline.json (full call count).
+bench-pipeline: build
+	dune exec bench/pipeline.exe
 
 clean:
 	dune clean

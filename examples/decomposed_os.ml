@@ -17,10 +17,8 @@
 
    Run with: dune exec examples/decomposed_os.exe *)
 
-open Lrpc_sim
-open Lrpc_kernel
-open Lrpc_core
-module V = Lrpc_idl.Value
+open Lrpc
+module V = Value
 
 let engine = Engine.create ~processors:2 Cost_model.cvax_firefly
 let kernel = Kernel.boot engine
@@ -45,7 +43,7 @@ let font_domain = Kernel.create_domain kernel ~name:"font-server"
 let () =
   ignore
     (Api.export rt ~domain:font_domain
-       (Lrpc_idl.Parser.parse
+       (Parser.parse
           "interface Fonts { proc glyph_width(code: int, face: int): int; }")
        ~impls:
          [
@@ -66,7 +64,7 @@ let wm_fonts = Api.import rt ~domain:wm_domain ~interface:"Fonts"
 let () =
   ignore
     (Api.export rt ~domain:wm_domain
-       (Lrpc_idl.Parser.parse
+       (Parser.parse
           {| interface Windows {
                proc draw_text(win: int, text: varbytes[256]): int;
                proc move(win: int, x: int, y: int);
@@ -107,7 +105,7 @@ let fs_files : (string, int) Hashtbl.t = Hashtbl.create 8
 let () =
   ignore
     (Api.export rt ~domain:fs_domain
-       (Lrpc_idl.Parser.parse
+       (Parser.parse
           {| interface Files {
                proc write(path: bytes[16], data: varbytes[512] @uninterpreted): card;
                proc stat(path: bytes[16]): record { size: card, mtime: int };
@@ -144,7 +142,7 @@ let pm_domain = Kernel.create_domain kernel ~name:"process-manager"
 let () =
   ignore
     (Api.export rt ~domain:pm_domain
-       (Lrpc_idl.Parser.parse
+       (Parser.parse
           "interface Procs { proc fork(parent: int): int; proc exit(pid: int); }")
        ~impls:
          [

@@ -9,11 +9,9 @@
 
    Run with: dune exec examples/file_server.exe *)
 
-open Lrpc_sim
-open Lrpc_kernel
-open Lrpc_core
-module V = Lrpc_idl.Value
-module I = Lrpc_idl.Types
+open Lrpc
+module V = Value
+module I = Types
 
 (* A block-oriented in-memory file system living in the server domain. *)
 module Fs = struct
@@ -46,7 +44,7 @@ module Fs = struct
 end
 
 let iface =
-  Lrpc_idl.Parser.parse
+  Parser.parse
     {|
       interface FileServer {
         # data is uninterpreted: the server gains nothing from copying it

@@ -7,9 +7,7 @@
 
    Run with: dune exec examples/multiprocessor.exe *)
 
-open Lrpc_sim
-module Driver = Lrpc_workload.Driver
-module Profile = Lrpc_msgrpc.Profile
+open Lrpc
 
 let () =
   Format.printf "Null latency, one caller:@.";

@@ -3,10 +3,8 @@
 
    Run with: dune exec examples/quickstart.exe *)
 
-open Lrpc_sim
-open Lrpc_kernel
-open Lrpc_core
-module V = Lrpc_idl.Value
+open Lrpc
+module V = Value
 
 let () =
   (* A simulated single-processor C-VAX Firefly with a booted kernel and
@@ -20,9 +18,9 @@ let () =
   let client = Kernel.create_domain kernel ~name:"app" in
 
   (* The interface, written in the textual IDL (a builder API exists
-     too: Lrpc_idl.Types.interface). *)
+     too: Types.interface). *)
   let iface =
-    Lrpc_idl.Parser.parse
+    Parser.parse
       {|
         # A tiny arithmetic service
         interface Arith {

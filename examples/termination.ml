@@ -10,11 +10,9 @@
 
    Run with: dune exec examples/termination.exe *)
 
-open Lrpc_sim
-open Lrpc_kernel
-open Lrpc_core
-module I = Lrpc_idl.Types
-module V = Lrpc_idl.Value
+open Lrpc
+module I = Types
+module V = Value
 
 let () =
   let engine = Engine.create ~processors:2 Cost_model.cvax_firefly in

@@ -5,11 +5,9 @@
 
    Run with: dune exec examples/transparency.exe *)
 
-open Lrpc_sim
-open Lrpc_kernel
-open Lrpc_core
-module I = Lrpc_idl.Types
-module V = Lrpc_idl.Value
+open Lrpc
+module I = Types
+module V = Value
 
 let iface =
   I.interface "Clock"
@@ -48,7 +46,7 @@ let () =
          ]);
   let local = Api.import rt ~domain:client ~interface:"Clock" in
   let remote =
-    Lrpc_net.Netrpc.import_remote rt ~client ~server:remote_server iface
+    Netrpc.import_remote rt ~client ~server:remote_server iface
       ~impls:(impls remote_time)
   in
   (* The same polymorphic call site serves both bindings. *)
@@ -77,5 +75,5 @@ let () =
          Format.printf "remote settime(7); gettime() = %d@." (gettime remote)));
   Engine.run engine;
   assert (Engine.failures engine = []);
-  Format.printf "network RPCs performed: %d@." (Lrpc_net.Netrpc.remote_calls rt);
+  Format.printf "network RPCs performed: %d@." (Netrpc.remote_calls rt);
   Format.printf "transparency: ok@."

@@ -1,5 +1,17 @@
 type t = Rt.runtime
 
+exception Not_in_thread of string
+
+module Options = struct
+  type t = {
+    audit : Lrpc_kernel.Vm.audit option;
+    defensive_copies : bool;
+    wait : bool;
+  }
+
+  let default = { audit = None; defensive_copies = false; wait = false }
+end
+
 let init ?config kernel =
   let rt = Rt.create ?config kernel in
   Termination.install rt;
@@ -8,12 +20,62 @@ let init ?config kernel =
 let kernel (rt : t) = rt.Rt.kernel
 let engine (rt : t) = Rt.engine rt
 
-let export = Binding.export
-let import = Binding.import
-let call = Call.call
+(* The call-path entry points only make sense on a simulated thread;
+   anywhere else (setup code, a finished engine) the failure should name
+   the culprit instead of surfacing as an engine internal. *)
+let require_thread rt fn =
+  match Lrpc_sim.Engine.self_opt (Rt.engine rt) with
+  | Some _ -> ()
+  | None -> raise (Not_in_thread fn)
 
-let call1 ?audit rt b ~proc args =
-  match call ?audit rt b ~proc args with
+(* Deprecated per-call optional arguments win over [?options], so legacy
+   call sites behave exactly as before the record existed. *)
+let opt_audit options audit =
+  match audit with
+  | Some _ -> audit
+  | None -> ( match options with Some o -> o.Options.audit | None -> None)
+
+let export rt ~domain ?options ?defensive_copies iface ~impls =
+  let defensive_copies =
+    match defensive_copies with
+    | Some b -> b
+    | None -> (
+        match options with
+        | Some o -> o.Options.defensive_copies
+        | None -> false)
+  in
+  Binding.export rt ~domain ~defensive_copies iface ~impls
+
+let import ?options ?wait rt ~domain ~interface =
+  let wait =
+    match wait with
+    | Some b -> b
+    | None -> ( match options with Some o -> o.Options.wait | None -> false)
+  in
+  Binding.import ~wait rt ~domain ~interface
+
+let call ?options ?audit rt b ~proc args =
+  require_thread rt "Api.call";
+  Call.call ?audit:(opt_audit options audit) rt b ~proc args
+
+let call_async ?options ?audit rt b ~proc args =
+  require_thread rt "Api.call_async";
+  Call.call_async ?audit:(opt_audit options audit) rt b ~proc args
+
+let await rt h =
+  require_thread rt "Api.await";
+  Call.await rt h
+
+let await_any rt hs =
+  require_thread rt "Api.await_any";
+  Call.await_any rt hs
+
+let await_all rt hs =
+  require_thread rt "Api.await_all";
+  Call.await_all rt hs
+
+let call1 ?options ?audit rt b ~proc args =
+  match call ?options ?audit rt b ~proc args with
   | [ v ] -> v
   | outputs ->
       invalid_arg
@@ -26,3 +88,4 @@ let release_captured = Termination.release_captured
 let alert rt th = Rt.alert rt th
 
 let calls_completed = Call.calls_completed
+let calls_in_flight (rt : t) = rt.Rt.in_flight

@@ -20,13 +20,50 @@
       let binding = Api.import rt ~domain:client ~interface:"Arith" in
       (* from a simulated thread: *)
       ignore (Kernel.spawn kernel client (fun () ->
+        (* synchronous: *)
         match Api.call rt binding ~proc:"add" [ Value.int 2; Value.int 3 ] with
         | [ Int 5 ] -> ()
         | _ -> assert false));
+      ignore (Kernel.spawn kernel client (fun () ->
+        (* pipelined: issue several calls, then collect *)
+        let hs =
+          List.map
+            (fun i ->
+              Api.call_async rt binding ~proc:"add"
+                [ Value.int i; Value.int i ])
+            [ 1; 2; 3 ]
+        in
+        ignore (Api.await_all rt hs)));
       Engine.run engine
     ]} *)
 
 type t = Rt.runtime
+
+exception Not_in_thread of string
+(** A call-path entry point ({!call}, {!call_async}, {!await}, ...) was
+    invoked outside a simulated thread; the payload names the offending
+    function. *)
+
+(** Per-operation options, collapsing the former [?audit] /
+    [?defensive_copies] / [?wait] optional-argument sprawl into one
+    documented record. Build from {!Options.default}:
+    [{ Options.default with audit = Some a }]. *)
+module Options : sig
+  type t = {
+    audit : Lrpc_kernel.Vm.audit option;
+        (** record every call-path copy with its Table 3 label (A, E,
+            F) — {!call}/{!call_async} *)
+    defensive_copies : bool;
+        (** server stubs defensively copy interpreted arguments off the
+            A-stack (paper §3.5) — {!export} *)
+    wait : bool;
+        (** block in the kernel until the interface is exported rather
+            than raising [Rt.Not_exported] — {!import} *)
+  }
+
+  val default : t
+  (** No auditing, no defensive copies, non-blocking import. *)
+end
 
 val init : ?config:Rt.config -> Lrpc_kernel.Kernel.t -> t
 (** Create the LRPC runtime on a booted kernel and install its
@@ -38,30 +75,66 @@ val engine : t -> Lrpc_sim.Engine.t
 val export :
   t ->
   domain:Lrpc_kernel.Pdomain.t ->
+  ?options:Options.t ->
   ?defensive_copies:bool ->
   Lrpc_idl.Types.interface ->
   impls:(string * Rt.impl) list ->
   Rt.export
-(** See {!Binding.export}. *)
+(** See {!Binding.export}. [?defensive_copies] is deprecated — use
+    [?options]; when both are given the deprecated argument wins. *)
 
 val import :
+  ?options:Options.t ->
   ?wait:bool ->
   t ->
   domain:Lrpc_kernel.Pdomain.t ->
   interface:string ->
   Rt.binding
-(** See {!Binding.import}. *)
+(** See {!Binding.import}. [?wait] is deprecated — use [?options];
+    when both are given the deprecated argument wins. *)
 
 val call :
+  ?options:Options.t ->
   ?audit:Lrpc_kernel.Vm.audit ->
   t ->
   Rt.binding ->
   proc:string ->
   Lrpc_idl.Value.t list ->
   Lrpc_idl.Value.t list
-(** See {!Call.call}. Must run inside a simulated thread. *)
+(** See {!Call.call}: one synchronous LRPC, a thin
+    {!call_async}+{!await} pair over an inline handle (the awaiting
+    thread itself crosses into the server, so the cost is exactly the
+    paper's synchronous path). Must run inside a simulated thread —
+    raises {!Not_in_thread} otherwise. [?audit] is deprecated — use
+    [?options]. *)
+
+val call_async :
+  ?options:Options.t ->
+  ?audit:Lrpc_kernel.Vm.audit ->
+  t ->
+  Rt.binding ->
+  proc:string ->
+  Lrpc_idl.Value.t list ->
+  Call_handle.t
+(** See {!Call.call_async}: claim a free A-stack, marshal, dispatch a
+    carrier thread, return immediately. Blocks only on A-stack-pool
+    exhaustion (FIFO back-pressure) or a full remote in-flight window.
+    Raises {!Not_in_thread} outside a simulated thread. *)
+
+val await : t -> Call_handle.t -> Lrpc_idl.Value.t list
+(** See {!Call.await}: block until the call lands (if it hasn't), read
+    the results back, release the A-stack. One await per handle —
+    raises [Rt.Already_awaited] on the second. *)
+
+val await_any :
+  t -> Call_handle.t list -> Call_handle.t * Lrpc_idl.Value.t list
+(** See {!Call.await_any}. *)
+
+val await_all : t -> Call_handle.t list -> Lrpc_idl.Value.t list list
+(** See {!Call.await_all}. *)
 
 val call1 :
+  ?options:Options.t ->
   ?audit:Lrpc_kernel.Vm.audit ->
   t ->
   Rt.binding ->
@@ -78,10 +151,15 @@ val release_captured :
   captured:Lrpc_sim.Engine.thread ->
   replacement:(unit -> unit) ->
   Lrpc_sim.Engine.thread
-(** See {!Termination.release_captured}. *)
+(** See {!Termination.release_captured}. For a pipelined call the
+    captured thread is the handle's {!Call_handle.carrier}. *)
 
 val alert : t -> Lrpc_sim.Engine.thread -> unit
 (** Taos-style alert: ask (but not force) a thread's current server
     procedure to come home (paper §5.3). *)
 
 val calls_completed : t -> int
+
+val calls_in_flight : t -> int
+(** Issued-but-not-landed calls, local and remote — the live value of
+    the ["lrpc.calls_in_flight"] gauge. *)

@@ -43,14 +43,68 @@ let make_pool rt ~client ~server ~proc ~size ~count =
       Spinlock.create
         ~name:(Printf.sprintf "astack-q-%s" proc.I.proc_name)
         (engine rt);
-    ap_wait = Waitq.create (engine rt);
+    ap_waiters = Queue.create ();
     ap_queue = astacks;
     ap_all = astacks;
   }
 
 let lock_hold rt = (cost_model rt).Lrpc_sim.Cost_model.astack_lock
 
-let rec checkout rt pb ~client ~server =
+(* Hand [a] to the longest-waiting live waiter, returning the thread to
+   wake, or [None] when nobody (live) is waiting. The grant is written
+   into the waiter's cell before the wake, so the woken caller resumes
+   with the A-stack already in hand. *)
+let rec grant_waiter pool a =
+  match Queue.take_opt pool.ap_waiters with
+  | None -> None
+  | Some cell ->
+      if
+        cell.aw_active
+        && Engine.alive cell.aw_th
+        && not (Engine.has_pending_interrupt cell.aw_th)
+      then begin
+        cell.aw_grant <- Some a;
+        Some cell.aw_th
+      end
+      else grant_waiter pool a
+
+(* Return an A-stack nobody will consume (a granted waiter died before
+   resuming): pass it on to the next live waiter, or back to the free
+   list. *)
+let relinquish rt pool a =
+  match grant_waiter pool a with
+  | Some th -> Engine.wake (engine rt) th
+  | None -> pool.ap_queue <- a :: pool.ap_queue
+
+(* Exhaustion back-pressure (paper §5.2's `Wait policy). The blocked
+   caller enqueues a FIFO waiter cell and sleeps; the granting check-in
+   fills the cell before waking it, so the woken caller neither re-takes
+   the pool spinlock nor races a fresh caller for the free list — the
+   A-stack transfers without any shared lock on the waiter's side.
+   Wake-ups from any other source find the grant empty and sleep again. *)
+let wait_for_grant rt pool =
+  let e = engine rt in
+  let cell = { aw_th = Engine.self e; aw_grant = None; aw_active = true } in
+  Queue.push cell pool.ap_waiters;
+  let consumed = ref false in
+  Fun.protect
+    ~finally:(fun () ->
+      cell.aw_active <- false;
+      (* Granted but exiting abnormally (an interrupt delivered between
+         the grant and our resumption): the A-stack must not be lost. *)
+      match cell.aw_grant with
+      | Some a when not !consumed ->
+          cell.aw_grant <- None;
+          relinquish rt pool a
+      | Some _ | None -> ())
+    (fun () ->
+      while cell.aw_grant = None do
+        Engine.block e
+      done;
+      consumed := true;
+      match cell.aw_grant with Some a -> a | None -> assert false)
+
+let checkout rt pb ~client ~server =
   let pool = pb.pb_pool in
   let taken = ref None in
   Spinlock.with_lock pool.ap_lock ~hold:(lock_hold rt) (fun () ->
@@ -64,10 +118,12 @@ let rec checkout rt pb ~client ~server =
       a.a_last_used <- Engine.now (engine rt);
       a
   | None -> (
+      Metrics.Counter.incr rt.c_pool_exhausted;
       match rt.config.astack_exhaustion with
       | `Wait ->
-          Waitq.wait pool.ap_wait;
-          checkout rt pb ~client ~server
+          let a = wait_for_grant rt pool in
+          a.a_last_used <- Engine.now (engine rt);
+          a
       | `Allocate ->
           (* Space contiguous to the original A-stacks is unlikely to be
              found (§5.2); the extras validate more slowly. *)
@@ -82,9 +138,19 @@ let rec checkout rt pb ~client ~server =
 
 let checkin rt pb a =
   let pool = pb.pb_pool in
+  let woken = ref None in
   Spinlock.with_lock pool.ap_lock ~hold:(lock_hold rt) (fun () ->
-      pool.ap_queue <- a :: pool.ap_queue);
-  ignore (Waitq.signal pool.ap_wait)
+      match grant_waiter pool a with
+      | Some th -> woken := Some th
+      | None -> pool.ap_queue <- a :: pool.ap_queue);
+  (* The wake itself happens outside the lock: the waiter resumes with the
+     grant in hand and never touches the spinlock. *)
+  match !woken with
+  | Some th -> Engine.wake (engine rt) th
+  | None -> ()
+
+let waiting pool =
+  Queue.fold (fun acc c -> if c.aw_active then acc + 1 else acc) 0 pool.ap_waiters
 
 let validate rt pb a =
   if not (List.memq a pb.pb_pool.ap_all) then

@@ -40,12 +40,19 @@ val make_pool :
 val checkout : Rt.runtime -> Rt.proc_binding -> client:Lrpc_kernel.Pdomain.t ->
   server:Lrpc_kernel.Pdomain.t -> Rt.astack
 (** Pop an A-stack off the procedure's queue under its lock, applying the
-    configured exhaustion policy (wait on the queue, or allocate a
-    non-primary batch). In-thread: charges one lock hold. *)
+    configured exhaustion policy on an empty queue (counted in
+    ["lrpc.astack_pool_exhausted"]): enqueue as a FIFO waiter and block
+    until a check-in grants an A-stack directly — the caller resumes with
+    it in hand, without re-taking the pool spinlock — or allocate a
+    non-primary batch. In-thread: charges one lock hold. *)
 
 val checkin : Rt.runtime -> Rt.proc_binding -> Rt.astack -> unit
-(** Push the A-stack back (LIFO) and wake one waiter. In-thread: charges
-    one lock hold. *)
+(** Hand the A-stack to the longest-waiting blocked caller (FIFO, granted
+    before the wake so no lock is needed on the waiter's side), or push
+    it back on the free list (LIFO). In-thread: charges one lock hold. *)
+
+val waiting : Rt.astack_pool -> int
+(** Callers currently blocked on pool exhaustion. *)
 
 val validate : Rt.runtime -> Rt.proc_binding -> Rt.astack -> unit
 (** Kernel-side validation on call: membership of the procedure's

@@ -157,7 +157,7 @@ let rec import ?(wait = false) rt ~domain ~interface =
       end
       else raise (Not_exported interface)
 
-let make_remote_binding rt ~client ~server iface ~transport =
+let make_remote_binding ?(window = 8) rt ~client ~server iface ~transport =
   let b =
     {
       bid = rt.next_binding;
@@ -178,7 +178,14 @@ let make_remote_binding rt ~client ~server iface ~transport =
       b_stats =
         make_call_stats rt ~bid:rt.next_binding ~client ~server;
       b_revoked = false;
-      b_remote = Some transport;
+      b_remote =
+        Some
+          {
+            r_transport = transport;
+            r_window = max 1 window;
+            r_in_flight = 0;
+            r_wait = Waitq.create ~name:"remote-window" (engine rt);
+          };
     }
   in
   rt.next_binding <- rt.next_binding + 1;

@@ -32,6 +32,7 @@ val import :
     [Rt.Bad_binding] when binding to a terminating domain. *)
 
 val make_remote_binding :
+  ?window:int ->
   Rt.runtime ->
   client:Lrpc_kernel.Pdomain.t ->
   server:Lrpc_kernel.Pdomain.t ->
@@ -40,7 +41,9 @@ val make_remote_binding :
   Rt.binding
 (** A Binding Object whose remote bit is set (paper §5.1): calls branch
     to [transport] in the first stub instruction. Used by the network
-    RPC layer; no A-stacks are allocated. *)
+    RPC layer; no A-stacks are allocated — instead at most [window]
+    (default 8, clamped to at least 1) calls may be in flight at once;
+    issuers past the window block FIFO until a reply lands. *)
 
 val verify :
   Rt.runtime ->

@@ -96,212 +96,473 @@ let read_outputs rt ?audit ~client ~region ~proc plan =
       v)
     (Layout.output_slots plan)
 
-let call ?audit rt b ~proc args =
+(* ---- landing ----------------------------------------------------------- *)
+
+(* Record the call's outcome on the handle and wake everyone blocked in
+   an await. Wake-ups may be spurious from the waiter's point of view
+   (await_any registers with several handles); the wait loops re-check. *)
+let land_ rt h outcome =
+  let e = engine rt in
+  h.ch_state <- Landed outcome;
+  note_call_landed rt;
+  Engine.emit e
+    (Event.Call_completed
+       {
+         binding = h.ch_binding.bid;
+         proc = h.ch_proc;
+         handle = h.ch_id;
+         ok = (match outcome with Ok () -> true | Error _ -> false);
+       });
+  let waiters = h.ch_waiters in
+  h.ch_waiters <- [];
+  List.iter (fun th -> if Engine.alive th then Engine.wake e th) waiters
+
+(* ---- the completion half ------------------------------------------------ *)
+
+(* Everything from the kernel trap to the return transfer, executed on
+   the thread that actually crosses into the server: the issuing thread
+   itself for synchronous calls (so Tables 4/5 are reproduced by the
+   very same delay sequence as before the handle split), or a carrier
+   thread for pipelined ones. May raise [Engine.Thread_killed] (the
+   §5.3 abandoned-call paths); any other failure is returned as the
+   call's outcome. *)
+let complete_local rt h lc =
   let e = engine rt in
   let cm = cost_model rt in
   let th = Engine.self e in
-  (* Stage boundaries for the per-binding latency histograms. Only the
-     total is meaningful on the remote path. *)
-  let t0 = Engine.now e in
-  (* The formal procedure call into the client stub. *)
-  Engine.delay ~category:Category.Proc_call e cm.Lrpc_sim.Cost_model.proc_call;
-  match b.b_remote with
-  | Some transport ->
-      (* §5.1: the remote bit, tested by the stub's first instruction,
-         branches to the conventional network RPC path. *)
-      let results = transport ~proc args in
-      Metrics.Counter.incr b.b_stats.cs_calls;
-      Metrics.Histo.observe_us b.b_stats.cs_total
-        (Time.sub (Engine.now e) t0);
-      results
-  | None ->
-      let client = b.b_client and server = b.b_server in
-      (* The caller's identity is the domain the trapping thread actually
-         runs in, not whatever the Binding Object claims. *)
-      let caller =
-        match Kernel.find_domain rt.kernel (Engine.thread_domain th) with
-        | Some d -> d
-        | None -> raise (Bad_binding "caller has no domain")
-      in
-      let pb =
-        match List.assoc_opt proc b.b_procs with
-        | Some pb -> pb
-        | None -> raise (Bad_binding ("no such procedure: " ^ proc))
-      in
-      (* Client stub, call side: plan slots and grab an A-stack. *)
-      Engine.delay ~category:Category.Stub_client e
-        cm.Lrpc_sim.Cost_model.client_stub_call;
-      let plan = Layout.plan pb.pb_layout ~args in
-      let astack = Astack.checkout rt pb ~client ~server in
-      let oob = not (Layout.fits pb.pb_layout plan) in
-      let data_region =
-        if oob then begin
-          (* §5.2: arguments too large for the A-stack travel in an
-             out-of-band segment — complicated and relatively expensive,
-             but infrequent. *)
-          Engine.delay ~category:Category.Kernel_transfer e
-            rt.config.oob_overhead;
-          Kernel.alloc_region rt.kernel ~owner:client
-            ~name:(Printf.sprintf "oob-%s-%d" proc astack.a_id)
-            ~bytes:plan.Layout.total_bytes
-            ~mapped:[ client; server ]
-        end
-        else astack.a_region
-      in
-      let release_oob () =
-        if oob then Kernel.release_region rt.kernel ~owner:client data_region
-      in
-      let t_bind = Engine.now e in
-      (try marshal_inputs rt ?audit ~client:caller ~region:data_region plan
+  let b = h.ch_binding in
+  let client = b.b_client and server = b.b_server in
+  let audit = lc.lc_audit in
+  let pb = lc.lc_pb in
+  let astack = lc.lc_astack in
+  let plan = lc.lc_plan in
+  let data_region = lc.lc_region in
+  let release_oob () =
+    if lc.lc_oob then Kernel.release_region rt.kernel ~owner:client data_region
+  in
+  let release_all () =
+    release_oob ();
+    if not lc.lc_released then begin
+      lc.lc_released <- true;
+      Astack.checkin rt pb astack
+    end
+  in
+  (* Argument bytes consumed on a processor other than the one that
+     wrote them drag cache lines across the bus; charged where the
+     consumption happens. This is why domain caching helps large
+     arguments less (Table 4's shrinking MP column). *)
+  let coherency bytes =
+    if bytes > 0 then
+      Engine.delay ~category:Category.Copy e
+        (Lrpc_sim.Time.scale cm.Lrpc_sim.Cost_model.coherency_per_byte
+           (float_of_int bytes))
+  in
+  (* Trap to the kernel; validation and linkage work. *)
+  Kernel.trap rt.kernel;
+  klocked rt (fun () ->
+      Engine.delay ~category:Category.Kernel_transfer e
+        cm.Lrpc_sim.Cost_model.kernel_call;
+      (try
+         (* The caller's identity is the domain the trapping thread
+            actually runs in, not whatever the Binding Object claims —
+            a carrier dispatched at issue time lives in the client
+            domain, so it passes the same check the issuer would. *)
+         let caller =
+           match Kernel.find_domain rt.kernel (Engine.thread_domain th) with
+           | Some d -> d
+           | None -> raise (Bad_binding "caller has no domain")
+         in
+         ignore (Binding.verify rt b ~caller ~proc:h.ch_proc);
+         Astack.validate rt pb astack
        with exn ->
-         release_oob ();
-         Astack.checkin rt pb astack;
+         release_all ();
          raise exn);
-      let t_marshal = Engine.now e in
-      let bytes_in =
-        List.fold_left
-          (fun acc (s : Layout.slot) -> acc + s.Layout.size)
-          0
-          (Layout.input_slots plan)
-      in
-      let bytes_out =
-        List.fold_left
-          (fun acc (s : Layout.slot) -> acc + s.Layout.size)
-          0
-          (Layout.output_slots plan)
-      in
-      let marshal_cpu = (Engine.current_cpu e).Engine.idx in
-      (* Argument bytes consumed on a processor other than the one that
-         wrote them drag cache lines across the bus; charged where the
-         consumption happens. This is why domain caching helps large
-         arguments less (Table 4's shrinking MP column). *)
-      let coherency bytes =
-        if bytes > 0 then
-          Engine.delay ~category:Category.Copy e
-            (Lrpc_sim.Time.scale cm.Lrpc_sim.Cost_model.coherency_per_byte
-               (float_of_int bytes))
-      in
-      (* Trap to the kernel; validation and linkage work. *)
-      Kernel.trap rt.kernel;
-      klocked rt (fun () ->
-          Engine.delay ~category:Category.Kernel_transfer e
-            cm.Lrpc_sim.Cost_model.kernel_call;
-          (try
-             ignore (Binding.verify rt b ~caller ~proc);
-             Astack.validate rt pb astack
-           with exn ->
-             release_oob ();
-             Astack.checkin rt pb astack;
-             raise exn);
-          let linkage = astack.a_linkage in
-          linkage.l_in_use <- true;
-          linkage.l_valid <- true;
-          linkage.l_abandoned <- false;
-          linkage.l_caller <- Some th;
-          linkage.l_return_domain <- Some client;
-          let lstack = linkstack_of rt th in
-          lstack := linkage :: !lstack;
-          let estack = Estack.associate rt ~server astack in
-          (* Domain transfer: the client's thread crosses into the
-             server. *)
-          transfer_to rt ~target:server;
-          Engine.touch_pages e
-            ~pages:(Footprint.call_side rt b astack estack ~data_region));
       let linkage = astack.a_linkage in
+      linkage.l_in_use <- true;
+      linkage.l_valid <- true;
+      linkage.l_abandoned <- false;
+      linkage.l_caller <- Some th;
+      linkage.l_return_domain <- Some client;
       let lstack = linkstack_of rt th in
-      let server_cpu = (Engine.current_cpu e).Engine.idx in
-      if server_cpu <> marshal_cpu then coherency bytes_in;
-      (* Upcall into the server's entry stub. *)
-      Engine.delay ~category:Category.Stub_server e
-        cm.Lrpc_sim.Cost_model.server_stub_call;
-      let t_transfer = Engine.now e in
-      if b.b_export.ex_defensive then
-        defensive_copies rt ?audit ~server ~region:data_region plan;
-      let ctx =
-        {
-          sc_rt = rt;
-          sc_binding = b;
-          sc_proc = pb.pb_spec;
-          sc_plan = plan;
-          sc_region = data_region;
-          sc_thread = th;
-        }
+      lstack := linkage :: !lstack;
+      Kernel.linkage_claimed rt.kernel th;
+      let estack = Estack.associate rt ~server astack in
+      (* Domain transfer: the executing thread crosses into the
+         server. *)
+      transfer_to rt ~target:server;
+      Engine.touch_pages e
+        ~pages:(Footprint.call_side rt b astack estack ~data_region));
+  let linkage = astack.a_linkage in
+  let lstack = linkstack_of rt th in
+  let server_cpu = (Engine.current_cpu e).Engine.idx in
+  if server_cpu <> lc.lc_marshal_cpu then coherency lc.lc_bytes_in;
+  (* Upcall into the server's entry stub. *)
+  Engine.delay ~category:Category.Stub_server e
+    cm.Lrpc_sim.Cost_model.server_stub_call;
+  lc.lc_t_transfer <- Engine.now e;
+  if b.b_export.ex_defensive then
+    defensive_copies rt ?audit ~server ~region:data_region plan;
+  let ctx =
+    {
+      sc_rt = rt;
+      sc_binding = b;
+      sc_proc = pb.pb_spec;
+      sc_plan = plan;
+      sc_region = data_region;
+      sc_thread = th;
+    }
+  in
+  let outcome =
+    try
+      let outputs = pb.pb_impl ctx in
+      store_outputs ~server ~region:data_region ~proc:pb.pb_spec plan outputs;
+      Ok ()
+    with
+    | Engine.Thread_killed as exn -> raise exn
+    | Unwind_termination -> Error (Call_failed "server domain terminated")
+    | exn -> Error exn
+  in
+  (* Return transfer: server stub traps; the kernel needs only the
+     linkage record — no re-validation. *)
+  Engine.delay ~category:Category.Stub_server e
+    cm.Lrpc_sim.Cost_model.server_stub_return;
+  lc.lc_t_server <- Engine.now e;
+  Kernel.trap rt.kernel;
+  let was_valid, was_abandoned =
+    klocked rt (fun () ->
+        Engine.delay ~category:Category.Kernel_transfer e
+          cm.Lrpc_sim.Cost_model.kernel_return;
+        (match !lstack with
+        | l :: rest when l == linkage -> lstack := rest
+        | ls ->
+            (* Completion halves run start-to-finish on their executing
+               thread, so the LIFO head case is the rule (nested calls
+               from a server procedure still nest); removal by physical
+               identity keeps the books right regardless. *)
+            lstack := List.filter (fun l -> not (l == linkage)) ls);
+        Kernel.linkage_released rt.kernel th;
+        let was_valid = linkage.l_valid in
+        let was_abandoned = linkage.l_abandoned in
+        linkage.l_in_use <- false;
+        linkage.l_caller <- None;
+        linkage.l_return_domain <- None;
+        if not was_abandoned && Pdomain.active client then begin
+          (* Cross back into the domain of the first valid linkage —
+             the client, unless it terminated while we were away. *)
+          transfer_to rt ~target:client;
+          Engine.touch_pages e ~pages:(Footprint.return_side rt b);
+          if (Engine.current_cpu e).Engine.idx <> server_cpu then
+            coherency lc.lc_bytes_out
+        end;
+        (was_valid, was_abandoned))
+  in
+  if was_abandoned then begin
+    (* §5.3: the client released this captured call; the thread is
+       destroyed in the kernel upon release. *)
+    release_oob ();
+    raise Engine.Thread_killed
+  end;
+  if not (Pdomain.active client) then begin
+    release_oob ();
+    raise Engine.Thread_killed
+  end;
+  match outcome with
+  | Ok () when not was_valid -> Error (Call_failed "linkage invalidated")
+  | o -> o
+
+(* §5.1: the conventional network path, behind the remote bit. The
+   window slot claimed at issue is returned when the reply lands, waking
+   the longest-blocked issuer. *)
+let complete_remote _rt h rc =
+  let b = h.ch_binding in
+  let r =
+    match b.b_remote with Some r -> r | None -> assert false
+  in
+  let release_slot () =
+    if rc.rc_slot_held then begin
+      rc.rc_slot_held <- false;
+      r.r_in_flight <- r.r_in_flight - 1;
+      ignore (Waitq.signal r.r_wait)
+    end
+  in
+  Fun.protect ~finally:release_slot (fun () ->
+      try
+        rc.rc_results <- r.r_transport ~proc:h.ch_proc rc.rc_args;
+        Ok ()
+      with
+      | Engine.Thread_killed as exn -> raise exn
+      | exn -> Error exn)
+
+let complete_body rt h =
+  match h.ch_kind with
+  | Ck_local lc -> complete_local rt h lc
+  | Ck_remote rc -> complete_remote rt h rc
+
+(* Run the completion half on the current thread and land the handle.
+   Never lets an exception other than [Thread_killed] escape: failures
+   land as the call's outcome and are re-raised at readback time, so a
+   dead carrier cannot leave awaiting threads hanging. *)
+let run_completion rt h =
+  (match h.ch_state with
+  | Issued | In_flight -> ()
+  | Landed _ | Consumed ->
+      invalid_arg "Call.run_completion: handle already landed");
+  match complete_body rt h with
+  | outcome -> land_ rt h outcome
+  | exception (Engine.Thread_killed as k) ->
+      (* The executing thread dies (abandoned call, terminated client);
+         the A-stack is deliberately not checked in, exactly as the
+         synchronous path leaks it, and the awaiter is told the call was
+         released. *)
+      (match h.ch_kind with
+      | Ck_local lc -> lc.lc_released <- true
+      | Ck_remote _ -> ());
+      land_ rt h (Error (Call_aborted (h.ch_proc ^ ": call released while captured")));
+      raise k
+  | exception exn -> land_ rt h (Error exn)
+
+(* ---- readback (the awaiting thread's half) ------------------------------ *)
+
+let readout rt h outcome =
+  let e = engine rt in
+  let cm = cost_model rt in
+  h.ch_state <- Consumed;
+  match h.ch_kind with
+  | Ck_remote rc -> (
+      match outcome with
+      | Ok () ->
+          let st = h.ch_binding.b_stats in
+          Metrics.Counter.incr st.cs_calls;
+          Metrics.Histo.observe_us st.cs_total
+            (Time.sub (Engine.now e) h.ch_issued_at);
+          rc.rc_results
+      | Error exn -> raise exn)
+  | Ck_local lc -> (
+      let b = h.ch_binding in
+      let client = b.b_client in
+      let release_all () =
+        if lc.lc_oob then
+          Kernel.release_region rt.kernel ~owner:client lc.lc_region;
+        if not lc.lc_released then begin
+          lc.lc_released <- true;
+          Astack.checkin rt lc.lc_pb lc.lc_astack
+        end
       in
-      let outcome =
-        try
-          let outputs = pb.pb_impl ctx in
-          store_outputs ~server ~region:data_region ~proc:pb.pb_spec plan
-            outputs;
-          Ok ()
-        with
-        | Engine.Thread_killed as exn -> raise exn
-        | Unwind_termination -> Error (Call_failed "server domain terminated")
-        | exn -> Error exn
-      in
-      (* Return transfer: server stub traps; the kernel needs only the
-         linkage record — no re-validation. *)
-      Engine.delay ~category:Category.Stub_server e
-        cm.Lrpc_sim.Cost_model.server_stub_return;
-      let t_server = Engine.now e in
-      Kernel.trap rt.kernel;
-      let was_valid, was_abandoned =
-        klocked rt (fun () ->
-            Engine.delay ~category:Category.Kernel_transfer e
-              cm.Lrpc_sim.Cost_model.kernel_return;
-            (match !lstack with
-            | l :: rest when l == linkage -> lstack := rest
-            | _ ->
-                (* The linkage stack is per-thread and calls nest like
-                   procedure calls; anything else is a runtime bug. *)
-                assert false);
-            let was_valid = linkage.l_valid in
-            let was_abandoned = linkage.l_abandoned in
-            linkage.l_in_use <- false;
-            linkage.l_caller <- None;
-            linkage.l_return_domain <- None;
-            if not was_abandoned && Pdomain.active client then begin
-              (* Cross back into the domain of the first valid linkage —
-                 the client, unless it terminated while we were away. *)
-              transfer_to rt ~target:client;
-              Engine.touch_pages e ~pages:(Footprint.return_side rt b);
-              if (Engine.current_cpu e).Engine.idx <> server_cpu then
-                coherency bytes_out
-            end;
-            (was_valid, was_abandoned))
-      in
-      if was_abandoned then begin
-        (* §5.3: the client released this captured call; the thread is
-           destroyed in the kernel upon release. *)
-        release_oob ();
-        raise Engine.Thread_killed
-      end;
-      if not (Pdomain.active client) then begin
-        release_oob ();
-        raise Engine.Thread_killed
-      end;
-      (* Client stub, return side. *)
-      Engine.delay ~category:Category.Stub_client e
-        cm.Lrpc_sim.Cost_model.client_stub_return;
-      let result =
-        match outcome with
-        | Ok () when not was_valid -> Error (Call_failed "linkage invalidated")
-        | Ok () ->
-            Ok (read_outputs rt ?audit ~client ~region:data_region ~proc:pb.pb_spec plan)
-        | Error e -> Error e
-      in
-      release_oob ();
-      Astack.checkin rt pb astack;
-      (match result with
-      | Ok outputs ->
+      match outcome with
+      | Ok () ->
+          (* Client stub, return side: copy F off the A-stack, then the
+             A-stack goes home. *)
+          Engine.delay ~category:Category.Stub_client e
+            cm.Lrpc_sim.Cost_model.client_stub_return;
+          let outputs =
+            read_outputs rt ?audit:lc.lc_audit ~client ~region:lc.lc_region
+              ~proc:lc.lc_pb.pb_spec lc.lc_plan
+          in
+          release_all ();
           Metrics.Counter.incr rt.c_calls_completed;
           let st = b.b_stats in
+          let t0 = h.ch_issued_at in
           let t_end = Engine.now e in
           Metrics.Counter.incr st.cs_calls;
           Metrics.Histo.observe_us st.cs_total (Time.sub t_end t0);
-          Metrics.Histo.observe_us st.cs_bind (Time.sub t_bind t0);
-          Metrics.Histo.observe_us st.cs_marshal (Time.sub t_marshal t_bind);
-          Metrics.Histo.observe_us st.cs_transfer (Time.sub t_transfer t_marshal);
-          Metrics.Histo.observe_us st.cs_server (Time.sub t_server t_transfer);
-          Metrics.Histo.observe_us st.cs_return (Time.sub t_end t_server);
+          Metrics.Histo.observe_us st.cs_bind (Time.sub lc.lc_t_bind t0);
+          Metrics.Histo.observe_us st.cs_marshal
+            (Time.sub lc.lc_t_marshal lc.lc_t_bind);
+          Metrics.Histo.observe_us st.cs_transfer
+            (Time.sub lc.lc_t_transfer lc.lc_t_marshal);
+          Metrics.Histo.observe_us st.cs_server
+            (Time.sub lc.lc_t_server lc.lc_t_transfer);
+          Metrics.Histo.observe_us st.cs_return (Time.sub t_end lc.lc_t_server);
           outputs
-      | Error exn -> raise exn)
+      | Error exn ->
+          (* Resources already released mean the call failed before the
+             transfer (validation, marshalling) or died captured — the
+             client stub's return side never runs. Otherwise the error
+             came home through the normal return path. *)
+          if not lc.lc_released then begin
+            Engine.delay ~category:Category.Stub_client e
+              cm.Lrpc_sim.Cost_model.client_stub_return;
+            release_all ()
+          end;
+          raise exn)
+
+(* ---- the issue half ----------------------------------------------------- *)
+
+(* Client stub, call side: plan slots, claim an A-stack (blocking FIFO
+   under the `Wait exhaustion policy — the pool is the pipelining
+   window), marshal the arguments. Runs on the issuing thread; errors
+   here raise synchronously, before a handle exists. *)
+let issue_local ?audit rt b ~proc args =
+  let e = engine rt in
+  let cm = cost_model rt in
+  let client = b.b_client and server = b.b_server in
+  let caller =
+    match Kernel.find_domain rt.kernel (Engine.thread_domain (Engine.self e)) with
+    | Some d -> d
+    | None -> raise (Bad_binding "caller has no domain")
+  in
+  let pb =
+    match List.assoc_opt proc b.b_procs with
+    | Some pb -> pb
+    | None -> raise (Bad_binding ("no such procedure: " ^ proc))
+  in
+  Engine.delay ~category:Category.Stub_client e
+    cm.Lrpc_sim.Cost_model.client_stub_call;
+  let plan = Layout.plan pb.pb_layout ~args in
+  let astack = Astack.checkout rt pb ~client ~server in
+  let oob = not (Layout.fits pb.pb_layout plan) in
+  let data_region =
+    if oob then begin
+      (* §5.2: arguments too large for the A-stack travel in an
+         out-of-band segment — complicated and relatively expensive,
+         but infrequent. *)
+      Engine.delay ~category:Category.Kernel_transfer e rt.config.oob_overhead;
+      Kernel.alloc_region rt.kernel ~owner:client
+        ~name:(Printf.sprintf "oob-%s-%d" proc astack.a_id)
+        ~bytes:plan.Layout.total_bytes
+        ~mapped:[ client; server ]
+    end
+    else astack.a_region
+  in
+  let t_bind = Engine.now e in
+  (try marshal_inputs rt ?audit ~client:caller ~region:data_region plan
+   with exn ->
+     if oob then Kernel.release_region rt.kernel ~owner:client data_region;
+     Astack.checkin rt pb astack;
+     raise exn);
+  let t_marshal = Engine.now e in
+  let slot_bytes slots =
+    List.fold_left (fun acc (s : Layout.slot) -> acc + s.Layout.size) 0 slots
+  in
+  Ck_local
+    {
+      lc_caller = caller;
+      lc_pb = pb;
+      lc_plan = plan;
+      lc_astack = astack;
+      lc_region = data_region;
+      lc_oob = oob;
+      lc_audit = audit;
+      lc_marshal_cpu = (Engine.current_cpu e).Engine.idx;
+      lc_bytes_in = slot_bytes (Layout.input_slots plan);
+      lc_bytes_out = slot_bytes (Layout.output_slots plan);
+      lc_released = false;
+      lc_t_bind = t_bind;
+      lc_t_marshal = t_marshal;
+      lc_t_transfer = t_marshal;
+      lc_t_server = t_marshal;
+    }
+
+let issue ?audit ~vehicle rt b ~proc args =
+  let e = engine rt in
+  let cm = cost_model rt in
+  let t0 = Engine.now e in
+  (* The formal procedure call into the client stub. *)
+  Engine.delay ~category:Category.Proc_call e cm.Lrpc_sim.Cost_model.proc_call;
+  let kind =
+    match b.b_remote with
+    | Some r ->
+        (* §5.1: the remote bit, tested by the stub's first instruction,
+           branches to the conventional network RPC path — here gated by
+           the binding's in-flight window, the wire analogue of the
+           A-stack pool bound. *)
+        while r.r_in_flight >= r.r_window do
+          Waitq.wait r.r_wait
+        done;
+        r.r_in_flight <- r.r_in_flight + 1;
+        Ck_remote { rc_args = args; rc_results = []; rc_slot_held = true }
+    | None -> issue_local ?audit rt b ~proc args
+  in
+  let h =
+    {
+      ch_id = rt.next_handle;
+      ch_binding = b;
+      ch_proc = proc;
+      ch_issuer = Engine.self e;
+      ch_issued_at = t0;
+      ch_kind = kind;
+      ch_carrier = None;
+      ch_state = Issued;
+      ch_waiters = [];
+    }
+  in
+  rt.next_handle <- rt.next_handle + 1;
+  note_call_issued rt;
+  Engine.emit e (Event.Call_issued { binding = b.bid; proc; handle = h.ch_id });
+  (match vehicle with
+  | `Inline -> ()
+  | `Carrier ->
+      (* Pipelined: a carrier thread in the client domain crosses into
+         the server on the issuer's behalf; the issuer keeps running. *)
+      h.ch_state <- In_flight;
+      let carrier =
+        Kernel.spawn rt.kernel b.b_client
+          ~name:(Printf.sprintf "carrier-%s#%d" proc h.ch_id)
+          (fun () -> run_completion rt h)
+      in
+      h.ch_carrier <- Some carrier);
+  h
+
+(* ---- await -------------------------------------------------------------- *)
+
+let rec await rt h =
+  let e = engine rt in
+  match h.ch_state with
+  | Consumed ->
+      raise
+        (Already_awaited (Printf.sprintf "%s (handle #%d)" h.ch_proc h.ch_id))
+  | Issued ->
+      (* Inline handle: the awaiting thread itself is the vehicle — this
+         is the synchronous call path, bit-identical in cost to the
+         pre-handle implementation. *)
+      run_completion rt h;
+      await rt h
+  | Landed outcome -> readout rt h outcome
+  | In_flight ->
+      h.ch_waiters <- Engine.self e :: h.ch_waiters;
+      Engine.block e;
+      await rt h
+
+let await_any rt hs =
+  if hs = [] then invalid_arg "Call.await_any: no handles";
+  let e = engine rt in
+  let landed h = match h.ch_state with Landed _ -> true | _ -> false in
+  let issued h = match h.ch_state with Issued -> true | _ -> false in
+  let consumed h = match h.ch_state with Consumed -> true | _ -> false in
+  let rec loop () =
+    match List.find_opt landed hs with
+    | Some h -> (
+        match h.ch_state with
+        | Landed outcome -> (h, readout rt h outcome)
+        | _ -> assert false)
+    | None -> (
+        match List.find_opt issued hs with
+        | Some h ->
+            (* An inline handle among the candidates: complete it
+               ourselves rather than sleeping forever. *)
+            run_completion rt h;
+            loop ()
+        | None ->
+            if List.for_all consumed hs then
+              raise (Already_awaited "await_any: every handle consumed");
+            let th = Engine.self e in
+            List.iter
+              (fun h ->
+                match h.ch_state with
+                | In_flight -> h.ch_waiters <- th :: h.ch_waiters
+                | Issued | Landed _ | Consumed -> ())
+              hs;
+            Engine.block e;
+            loop ())
+  in
+  loop ()
+
+let await_all rt hs = List.map (fun h -> await rt h) hs
+
+(* ---- entry points ------------------------------------------------------- *)
+
+let call ?audit rt b ~proc args =
+  await rt (issue ?audit ~vehicle:`Inline rt b ~proc args)
+
+let call_async ?audit rt b ~proc args =
+  issue ?audit ~vehicle:`Carrier rt b ~proc args

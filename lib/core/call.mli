@@ -1,14 +1,20 @@
-(** The LRPC call/return transfer path (paper §3.2, §3.4).
+(** The LRPC call/return transfer path (paper §3.2, §3.4), split into an
+    issue half and a completion half around first-class call handles.
 
-    A call runs entirely on the client's concrete thread: the client stub
-    marshals arguments onto a pairwise-shared A-stack and traps; the
-    kernel validates the Binding Object, claims the A-stack's linkage
-    record, pushes it on the thread's linkage stack, associates an
-    E-stack, and switches the thread directly into the server's context
-    (or exchanges processors with one already idling there, §3.4); the
-    server stub is upcalled and branches into the procedure; the return
-    trap retraces the path using only the linkage record — nothing needs
-    re-validation on the way back.
+    [issue] runs the client stub's call side on the issuing thread:
+    marshal arguments onto a pairwise-shared A-stack claimed from the
+    procedure's pool (blocking FIFO when the pool is dry under the
+    [`Wait] policy — the pool is the pipelining window) and return a
+    {!Rt.call_handle}. The completion half — kernel trap, Binding
+    Object validation, linkage claim, E-stack association, direct
+    context switch into the server (or processor exchange, §3.4), the
+    procedure itself, and the return transfer — runs either inline on
+    the awaiting thread (synchronous {!call}: the client's own thread
+    crosses, exactly the paper's design and bit-identical in simulated
+    cost to the pre-handle implementation) or on a carrier thread
+    dispatched at issue time (pipelined {!call_async}). {!await}
+    finally copies results off the A-stack (copy F) on the awaiting
+    thread and sends the A-stack home.
 
     All costs are charged per DESIGN.md §4; every byte of argument data
     really moves through the shared region, so data integrity and the
@@ -21,9 +27,10 @@ val call :
   proc:string ->
   Lrpc_idl.Value.t list ->
   Lrpc_idl.Value.t list
-(** Perform one LRPC from the current simulated thread. Returns the
-    output values ([Out]/[In_out] parameters in declaration order, then
-    the function result, if any).
+(** Perform one LRPC from the current simulated thread — a thin
+    [issue]+[await] pair over an inline handle. Returns the output
+    values ([Out]/[In_out] parameters in declaration order, then the
+    function result, if any).
 
     Raises [Rt.Bad_binding] on forged/revoked/foreign bindings and
     unknown procedures, [Lrpc_idl.Value.Conformance_error] or
@@ -33,5 +40,47 @@ val call :
     returning control (and context) to the client. With [?audit], every
     copy operation is recorded with its Table 3 label (A, E, F). *)
 
+val call_async :
+  ?audit:Lrpc_kernel.Vm.audit ->
+  Rt.runtime ->
+  Rt.binding ->
+  proc:string ->
+  Lrpc_idl.Value.t list ->
+  Rt.call_handle
+(** Issue a pipelined LRPC: claim an A-stack, marshal the arguments,
+    dispatch a carrier thread (in the client domain) to execute the
+    transfer, and return immediately with a handle. Blocks only when
+    the procedure's A-stack pool is exhausted (or, on remote bindings,
+    when the in-flight window is full) — back-pressure, FIFO. Argument
+    errors ([Bad_binding], conformance, arity) raise here,
+    synchronously; everything later lands in the handle and surfaces
+    at {!await}.
+
+    A single thread issuing more unawaited calls than the procedure has
+    A-stacks will block itself at issue with nobody left to complete
+    the earlier calls: keep the issue window within the pool size
+    (procedure's [astacks] count, default 5). *)
+
+val await :
+  Rt.runtime -> Rt.call_handle -> Lrpc_idl.Value.t list
+(** Wait for the call to land, then read the results back (copy F) and
+    release the A-stack. Blocks only when the result is not home yet;
+    for inline handles the completion half runs right here, on the
+    awaiting thread. Raises whatever the call failed with (see
+    {!call}), [Rt.Call_aborted] if the call was released while
+    captured, and [Rt.Already_awaited] on a second await of the same
+    handle. *)
+
+val await_any :
+  Rt.runtime -> Rt.call_handle list -> Rt.call_handle * Lrpc_idl.Value.t list
+(** Wait until any of the handles lands; consume and return that one
+    with its outputs. Raises [Invalid_argument] on an empty list and
+    [Rt.Already_awaited] when every handle was already consumed. *)
+
+val await_all :
+  Rt.runtime -> Rt.call_handle list -> Lrpc_idl.Value.t list list
+(** [await] each handle in order. On failure the error propagates
+    immediately, leaving later handles unconsumed. *)
+
 val calls_completed : Rt.runtime -> int
-(** Successful calls since the runtime was created. *)
+(** Successful local calls since the runtime was created. *)

@@ -10,6 +10,7 @@ module Api = Api
 module Rt = Rt
 module Binding = Binding
 module Call = Call
+module Call_handle = Call_handle
 module Astack = Astack
 module Estack = Estack
 module Footprint = Footprint

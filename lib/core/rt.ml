@@ -33,6 +33,9 @@ exception Bad_binding of string
 exception Not_exported of string
 (** Import of an interface nobody exports (only when not waiting). *)
 
+exception Already_awaited of string
+(** A call handle was awaited a second time ({!Call.await} consumed it). *)
+
 (* Delivered into a thread that must unwind out of a terminating server
    domain; never escapes the call path. *)
 exception Unwind_termination
@@ -141,9 +144,20 @@ and export = {
 and astack_pool = {
   ap_bytes : int;  (** A-stack size; the largest procedure in the group *)
   ap_lock : Spinlock.t;  (** this queue's own lock — no global locking *)
-  ap_wait : Waitq.t;
+  ap_waiters : astack_waiter Queue.t;
+      (** callers blocked on pool exhaustion, FIFO; a check-in grants the
+          A-stack directly to the head waiter so the transfer never takes
+          the spinlock on the waiter's side *)
   mutable ap_queue : astack list;  (** LIFO free list *)
   mutable ap_all : astack list;
+}
+
+and astack_waiter = {
+  aw_th : Engine.thread;
+  mutable aw_grant : astack option;
+      (** set by the granting check-in {e before} the waiter is woken, so
+          a woken waiter never re-enters the checkout race *)
+  mutable aw_active : bool;  (** cleared when the wait exits by any path *)
 }
 
 and proc_binding = {
@@ -165,9 +179,18 @@ and binding = {
   b_client_stub_pages : int list;
   b_stats : call_stats;
   mutable b_revoked : bool;
-  b_remote : remote_transport option;
+  b_remote : remote option;
       (** §5.1: set on bindings to truly remote servers; the stub's first
           instruction branches to this conventional network path *)
+}
+
+and remote = {
+  r_transport : remote_transport;
+  r_window : int;
+      (** maximum calls in flight on the wire through this binding; the
+          network analogue of the A-stack pool bound *)
+  mutable r_in_flight : int;
+  r_wait : Waitq.t;  (** issuers blocked on a full window, FIFO *)
 }
 
 and remote_transport = proc:string -> V.t list -> V.t list
@@ -179,6 +202,63 @@ and server_ctx = {
   sc_plan : Layout.plan;
   sc_region : Vm.region;  (** A-stack or out-of-band segment *)
   sc_thread : Engine.thread;
+}
+
+(* --- asynchronous call handles ----------------------------------------- *)
+
+(* A call's life: [issue] (client-stub half, on the issuing thread) makes
+   a handle; the completion half (kernel transfer + server procedure) runs
+   either inline at [await] (synchronous calls — the paper's design, the
+   client thread itself crosses into the server) or on a carrier thread
+   dispatched at issue time (pipelined calls); [await] finally reads the
+   results off the A-stack on the awaiting thread. *)
+and call_state =
+  | Issued  (** inline handle: the completion half runs at [await] *)
+  | In_flight  (** a carrier thread is executing the completion half *)
+  | Landed of (unit, exn) result
+      (** completion done; on [Ok] the outputs still sit in the data
+          region awaiting their copy-F readback *)
+  | Consumed  (** awaited; a second await is an error *)
+
+and call_handle = {
+  ch_id : int;
+  ch_binding : binding;
+  ch_proc : string;
+  ch_issuer : Engine.thread;
+  ch_issued_at : Time.t;
+  ch_kind : call_kind;
+  mutable ch_carrier : Engine.thread option;
+  mutable ch_state : call_state;
+  mutable ch_waiters : Engine.thread list;
+      (** threads blocked in await/await_any; woken (possibly spuriously)
+          when the call lands — wait loops re-check the state *)
+}
+
+and call_kind = Ck_local of local_call | Ck_remote of remote_call
+
+and local_call = {
+  lc_caller : Pdomain.t;  (** the issuing thread's domain, fixed at issue *)
+  lc_pb : proc_binding;
+  lc_plan : Layout.plan;
+  lc_astack : astack;
+  lc_region : Vm.region;  (** A-stack or out-of-band segment *)
+  lc_oob : bool;
+  lc_audit : Vm.audit option;
+  lc_marshal_cpu : int;
+  lc_bytes_in : int;
+  lc_bytes_out : int;
+  mutable lc_released : bool;
+      (** out-of-band segment freed and A-stack checked in *)
+  mutable lc_t_bind : Time.t;
+  mutable lc_t_marshal : Time.t;
+  mutable lc_t_transfer : Time.t;
+  mutable lc_t_server : Time.t;
+}
+
+and remote_call = {
+  rc_args : V.t list;
+  mutable rc_results : V.t list;
+  mutable rc_slot_held : bool;  (** holds one of the window's slots *)
 }
 
 and domain_pages = { dp_code : int list; dp_stack : int list }
@@ -201,7 +281,13 @@ and runtime = {
   binding_table_pages : int list;
   mutable next_binding : int;
   mutable next_astack : int;
+  mutable next_handle : int;
+  mutable in_flight : int;  (** issued-but-not-landed calls, local + remote *)
   c_calls_completed : Metrics.counter;  (** ["lrpc.calls_completed"] *)
+  g_in_flight : Metrics.gauge;  (** ["lrpc.calls_in_flight"] *)
+  c_pool_exhausted : Metrics.counter;
+      (** ["lrpc.astack_pool_exhausted"]: checkouts that found the free
+          list empty (paper §5.2's wait-or-allocate moment) *)
 }
 
 let engine rt = Kernel.engine rt.kernel
@@ -240,9 +326,17 @@ let create ?(config = default_config) kernel =
     binding_table_pages = btable.Vm.pages;
     next_binding = 1;
     next_astack = 1;
+    next_handle = 1;
+    in_flight = 0;
     c_calls_completed =
       Metrics.counter (Engine.metrics (Kernel.engine kernel))
         "lrpc.calls_completed";
+    g_in_flight =
+      Metrics.gauge (Engine.metrics (Kernel.engine kernel))
+        "lrpc.calls_in_flight";
+    c_pool_exhausted =
+      Metrics.counter (Engine.metrics (Kernel.engine kernel))
+        "lrpc.astack_pool_exhausted";
   }
 
 (* Registered lazily at bind time; same-binding ids share instruments. *)
@@ -300,6 +394,16 @@ let estack_pool rt d =
       let p = { ep_free = []; ep_all = [] } in
       Hashtbl.replace rt.estack_pools d.Pdomain.id p;
       p
+
+(* --- in-flight accounting ------------------------------------------------ *)
+
+let note_call_issued rt =
+  rt.in_flight <- rt.in_flight + 1;
+  Metrics.Gauge.set rt.g_in_flight (float_of_int rt.in_flight)
+
+let note_call_landed rt =
+  rt.in_flight <- rt.in_flight - 1;
+  Metrics.Gauge.set rt.g_in_flight (float_of_int rt.in_flight)
 
 (* --- Taos-style alerts (paper §5.3) ------------------------------------- *)
 

@@ -18,6 +18,8 @@ type t = {
   misses : (Pdomain.id, Metrics.counter) Hashtbl.t;
   hits : (Pdomain.id, Metrics.counter) Hashtbl.t;
   mutable hooks : (Pdomain.t -> unit) list; (* reversed *)
+  linkages : (int, int) Hashtbl.t; (* tid -> outstanding linkage records *)
+  g_linkages : Metrics.gauge;
 }
 
 let boot engine =
@@ -46,6 +48,8 @@ let boot engine =
     misses = Hashtbl.create 16;
     hits = Hashtbl.create 16;
     hooks = [];
+    linkages = Hashtbl.create 64;
+    g_linkages = Metrics.gauge (Engine.metrics engine) "kernel.linkages_outstanding";
   }
 
 let engine t = t.engine
@@ -129,6 +133,35 @@ let trap t =
   Engine.emit t.engine Event.Trap;
   Engine.delay ~category:Category.Trap t.engine
     (cost_model t).Cost_model.trap
+
+(* --- linkage-record accounting ------------------------------------------ *)
+
+(* The kernel's view of each thread's outstanding calls. One linkage
+   record is claimed per call in flight; with asynchronous handles a
+   single thread may hold several at once (they no longer nest like
+   procedure calls), so this is a count, not a stack depth. *)
+
+let total_linkages t =
+  Hashtbl.fold (fun _ n acc -> acc + n) t.linkages 0
+
+let linkage_claimed t th =
+  let tid = Engine.thread_id th in
+  let n = match Hashtbl.find_opt t.linkages tid with Some n -> n | None -> 0 in
+  Hashtbl.replace t.linkages tid (n + 1);
+  Metrics.Gauge.set t.g_linkages (float_of_int (total_linkages t))
+
+let linkage_released t th =
+  let tid = Engine.thread_id th in
+  (match Hashtbl.find_opt t.linkages tid with
+  | Some 1 -> Hashtbl.remove t.linkages tid
+  | Some n when n > 1 -> Hashtbl.replace t.linkages tid (n - 1)
+  | Some _ | None -> invalid_arg "Kernel.linkage_released: none outstanding");
+  Metrics.Gauge.set t.g_linkages (float_of_int (total_linkages t))
+
+let outstanding_linkages t th =
+  match Hashtbl.find_opt t.linkages (Engine.thread_id th) with
+  | Some n -> n
+  | None -> 0
 
 (* --- idle-processor management ------------------------------------------ *)
 

@@ -60,6 +60,21 @@ val spawn :
 val trap : t -> unit
 (** Charge one kernel trap (entry or exit) to the running thread. *)
 
+(** {1 Linkage-record accounting}
+
+    One linkage record is claimed per call in flight. With asynchronous
+    call handles a single thread may hold several at once — outstanding
+    calls no longer nest like procedure calls — so the kernel keeps a
+    per-thread count (mirrored in the ["kernel.linkages_outstanding"]
+    gauge), which the termination collector and tests consult. *)
+
+val linkage_claimed : t -> Lrpc_sim.Engine.thread -> unit
+val linkage_released : t -> Lrpc_sim.Engine.thread -> unit
+(** Raises [Invalid_argument] when the thread has none outstanding. *)
+
+val outstanding_linkages : t -> Lrpc_sim.Engine.thread -> int
+val total_linkages : t -> int
+
 (** {1 Idle-processor management (LRPC/MP, paper §3.4)} *)
 
 val domain_caching_enabled : t -> bool

@@ -1,0 +1,72 @@
+(** The one-stop umbrella over the LRPC reproduction.
+
+    [open Lrpc] brings every module an application or experiment needs
+    into scope under its short name, so user code no longer juggles the
+    internal library layering ([Lrpc_sim], [Lrpc_kernel], [Lrpc_core],
+    ...). The working parts:
+
+    - simulator: {!Engine}, {!Time}, {!Cost_model}, {!Category}
+    - kernel: {!Kernel}, {!Pdomain}, {!Vm}
+    - IDL: {!Types}, {!Parser}, {!Value}, {!Layout}
+    - runtime: {!Api} (the front door), {!Call_handle}, {!Server_ctx},
+      {!Rt}, {!Call}, {!Binding}, {!Astack}, {!Estack}, {!Termination}
+    - network path: {!Netrpc}; message-passing baseline: {!Mpass},
+      {!Profile}
+    - workloads: {!Driver}; observability: {!Event}, {!Metrics},
+      {!Trace}
+
+    Minimal session:
+
+    {[
+      open Lrpc
+
+      let () =
+        let engine = Engine.create ~processors:1 Cost_model.cvax_firefly in
+        let kernel = Kernel.boot engine in
+        let rt = Api.init kernel in
+        ...
+        Engine.run engine
+    ]} *)
+
+(* simulator *)
+module Engine = Lrpc_sim.Engine
+module Time = Lrpc_sim.Time
+module Cost_model = Lrpc_sim.Cost_model
+module Category = Lrpc_sim.Category
+module Spinlock = Lrpc_sim.Spinlock
+module Waitq = Lrpc_sim.Waitq
+
+(* kernel *)
+module Kernel = Lrpc_kernel.Kernel
+module Pdomain = Lrpc_kernel.Pdomain
+module Vm = Lrpc_kernel.Vm
+
+(* IDL *)
+module Types = Lrpc_idl.Types
+module Parser = Lrpc_idl.Parser
+module Value = Lrpc_idl.Value
+module Layout = Lrpc_idl.Layout
+
+(* runtime *)
+module Api = Lrpc_core.Api
+module Call_handle = Lrpc_core.Call_handle
+module Server_ctx = Lrpc_core.Server_ctx
+module Rt = Lrpc_core.Rt
+module Call = Lrpc_core.Call
+module Binding = Lrpc_core.Binding
+module Astack = Lrpc_core.Astack
+module Estack = Lrpc_core.Estack
+module Termination = Lrpc_core.Termination
+
+(* network path and the message-passing baseline *)
+module Netrpc = Lrpc_net.Netrpc
+module Mpass = Lrpc_msgrpc.Mpass
+module Profile = Lrpc_msgrpc.Profile
+
+(* workloads *)
+module Driver = Lrpc_workload.Driver
+
+(* observability *)
+module Event = Lrpc_obs.Event
+module Metrics = Lrpc_obs.Metrics
+module Trace = Lrpc_obs.Trace

@@ -32,7 +32,7 @@ let remote_counter rt =
 let remote_calls rt = Metrics.Counter.value (remote_counter rt)
 let reset_remote_calls rt = Metrics.Counter.reset (remote_counter rt)
 
-let import_remote rt ~client ~server iface ~impls =
+let import_remote ?(window = 8) rt ~client ~server iface ~impls =
   if Pdomain.is_local client server then
     invalid_arg "Netrpc.import_remote: domains share a machine; bind locally";
   (match I.validate iface with
@@ -75,4 +75,5 @@ let import_remote rt ~client ~server iface ~impls =
     Engine.emit engine (Event.Net_recv { bytes = result_bytes });
     results
   in
-  Lrpc_core.Binding.make_remote_binding rt ~client ~server iface ~transport
+  Lrpc_core.Binding.make_remote_binding ~window rt ~client ~server iface
+    ~transport

@@ -24,6 +24,7 @@ val wire_time : bytes:int -> Lrpc_sim.Time.t
     problems, §5.2 — this is why). *)
 
 val import_remote :
+  ?window:int ->
   Lrpc_core.Api.t ->
   client:Lrpc_kernel.Pdomain.t ->
   server:Lrpc_kernel.Pdomain.t ->
@@ -33,7 +34,11 @@ val import_remote :
 (** Bind to an interface served on another machine ([server] must live on
     a different [machine] than [client]). Calls through the returned
     Binding Object take the network path but look exactly like local
-    ones to the caller. *)
+    ones to the caller — including the asynchronous handle API:
+    [Api.call_async] through a remote binding claims one of [window]
+    (default 8, the wire analogue of the A-stack pool bound) in-flight
+    slots, blocking FIFO when the window is full, and [Api.await] reads
+    the reply when it lands. *)
 
 val remote_calls : Lrpc_core.Api.t -> int
 (** Count of network RPCs performed through this runtime, read from

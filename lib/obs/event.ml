@@ -10,6 +10,8 @@ type t =
   | Lock_acquire of { lock : string }
   | Lock_contend of { lock : string }
   | Bound of { interface : string; binding : int }
+  | Call_issued of { binding : int; proc : string; handle : int }
+  | Call_completed of { binding : int; proc : string; handle : int; ok : bool }
   | Terminated of { domain : string }
   | Net_send of { bytes : int }
   | Net_recv of { bytes : int }
@@ -28,6 +30,8 @@ let name = function
   | Lock_acquire _ -> "acquire"
   | Lock_contend _ -> "contend"
   | Bound _ -> "bind"
+  | Call_issued _ -> "call-issued"
+  | Call_completed _ -> "call-completed"
   | Terminated _ -> "terminate"
   | Net_send _ -> "net-send"
   | Net_recv _ -> "net-recv"
@@ -51,6 +55,10 @@ let detail = function
   | Lock_acquire l -> l.lock
   | Lock_contend l -> l.lock
   | Bound b -> Printf.sprintf "%s #%d" b.interface b.binding
+  | Call_issued c -> Printf.sprintf "%s handle=%d binding=%d" c.proc c.handle c.binding
+  | Call_completed c ->
+      Printf.sprintf "%s handle=%d binding=%d%s" c.proc c.handle c.binding
+        (if c.ok then "" else " failed")
   | Terminated t -> t.domain
   | Net_send s -> Printf.sprintf "%d bytes" s.bytes
   | Net_recv r -> Printf.sprintf "%d bytes" r.bytes
@@ -79,6 +87,15 @@ let args = function
   | Lock_acquire l -> [ ("lock", `Str l.lock) ]
   | Lock_contend l -> [ ("lock", `Str l.lock) ]
   | Bound b -> [ ("interface", `Str b.interface); ("binding", `Int b.binding) ]
+  | Call_issued c ->
+      [ ("proc", `Str c.proc); ("handle", `Int c.handle); ("binding", `Int c.binding) ]
+  | Call_completed c ->
+      [
+        ("proc", `Str c.proc);
+        ("handle", `Int c.handle);
+        ("binding", `Int c.binding);
+        ("ok", `Str (string_of_bool c.ok));
+      ]
   | Terminated t -> [ ("domain", `Str t.domain) ]
   | Net_send s -> [ ("bytes", `Int s.bytes) ]
   | Net_recv r -> [ ("bytes", `Int r.bytes) ]

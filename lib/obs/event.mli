@@ -32,6 +32,12 @@ type t =
       (** An acquire that found the lock held and had to spin. *)
   | Bound of { interface : string; binding : int }
       (** A Binding Object was issued. *)
+  | Call_issued of { binding : int; proc : string; handle : int }
+      (** A call handle was issued: arguments are marshalled and an
+          A-stack (or remote window slot) is claimed. *)
+  | Call_completed of { binding : int; proc : string; handle : int; ok : bool }
+      (** The call's completion half landed; on [ok] the results await
+          their readback by the awaiting thread. *)
   | Terminated of { domain : string }
   | Net_send of { bytes : int }
   | Net_recv of { bytes : int }

@@ -369,6 +369,8 @@ let run ?until t =
 
 let self t = match t.current with Some th -> th | None -> raise Not_in_thread
 
+let self_opt t = t.current
+
 let current_cpu t =
   let th = self t in
   if th.cpu < 0 then raise Not_in_thread else t.cpus_.(th.cpu)

@@ -88,6 +88,10 @@ val stuck_threads : t -> thread list
 val self : t -> thread
 val current_cpu : t -> cpu
 
+val self_opt : t -> thread option
+(** The currently executing thread, or [None] at engine level — the
+    non-raising {!self}, for API boundaries that want their own error. *)
+
 val delay : ?category:Category.t -> t -> Time.t -> unit
 (** Consume simulated CPU time on the current processor, dilated by the
     bus-contention factor and charged to [category] (default [Other]). *)

@@ -1,0 +1,341 @@
+(* Asynchronous call handles: pipelined LRPC over the A-stack pool.
+
+   Covers the handle lifecycle (issue, in flight, landed, consumed),
+   FIFO back-pressure on pool exhaustion, await after domain
+   termination, mixed local/remote await_all, double-await, the
+   Not_in_thread guard, the Call_issued/Call_completed trace events,
+   and the headline property: pipelined throughput at least 2x serial
+   with four calls in flight on a 4-processor engine. Built against the
+   Lrpc umbrella, which doubles as its compile test. *)
+
+open Lrpc
+module V = Value
+module I = Types
+
+let cm = Cost_model.cvax_firefly
+
+(* --- scaffolding --------------------------------------------------------- *)
+
+type world = {
+  engine : Engine.t;
+  kernel : Kernel.t;
+  rt : Api.t;
+  server : Pdomain.t;
+  client : Pdomain.t;
+}
+
+let iface =
+  I.interface "Async"
+    [
+      I.proc "null" [];
+      I.proc ~result:I.Int32 "add" [ I.param "a" I.Int32; I.param "b" I.Int32 ];
+      I.proc ~result:I.Int32 ~astacks:1 "slow_one" [ I.param "v" I.Int32 ];
+      I.proc ~result:I.Int32 "slow" [ I.param "v" I.Int32 ];
+    ]
+
+let make_world ?config ?(processors = 1) () =
+  let engine = Engine.create ~processors cm in
+  let kernel = Kernel.boot engine in
+  let rt = Api.init ?config kernel in
+  let server = Kernel.create_domain kernel ~name:"srv" in
+  let client = Kernel.create_domain kernel ~name:"app" in
+  let echo ctx =
+    match Server_ctx.arg ctx 0 with
+    | V.Int v -> [ V.int v ]
+    | _ -> Alcotest.fail "bad arg"
+  in
+  let slow ctx =
+    Engine.delay engine (Time.us 100);
+    echo ctx
+  in
+  let add ctx =
+    match Server_ctx.args ctx with
+    | [ V.Int a; V.Int b ] -> [ V.int (a + b) ]
+    | _ -> Alcotest.fail "add: bad args"
+  in
+  ignore
+    (Api.export rt ~domain:server iface
+       ~impls:
+         [
+           ("null", fun _ -> []);
+           ("add", add);
+           ("slow_one", slow);
+           ("slow", slow);
+         ]);
+  { engine; kernel; rt; server; client }
+
+let run_world w =
+  Engine.run w.engine;
+  match Engine.failures w.engine with
+  | [] -> ()
+  | (th, exn) :: _ ->
+      Alcotest.failf "thread %s died: %s" (Engine.thread_name th)
+        (Printexc.to_string exn)
+
+let in_client w body =
+  ignore (Kernel.spawn w.kernel w.client ~name:"test-client" body);
+  run_world w
+
+(* --- handle basics -------------------------------------------------------- *)
+
+let test_async_roundtrip () =
+  let w = make_world () in
+  in_client w (fun () ->
+      let b = Api.import w.rt ~domain:w.client ~interface:"Async" in
+      let h = Api.call_async w.rt b ~proc:"add" [ V.int 2; V.int 40 ] in
+      Alcotest.(check bool) "has carrier" true (Call_handle.carrier h <> None);
+      (match Api.await w.rt h with
+      | [ V.Int 42 ] -> ()
+      | _ -> Alcotest.fail "wrong result");
+      Alcotest.(check bool) "consumed" true (Call_handle.is_consumed h);
+      Alcotest.(check int) "nothing in flight" 0 (Api.calls_in_flight w.rt))
+
+let test_double_await () =
+  let w = make_world () in
+  in_client w (fun () ->
+      let b = Api.import w.rt ~domain:w.client ~interface:"Async" in
+      let h = Api.call_async w.rt b ~proc:"null" [] in
+      ignore (Api.await w.rt h);
+      match Api.await w.rt h with
+      | _ -> Alcotest.fail "second await should raise"
+      | exception Rt.Already_awaited _ -> ())
+
+let test_sync_call_still_works () =
+  (* Api.call is now issue+await over an inline handle; the surface
+     behavior must be unchanged. *)
+  let w = make_world () in
+  in_client w (fun () ->
+      let b = Api.import w.rt ~domain:w.client ~interface:"Async" in
+      match Api.call w.rt b ~proc:"add" [ V.int 1; V.int 2 ] with
+      | [ V.Int 3 ] -> ()
+      | _ -> Alcotest.fail "wrong result")
+
+let test_await_any_picks_first_landed () =
+  let w = make_world ~processors:2 () in
+  in_client w (fun () ->
+      let b = Api.import w.rt ~domain:w.client ~interface:"Async" in
+      let slow = Api.call_async w.rt b ~proc:"slow" [ V.int 7 ] in
+      let fast = Api.call_async w.rt b ~proc:"add" [ V.int 3; V.int 4 ] in
+      let first, outs = Api.await_any w.rt [ slow; fast ] in
+      Alcotest.(check int) "fast lands first" (Call_handle.id fast)
+        (Call_handle.id first);
+      (match outs with [ V.Int 7 ] -> () | _ -> Alcotest.fail "wrong outputs");
+      match Api.await w.rt slow with
+      | [ V.Int 7 ] -> ()
+      | _ -> Alcotest.fail "slow result wrong")
+
+(* --- back-pressure on the A-stack pool ------------------------------------ *)
+
+(* slow_one has a single A-stack. Four staggered callers must be served
+   strictly in arrival order: the check-in grants the A-stack directly
+   to the longest waiter. *)
+let test_pool_exhaustion_fifo () =
+  (* Four processors so the callers genuinely race for the single
+     A-stack instead of serializing on one CPU. *)
+  let w = make_world ~processors:4 () in
+  let order = ref [] in
+  (* One shared binding: contention happens on one pool, not four. *)
+  let b = Api.import w.rt ~domain:w.client ~interface:"Async" in
+  for i = 0 to 3 do
+    ignore
+      (Kernel.spawn w.kernel w.client
+         ~name:(Printf.sprintf "caller-%d" i)
+         (fun () ->
+           Engine.delay w.engine (Time.us (i + 1));
+           match Api.call w.rt b ~proc:"slow_one" [ V.int i ] with
+           | [ V.Int v ] -> order := v :: !order
+           | _ -> Alcotest.fail "wrong result"))
+  done;
+  run_world w;
+  Alcotest.(check (list int)) "FIFO service order" [ 0; 1; 2; 3 ]
+    (List.rev !order);
+  Alcotest.(check bool)
+    "pool exhaustion was counted" true
+    (Lrpc_obs.Metrics.Counter.value w.rt.Rt.c_pool_exhausted >= 3)
+
+(* An async issuer past the pool bound blocks at issue and resumes only
+   once an awaiting thread sends an A-stack home. *)
+let test_async_issue_blocks_on_exhaustion () =
+  let w = make_world () in
+  let t_unblocked = ref Time.zero in
+  let b = Api.import w.rt ~domain:w.client ~interface:"Async" in
+  ignore
+    (Kernel.spawn w.kernel w.client ~name:"first" (fun () ->
+         let h = Api.call_async w.rt b ~proc:"slow_one" [ V.int 1 ] in
+         ignore (Api.await w.rt h)));
+  ignore
+    (Kernel.spawn w.kernel w.client ~name:"second" (fun () ->
+         Engine.delay w.engine (Time.us 5);
+         let h = Api.call_async w.rt b ~proc:"slow_one" [ V.int 2 ] in
+         t_unblocked := Engine.now w.engine;
+         ignore (Api.await w.rt h)));
+  run_world w;
+  Alcotest.(check bool)
+    "second issue blocked until the first call was awaited" true
+    (Time.to_us !t_unblocked >= 100.)
+
+(* --- termination ---------------------------------------------------------- *)
+
+let test_await_after_server_termination () =
+  let w = make_world ~processors:2 () in
+  in_client w (fun () ->
+      let b = Api.import w.rt ~domain:w.client ~interface:"Async" in
+      let h = Api.call_async w.rt b ~proc:"slow" [ V.int 9 ] in
+      (* Let the carrier get captured inside the server procedure (the
+         E-stack allocation alone costs 50us of kernel time), then pull
+         the rug. *)
+      Engine.delay w.engine (Time.us 150);
+      Api.terminate_domain w.rt w.server;
+      match Api.await w.rt h with
+      | _ -> Alcotest.fail "await should raise Call_failed"
+      | exception Rt.Call_failed _ -> ())
+
+(* --- mixed local/remote --------------------------------------------------- *)
+
+let test_await_all_mixed_local_remote () =
+  let w = make_world ~processors:2 () in
+  let far = Kernel.create_domain w.kernel ~machine:1 ~name:"far" in
+  let riface =
+    I.interface "RAdd"
+      [ I.proc ~result:I.Int32 "radd" [ I.param "a" I.Int32; I.param "b" I.Int32 ] ]
+  in
+  let rb =
+    Netrpc.import_remote ~window:2 w.rt ~client:w.client ~server:far riface
+      ~impls:
+        [
+          ( "radd",
+            function
+            | [ V.Int a; V.Int b ] -> [ V.int (a + b) ]
+            | _ -> Alcotest.fail "radd: bad args" );
+        ]
+  in
+  in_client w (fun () ->
+      let b = Api.import w.rt ~domain:w.client ~interface:"Async" in
+      let hs =
+        [
+          Api.call_async w.rt b ~proc:"add" [ V.int 1; V.int 2 ];
+          Api.call_async w.rt rb ~proc:"radd" [ V.int 10; V.int 20 ];
+          Api.call_async w.rt b ~proc:"slow" [ V.int 5 ];
+        ]
+      in
+      Alcotest.(check (list bool))
+        "remote bits" [ false; true; false ]
+        (List.map Call_handle.is_remote hs);
+      match Api.await_all w.rt hs with
+      | [ [ V.Int 3 ]; [ V.Int 30 ]; [ V.Int 5 ] ] -> ()
+      | _ -> Alcotest.fail "wrong results");
+  Alcotest.(check int) "one network RPC" 1 (Netrpc.remote_calls w.rt)
+
+(* --- guard rails ---------------------------------------------------------- *)
+
+let test_not_in_thread () =
+  let w = make_world () in
+  let b = Api.import w.rt ~domain:w.client ~interface:"Async" in
+  (try
+     ignore (Api.call w.rt b ~proc:"null" []);
+     Alcotest.fail "Api.call outside a thread should raise"
+   with Api.Not_in_thread fn -> Alcotest.(check string) "name" "Api.call" fn);
+  try
+    ignore (Api.call_async w.rt b ~proc:"null" []);
+    Alcotest.fail "Api.call_async outside a thread should raise"
+  with Api.Not_in_thread fn ->
+    Alcotest.(check string) "name" "Api.call_async" fn
+
+let test_options_record () =
+  let w = make_world () in
+  let audit = Vm.audit_create () in
+  let options = { Api.Options.default with audit = Some audit } in
+  in_client w (fun () ->
+      let b = Api.import w.rt ~domain:w.client ~interface:"Async" in
+      ignore (Api.call ~options w.rt b ~proc:"add" [ V.int 1; V.int 2 ]));
+  Alcotest.(check bool) "audit saw copies" true (audit.Vm.copy_ops > 0)
+
+let test_trace_events () =
+  let w = make_world () in
+  let tr = Trace.create () in
+  Engine.set_tracer w.engine (Some tr);
+  in_client w (fun () ->
+      let b = Api.import w.rt ~domain:w.client ~interface:"Async" in
+      let h = Api.call_async w.rt b ~proc:"add" [ V.int 1; V.int 1 ] in
+      ignore (Api.await w.rt h));
+  Engine.set_tracer w.engine None;
+  let issued = Trace.find tr ~kind:"call-issued" in
+  let completed = Trace.find tr ~kind:"call-completed" in
+  Alcotest.(check bool) "issued traced" true (List.length issued >= 1);
+  Alcotest.(check bool) "completed traced" true (List.length completed >= 1)
+
+(* --- the headline: pipelining wins ---------------------------------------- *)
+
+let throughput ~pipelined =
+  let w = make_world ~processors:4 () in
+  let calls = 40 in
+  let elapsed = ref Time.zero in
+  in_client w (fun () ->
+      let b = Api.import w.rt ~domain:w.client ~interface:"Async" in
+      let args = [ V.int 3; V.int 4 ] in
+      (* warmup: fault the working set in *)
+      for _ = 1 to 4 do
+        ignore (Api.call w.rt b ~proc:"add" args)
+      done;
+      let t0 = Engine.now w.engine in
+      if pipelined then
+        for _ = 1 to calls / 4 do
+          let hs =
+            List.init 4 (fun _ -> Api.call_async w.rt b ~proc:"add" args)
+          in
+          ignore (Api.await_all w.rt hs)
+        done
+      else
+        for _ = 1 to calls do
+          ignore (Api.call w.rt b ~proc:"add" args)
+        done;
+      elapsed := Time.sub (Engine.now w.engine) t0);
+  float_of_int calls /. Time.to_us !elapsed
+
+let test_pipelined_throughput () =
+  let serial = throughput ~pipelined:false in
+  let piped = throughput ~pipelined:true in
+  let speedup = piped /. serial in
+  if speedup < 2.0 then
+    Alcotest.failf
+      "pipelined throughput only %.2fx serial (serial %.4f, piped %.4f \
+       calls/us)"
+      speedup serial piped
+
+let () =
+  Alcotest.run "lrpc_async"
+    [
+      ( "handles",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_async_roundtrip;
+          Alcotest.test_case "double await" `Quick test_double_await;
+          Alcotest.test_case "sync unchanged" `Quick test_sync_call_still_works;
+          Alcotest.test_case "await_any" `Quick test_await_any_picks_first_landed;
+        ] );
+      ( "back-pressure",
+        [
+          Alcotest.test_case "FIFO exhaustion" `Quick test_pool_exhaustion_fifo;
+          Alcotest.test_case "issue blocks" `Quick
+            test_async_issue_blocks_on_exhaustion;
+        ] );
+      ( "termination",
+        [
+          Alcotest.test_case "await after termination" `Quick
+            test_await_after_server_termination;
+        ] );
+      ( "remote",
+        [
+          Alcotest.test_case "await_all mixed" `Quick
+            test_await_all_mixed_local_remote;
+        ] );
+      ( "guards",
+        [
+          Alcotest.test_case "not in thread" `Quick test_not_in_thread;
+          Alcotest.test_case "options record" `Quick test_options_record;
+          Alcotest.test_case "trace events" `Quick test_trace_events;
+        ] );
+      ( "pipelining",
+        [
+          Alcotest.test_case "2x throughput" `Quick test_pipelined_throughput;
+        ] );
+    ]
