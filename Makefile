@@ -1,9 +1,10 @@
 SMOKE_JSON := /tmp/lrpc_trace_smoke.json
 PIPELINE_JSON := /tmp/lrpc_pipeline_smoke.json
+FAULT_JSON := /tmp/lrpc_fault_smoke.json
 
-.PHONY: check build test smoke pipeline-smoke bench-pipeline clean
+.PHONY: check build test smoke pipeline-smoke fault-smoke bench-pipeline clean
 
-check: build test smoke pipeline-smoke
+check: build test smoke pipeline-smoke fault-smoke
 
 build:
 	dune build
@@ -32,6 +33,22 @@ pipeline-smoke: build
 	  assert all(r['serial_calls_per_ms'] > 0 and r['pipelined_calls_per_ms'] > 0 \
 	             and r['speedup'] > 0 for r in rs)"
 	@echo "pipeline smoke OK"
+
+# End-to-end: the chaos soak must hold every invariant under a fixed
+# seed, replay bit-identically (--replay runs it twice and compares
+# trace digests), and emit the invariant summary in the shape CI and
+# the docs rely on.
+fault-smoke: build
+	dune exec bin/lrpc_chaos.exe -- --replay --out $(FAULT_JSON) > /dev/null
+	@python3 -c "import json; d = json.load(open('$(FAULT_JSON)')); \
+	  inv = d['invariants']; out = d['outcomes']; \
+	  assert d['calls'] >= 5000; \
+	  assert set(inv) == {'all_resolved', 'pool_balanced', 'linkages_zero', \
+	                      'in_flight_zero', 'no_stuck_threads', 'no_thread_failures'}; \
+	  assert all(inv.values()); \
+	  assert sum(out.values()) == d['calls']; \
+	  assert d['digest']"
+	@echo "fault smoke OK"
 
 # Regenerate the committed BENCH_pipeline.json (full call count).
 bench-pipeline: build

@@ -7,10 +7,26 @@ module Options = struct
     audit : Lrpc_kernel.Vm.audit option;
     defensive_copies : bool;
     wait : bool;
+    deadline : Lrpc_sim.Time.t option;
   }
 
-  let default = { audit = None; defensive_copies = false; wait = false }
+  let default =
+    { audit = None; defensive_copies = false; wait = false; deadline = None }
 end
+
+type failure =
+  | Failed of string
+  | Aborted of string
+  | Deadline of string
+  | Rejected of string
+  | Stub_raised of string
+
+let failure_to_string = function
+  | Failed m -> "failed: " ^ m
+  | Aborted m -> "aborted: " ^ m
+  | Deadline m -> "deadline: " ^ m
+  | Rejected m -> "rejected: " ^ m
+  | Stub_raised m -> "stub raised: " ^ m
 
 let init ?config kernel =
   let rt = Rt.create ?config kernel in
@@ -35,6 +51,9 @@ let opt_audit options audit =
   | Some _ -> audit
   | None -> ( match options with Some o -> o.Options.audit | None -> None)
 
+let opt_deadline options =
+  match options with Some o -> o.Options.deadline | None -> None
+
 let export rt ~domain ?options ?defensive_copies iface ~impls =
   let defensive_copies =
     match defensive_copies with
@@ -56,23 +75,57 @@ let import ?options ?wait rt ~domain ~interface =
 
 let call ?options ?audit rt b ~proc args =
   require_thread rt "Api.call";
-  Call.call ?audit:(opt_audit options audit) rt b ~proc args
+  Call.call
+    ?audit:(opt_audit options audit)
+    ?deadline:(opt_deadline options) rt b ~proc args
 
 let call_async ?options ?audit rt b ~proc args =
   require_thread rt "Api.call_async";
-  Call.call_async ?audit:(opt_audit options audit) rt b ~proc args
+  Call.call_async
+    ?audit:(opt_audit options audit)
+    ?deadline:(opt_deadline options) rt b ~proc args
 
-let await rt h =
+let await ?timeout rt h =
   require_thread rt "Api.await";
-  Call.await rt h
+  Call.await ?timeout rt h
 
 let await_any rt hs =
   require_thread rt "Api.await_any";
   Call.await_any rt hs
 
-let await_all rt hs =
+let await_all ?timeout rt hs =
   require_thread rt "Api.await_all";
-  Call.await_all rt hs
+  Call.await_all ?timeout rt hs
+
+let abort rt h ~reason = Call.abort rt h ~reason
+
+(* Graceful degradation: the typed LRPC failures become a [result];
+   caller bugs ([Not_in_thread], [Already_awaited], [Invalid_argument])
+   and thread death still raise, and anything else that escaped the
+   server procedure is reported as [Stub_raised]. *)
+let classify_failure = function
+  | Rt.Call_failed m -> Error (Failed m)
+  | Rt.Call_aborted m -> Error (Aborted m)
+  | Rt.Deadline_exceeded m -> Error (Deadline m)
+  | Rt.Bad_binding m -> Error (Rejected m)
+  | Rt.Not_exported m -> Error (Rejected ("not exported: " ^ m))
+  | ( Lrpc_sim.Engine.Thread_killed | Rt.Already_awaited _ | Not_in_thread _
+    | Invalid_argument _ | Rt.Unwind_termination ) as exn ->
+      raise exn
+  | exn -> Error (Stub_raised (Printexc.to_string exn))
+
+let call_result ?options rt b ~proc args =
+  match call ?options rt b ~proc args with
+  | outputs -> Ok outputs
+  | exception exn -> classify_failure exn
+
+let await_result ?timeout rt h =
+  match await ?timeout rt h with
+  | outputs -> Ok outputs
+  | exception exn -> classify_failure exn
+
+let await_all_results ?timeout rt hs =
+  List.map (fun h -> await_result ?timeout rt h) hs
 
 let call1 ?options ?audit rt b ~proc args =
   match call ?options ?audit rt b ~proc args with

@@ -59,11 +59,39 @@ module Options : sig
     wait : bool;
         (** block in the kernel until the interface is exported rather
             than raising [Rt.Not_exported] — {!import} *)
+    deadline : Lrpc_sim.Time.t option;
+        (** abort the call through the §5.3 captured-thread path if it
+            has not landed within this much simulated time of issue —
+            {!call}/{!call_async}. A synchronous {!call} with a deadline
+            rides a carrier thread (an awaiting thread cannot release
+            itself), so this is the one option that changes a call's
+            simulated cost. *)
   }
 
   val default : t
-  (** No auditing, no defensive copies, non-blocking import. *)
+  (** No auditing, no defensive copies, non-blocking import, no
+      deadline. *)
 end
+
+(** Why a call failed, for the [result]-typed entry points. Driven by
+    the typed runtime exceptions; see {!call_result}. *)
+type failure =
+  | Failed of string
+      (** [Rt.Call_failed]: server domain terminated mid-call, binding
+          revoked while queued for an A-stack, or remote retry
+          exhaustion. *)
+  | Aborted of string
+      (** [Rt.Call_aborted]: the call was released while captured
+          (§5.3). *)
+  | Deadline of string
+      (** [Rt.Deadline_exceeded]: a [deadline] or [?timeout] fired. *)
+  | Rejected of string
+      (** [Rt.Bad_binding] / [Rt.Not_exported]: the call never started. *)
+  | Stub_raised of string
+      (** Any other exception escaping the server procedure,
+          [Printexc]-rendered. *)
+
+val failure_to_string : failure -> string
 
 val init : ?config:Rt.config -> Lrpc_kernel.Kernel.t -> t
 (** Create the LRPC runtime on a booted kernel and install its
@@ -121,17 +149,52 @@ val call_async :
     exhaustion (FIFO back-pressure) or a full remote in-flight window.
     Raises {!Not_in_thread} outside a simulated thread. *)
 
-val await : t -> Call_handle.t -> Lrpc_idl.Value.t list
+val await :
+  ?timeout:Lrpc_sim.Time.t -> t -> Call_handle.t -> Lrpc_idl.Value.t list
 (** See {!Call.await}: block until the call lands (if it hasn't), read
     the results back, release the A-stack. One await per handle —
-    raises [Rt.Already_awaited] on the second. *)
+    raises [Rt.Already_awaited] on the second. With [?timeout], an
+    in-flight call that does not land in time is aborted and the await
+    raises [Rt.Deadline_exceeded]. *)
 
 val await_any :
   t -> Call_handle.t list -> Call_handle.t * Lrpc_idl.Value.t list
 (** See {!Call.await_any}. *)
 
-val await_all : t -> Call_handle.t list -> Lrpc_idl.Value.t list list
-(** See {!Call.await_all}. *)
+val await_all :
+  ?timeout:Lrpc_sim.Time.t ->
+  t -> Call_handle.t list -> Lrpc_idl.Value.t list list
+(** See {!Call.await_all}: on failure the error propagates immediately,
+    leaving later handles unconsumed — use {!await_all_results} when
+    every handle must be drained. *)
+
+val abort : t -> Call_handle.t -> reason:string -> unit
+(** See {!Call.abort}: land an unlanded call with
+    [Rt.Deadline_exceeded reason] now, abandoning its vehicle per
+    §5.3. *)
+
+val call_result :
+  ?options:Options.t ->
+  t ->
+  Rt.binding ->
+  proc:string ->
+  Lrpc_idl.Value.t list ->
+  (Lrpc_idl.Value.t list, failure) result
+(** {!call}, with the typed LRPC failures reified as [Error _] instead
+    of raised. Caller bugs ([Not_in_thread], [Rt.Already_awaited],
+    [Invalid_argument]) and thread death still raise. *)
+
+val await_result :
+  ?timeout:Lrpc_sim.Time.t ->
+  t -> Call_handle.t -> (Lrpc_idl.Value.t list, failure) result
+(** {!await} with failures reified, like {!call_result}. *)
+
+val await_all_results :
+  ?timeout:Lrpc_sim.Time.t ->
+  t -> Call_handle.t list -> (Lrpc_idl.Value.t list, failure) result list
+(** {!await_result} each handle in order: every handle is drained and
+    its A-stack released no matter how its neighbours fared — the
+    shutdown-safe way to collect a batch under fault injection. *)
 
 val call1 :
   ?options:Options.t ->

@@ -60,6 +60,9 @@ let rec grant_waiter pool a =
   | Some cell ->
       if
         cell.aw_active
+        && cell.aw_grant = None (* a starve-timer grant may already be
+                                   in hand; don't overwrite (and lose)
+                                   an A-stack *)
         && Engine.alive cell.aw_th
         && not (Engine.has_pending_interrupt cell.aw_th)
       then begin
@@ -82,10 +85,8 @@ let relinquish rt pool a =
    the pool spinlock nor races a fresh caller for the free list — the
    A-stack transfers without any shared lock on the waiter's side.
    Wake-ups from any other source find the grant empty and sleep again. *)
-let wait_for_grant rt pool =
+let wait_in_cell rt pool cell =
   let e = engine rt in
-  let cell = { aw_th = Engine.self e; aw_grant = None; aw_active = true } in
-  Queue.push cell pool.ap_waiters;
   let consumed = ref false in
   Fun.protect
     ~finally:(fun () ->
@@ -104,8 +105,74 @@ let wait_for_grant rt pool =
       consumed := true;
       match cell.aw_grant with Some a -> a | None -> assert false)
 
+let wait_for_grant rt pool =
+  let cell =
+    { aw_th = Engine.self (engine rt); aw_grant = None; aw_active = true }
+  in
+  Queue.push cell pool.ap_waiters;
+  wait_in_cell rt pool cell
+
+(* Injected transient starvation (fault plan): the caller joins the FIFO
+   waiter queue even though the free list may be non-empty, exercising
+   the direct-grant path; a timer re-grants from the free list when the
+   starvation window closes, unless an interleaved check-in got there
+   first. *)
+let starve rt pool d =
+  let e = engine rt in
+  Metrics.Counter.incr
+    (Metrics.counter (Engine.metrics e) "fault.astack_starvations");
+  let cell = { aw_th = Engine.self e; aw_grant = None; aw_active = true } in
+  Queue.push cell pool.ap_waiters;
+  let tmr =
+    Engine.at e
+      (Time.add (Engine.now e) d)
+      (fun () ->
+        if cell.aw_active && cell.aw_grant = None then
+          match pool.ap_queue with
+          | a :: rest ->
+              pool.ap_queue <- rest;
+              cell.aw_grant <- Some a;
+              Engine.wake e cell.aw_th
+          | [] -> () (* genuinely dry: a future check-in grants FIFO *))
+  in
+  Fun.protect
+    ~finally:(fun () -> Engine.cancel_timer e tmr)
+    (fun () -> wait_in_cell rt pool cell)
+
+(* Unlink every queued waiter and deliver [exn] into it instead of a
+   grant — a binding being revoked must not hand A-stacks of a dead
+   binding to blocked callers (§5.3). Engine-level safe. *)
+let fail_waiters rt pool exn =
+  let e = engine rt in
+  Queue.iter
+    (fun cell ->
+      if cell.aw_active then begin
+        cell.aw_active <- false;
+        (match cell.aw_grant with
+        | Some a ->
+            (* Granted but not yet resumed: take the A-stack back. *)
+            cell.aw_grant <- None;
+            pool.ap_queue <- a :: pool.ap_queue
+        | None -> ());
+        Engine.interrupt e cell.aw_th exn
+      end)
+    pool.ap_waiters
+
 let checkout rt pb ~client ~server =
   let pool = pb.pb_pool in
+  let starved =
+    match rt.faults with
+    | Some f -> (
+        match f.f_starvation ~proc:pb.pb_spec.I.proc_name with
+        | Some d -> Some (starve rt pool d)
+        | None -> None)
+    | None -> None
+  in
+  match starved with
+  | Some a ->
+      a.a_last_used <- Engine.now (engine rt);
+      a
+  | None -> (
   let taken = ref None in
   Spinlock.with_lock pool.ap_lock ~hold:(lock_hold rt) (fun () ->
       match pool.ap_queue with
@@ -134,7 +201,7 @@ let checkout rt pb ~client ~server =
           pool.ap_all <- pool.ap_all @ extras;
           let a = List.hd extras in
           a.a_last_used <- Engine.now (engine rt);
-          a)
+          a))
 
 let checkin rt pb a =
   let pool = pb.pb_pool in

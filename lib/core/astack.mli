@@ -54,6 +54,13 @@ val checkin : Rt.runtime -> Rt.proc_binding -> Rt.astack -> unit
 val waiting : Rt.astack_pool -> int
 (** Callers currently blocked on pool exhaustion. *)
 
+val fail_waiters : Rt.runtime -> Rt.astack_pool -> exn -> unit
+(** Unlink every queued waiter and deliver [exn] into it instead of a
+    grant. Called by {!Binding.revoke} when the binding dies (§5.3), so
+    a caller queued on the pool of a terminated binding fails with
+    call-failed rather than receiving an A-stack it can no longer use.
+    Engine-level safe (no effects performed). *)
+
 val validate : Rt.runtime -> Rt.proc_binding -> Rt.astack -> unit
 (** Kernel-side validation on call: membership of the procedure's
     A-stack set (a range check for the primary contiguous region — free,

@@ -205,7 +205,7 @@ let verify rt b ~caller ~proc =
   | Some pb -> pb
   | None -> raise (Bad_binding ("no such procedure: " ^ proc))
 
-let revoke _rt b =
+let revoke rt b =
   if not b.b_revoked then begin
     b.b_revoked <- true;
     List.iter
@@ -213,6 +213,14 @@ let revoke _rt b =
         List.iter
           (fun a ->
             if a.a_linkage.l_in_use then a.a_linkage.l_valid <- false)
-          pb.pb_pool.ap_all)
+          pb.pb_pool.ap_all;
+        (* Callers queued on this pool must not be granted an A-stack of
+           a dead binding: fail them out of the FIFO instead. Shared
+           pools (§3.1) are visited once per procedure; later visits
+           find no active waiters. *)
+        Astack.fail_waiters rt pb.pb_pool
+          (Call_failed
+             (Printf.sprintf "binding #%d revoked while waiting for an A-stack"
+                b.bid)))
       b.b_procs
   end

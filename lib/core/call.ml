@@ -98,24 +98,52 @@ let read_outputs rt ?audit ~client ~region ~proc plan =
 
 (* ---- landing ----------------------------------------------------------- *)
 
+let reason_of_exn = function
+  | Call_failed m | Call_aborted m | Deadline_exceeded m | Bad_binding m -> m
+  | Not_exported m -> "not exported: " ^ m
+  | exn -> Printexc.to_string exn
+
 (* Record the call's outcome on the handle and wake everyone blocked in
    an await. Wake-ups may be spurious from the waiter's point of view
-   (await_any registers with several handles); the wait loops re-check. *)
+   (await_any registers with several handles); the wait loops re-check.
+   Guarded: a call aborted at its deadline has already landed when its
+   vehicle finally comes home — the late outcome is dropped, and the
+   in-flight gauge is decremented exactly once. *)
 let land_ rt h outcome =
-  let e = engine rt in
-  h.ch_state <- Landed outcome;
-  note_call_landed rt;
-  Engine.emit e
-    (Event.Call_completed
-       {
-         binding = h.ch_binding.bid;
-         proc = h.ch_proc;
-         handle = h.ch_id;
-         ok = (match outcome with Ok () -> true | Error _ -> false);
-       });
-  let waiters = h.ch_waiters in
-  h.ch_waiters <- [];
-  List.iter (fun th -> if Engine.alive th then Engine.wake e th) waiters
+  match h.ch_state with
+  | Landed _ | Consumed -> ()
+  | Issued | In_flight ->
+      let e = engine rt in
+      (match h.ch_deadline with
+      | Some tmr ->
+          Engine.cancel_timer e tmr;
+          h.ch_deadline <- None
+      | None -> ());
+      h.ch_state <- Landed outcome;
+      note_call_landed rt;
+      Engine.emit e
+        (Event.Call_completed
+           {
+             binding = h.ch_binding.bid;
+             proc = h.ch_proc;
+             handle = h.ch_id;
+             ok = (match outcome with Ok () -> true | Error _ -> false);
+           });
+      (match outcome with
+      | Ok () -> ()
+      | Error exn ->
+          Metrics.Counter.incr rt.c_calls_failed;
+          Engine.emit e
+            (Event.Call_failed
+               {
+                 binding = h.ch_binding.bid;
+                 proc = h.ch_proc;
+                 handle = h.ch_id;
+                 reason = reason_of_exn exn;
+               }));
+      let waiters = h.ch_waiters in
+      h.ch_waiters <- [];
+      List.iter (fun th -> if Engine.alive th then Engine.wake e th) waiters
 
 (* ---- the completion half ------------------------------------------------ *)
 
@@ -157,118 +185,167 @@ let complete_local rt h lc =
         (Lrpc_sim.Time.scale cm.Lrpc_sim.Cost_model.coherency_per_byte
            (float_of_int bytes))
   in
-  (* Trap to the kernel; validation and linkage work. *)
-  Kernel.trap rt.kernel;
-  klocked rt (fun () ->
-      Engine.delay ~category:Category.Kernel_transfer e
-        cm.Lrpc_sim.Cost_model.kernel_call;
-      (try
-         (* The caller's identity is the domain the trapping thread
-            actually runs in, not whatever the Binding Object claims —
-            a carrier dispatched at issue time lives in the client
-            domain, so it passes the same check the issuer would. *)
-         let caller =
-           match Kernel.find_domain rt.kernel (Engine.thread_domain th) with
-           | Some d -> d
-           | None -> raise (Bad_binding "caller has no domain")
-         in
-         ignore (Binding.verify rt b ~caller ~proc:h.ch_proc);
-         Astack.validate rt pb astack
-       with exn ->
-         release_all ();
-         raise exn);
-      let linkage = astack.a_linkage in
-      linkage.l_in_use <- true;
-      linkage.l_valid <- true;
-      linkage.l_abandoned <- false;
-      linkage.l_caller <- Some th;
-      linkage.l_return_domain <- Some client;
-      let lstack = linkstack_of rt th in
-      lstack := linkage :: !lstack;
-      Kernel.linkage_claimed rt.kernel th;
-      let estack = Estack.associate rt ~server astack in
-      (* Domain transfer: the executing thread crosses into the
-         server. *)
-      transfer_to rt ~target:server;
-      Engine.touch_pages e
-        ~pages:(Footprint.call_side rt b astack estack ~data_region));
   let linkage = astack.a_linkage in
   let lstack = linkstack_of rt th in
-  let server_cpu = (Engine.current_cpu e).Engine.idx in
-  if server_cpu <> lc.lc_marshal_cpu then coherency lc.lc_bytes_in;
-  (* Upcall into the server's entry stub. *)
-  Engine.delay ~category:Category.Stub_server e
-    cm.Lrpc_sim.Cost_model.server_stub_call;
-  lc.lc_t_transfer <- Engine.now e;
-  if b.b_export.ex_defensive then
-    defensive_copies rt ?audit ~server ~region:data_region plan;
-  let ctx =
-    {
-      sc_rt = rt;
-      sc_binding = b;
-      sc_proc = pb.pb_spec;
-      sc_plan = plan;
-      sc_region = data_region;
-      sc_thread = th;
-    }
+  (* Put the books right after an asynchronous failure (kill, unwind,
+     crash landing at any delay point of the completion half): if our
+     linkage claim is still on this thread's linkstack, undo it, then
+     reclaim the A-stack and any out-of-band segment. Idempotent, and a
+     no-op for claims already released by the normal return path. *)
+  let crash_cleanup () =
+    if List.exists (fun l -> l == linkage) !lstack then begin
+      lstack := List.filter (fun l -> not (l == linkage)) !lstack;
+      Kernel.linkage_released rt.kernel th;
+      linkage.l_in_use <- false;
+      linkage.l_abandoned <- false;
+      linkage.l_caller <- None;
+      linkage.l_return_domain <- None
+    end;
+    release_all ()
   in
-  let outcome =
-    try
-      let outputs = pb.pb_impl ctx in
-      store_outputs ~server ~region:data_region ~proc:pb.pb_spec plan outputs;
-      Ok ()
-    with
-    | Engine.Thread_killed as exn -> raise exn
-    | Unwind_termination -> Error (Call_failed "server domain terminated")
-    | exn -> Error exn
-  in
-  (* Return transfer: server stub traps; the kernel needs only the
-     linkage record — no re-validation. *)
-  Engine.delay ~category:Category.Stub_server e
-    cm.Lrpc_sim.Cost_model.server_stub_return;
-  lc.lc_t_server <- Engine.now e;
-  Kernel.trap rt.kernel;
-  let was_valid, was_abandoned =
+  let run () =
+    (* Trap to the kernel; validation and linkage work. *)
+    Kernel.trap rt.kernel;
     klocked rt (fun () ->
         Engine.delay ~category:Category.Kernel_transfer e
-          cm.Lrpc_sim.Cost_model.kernel_return;
-        (match !lstack with
-        | l :: rest when l == linkage -> lstack := rest
-        | ls ->
-            (* Completion halves run start-to-finish on their executing
-               thread, so the LIFO head case is the rule (nested calls
-               from a server procedure still nest); removal by physical
-               identity keeps the books right regardless. *)
-            lstack := List.filter (fun l -> not (l == linkage)) ls);
-        Kernel.linkage_released rt.kernel th;
-        let was_valid = linkage.l_valid in
-        let was_abandoned = linkage.l_abandoned in
-        linkage.l_in_use <- false;
-        linkage.l_caller <- None;
-        linkage.l_return_domain <- None;
-        if not was_abandoned && Pdomain.active client then begin
-          (* Cross back into the domain of the first valid linkage —
-             the client, unless it terminated while we were away. *)
-          transfer_to rt ~target:client;
-          Engine.touch_pages e ~pages:(Footprint.return_side rt b);
-          if (Engine.current_cpu e).Engine.idx <> server_cpu then
-            coherency lc.lc_bytes_out
-        end;
-        (was_valid, was_abandoned))
+          cm.Lrpc_sim.Cost_model.kernel_call;
+        (try
+           (* The caller's identity is the domain the trapping thread
+              actually runs in, not whatever the Binding Object claims —
+              a carrier dispatched at issue time lives in the client
+              domain, so it passes the same check the issuer would. *)
+           let caller =
+             match Kernel.find_domain rt.kernel (Engine.thread_domain th) with
+             | Some d -> d
+             | None -> raise (Bad_binding "caller has no domain")
+           in
+           ignore (Binding.verify rt b ~caller ~proc:h.ch_proc);
+           Astack.validate rt pb astack
+         with exn ->
+           release_all ();
+           raise exn);
+        linkage.l_in_use <- true;
+        linkage.l_valid <- true;
+        linkage.l_abandoned <- false;
+        linkage.l_caller <- Some th;
+        linkage.l_return_domain <- Some client;
+        lstack := linkage :: !lstack;
+        Kernel.linkage_claimed rt.kernel th;
+        let estack = Estack.associate rt ~server astack in
+        (* Domain transfer: the executing thread crosses into the
+           server. *)
+        transfer_to rt ~target:server;
+        Engine.touch_pages e
+          ~pages:(Footprint.call_side rt b astack estack ~data_region));
+    (* The deadline fired while we were on our way in: the handle has
+       already landed, so serve out the call as an abandoned capture —
+       the kernel destroys this thread on return and the A-stack comes
+       home then (§5.3). *)
+    (match h.ch_abort with
+    | Some _ ->
+        linkage.l_abandoned <- true;
+        linkage.l_valid <- false
+    | None -> ());
+    let server_cpu = (Engine.current_cpu e).Engine.idx in
+    if server_cpu <> lc.lc_marshal_cpu then coherency lc.lc_bytes_in;
+    (* Upcall into the server's entry stub. *)
+    Engine.delay ~category:Category.Stub_server e
+      cm.Lrpc_sim.Cost_model.server_stub_call;
+    lc.lc_t_transfer <- Engine.now e;
+    if b.b_export.ex_defensive then
+      defensive_copies rt ?audit ~server ~region:data_region plan;
+    let ctx =
+      {
+        sc_rt = rt;
+        sc_binding = b;
+        sc_proc = pb.pb_spec;
+        sc_plan = plan;
+        sc_region = data_region;
+        sc_thread = th;
+      }
+    in
+    let outcome =
+      try
+        (match rt.faults with
+        | Some f -> (
+            match f.f_server_exn ~proc:h.ch_proc with
+            | Some exn -> raise exn
+            | None -> ())
+        | None -> ());
+        let outputs = pb.pb_impl ctx in
+        store_outputs ~server ~region:data_region ~proc:pb.pb_spec plan outputs;
+        Ok ()
+      with
+      | Engine.Thread_killed as exn -> raise exn
+      | Unwind_termination -> Error (Call_failed "server domain terminated")
+      | exn -> Error exn
+    in
+    (* Return transfer: server stub traps; the kernel needs only the
+       linkage record — no re-validation. *)
+    Engine.delay ~category:Category.Stub_server e
+      cm.Lrpc_sim.Cost_model.server_stub_return;
+    lc.lc_t_server <- Engine.now e;
+    Kernel.trap rt.kernel;
+    let was_valid, was_abandoned =
+      klocked rt (fun () ->
+          Engine.delay ~category:Category.Kernel_transfer e
+            cm.Lrpc_sim.Cost_model.kernel_return;
+          (match !lstack with
+          | l :: rest when l == linkage -> lstack := rest
+          | ls ->
+              (* Completion halves run start-to-finish on their executing
+                 thread, so the LIFO head case is the rule (nested calls
+                 from a server procedure still nest); removal by physical
+                 identity keeps the books right regardless. *)
+              lstack := List.filter (fun l -> not (l == linkage)) ls);
+          Kernel.linkage_released rt.kernel th;
+          let was_valid = linkage.l_valid in
+          let was_abandoned = linkage.l_abandoned in
+          linkage.l_in_use <- false;
+          linkage.l_caller <- None;
+          linkage.l_return_domain <- None;
+          if not was_abandoned && Pdomain.active client then begin
+            (* Cross back into the domain of the first valid linkage —
+               the client, unless it terminated while we were away. *)
+            transfer_to rt ~target:client;
+            Engine.touch_pages e ~pages:(Footprint.return_side rt b);
+            if (Engine.current_cpu e).Engine.idx <> server_cpu then
+              coherency lc.lc_bytes_out
+          end;
+          (was_valid, was_abandoned))
+    in
+    if was_abandoned then begin
+      (* §5.3: the client released this captured call (or its deadline
+         fired); the thread is destroyed in the kernel upon release, and
+         the A-stack it was still holding goes home now. *)
+      release_all ();
+      raise Engine.Thread_killed
+    end;
+    if not (Pdomain.active client) then begin
+      release_all ();
+      raise Engine.Thread_killed
+    end;
+    match outcome with
+    | Ok () when not was_valid -> Error (Call_failed "linkage invalidated")
+    | o -> o
   in
-  if was_abandoned then begin
-    (* §5.3: the client released this captured call; the thread is
-       destroyed in the kernel upon release. *)
-    release_oob ();
-    raise Engine.Thread_killed
-  end;
-  if not (Pdomain.active client) then begin
-    release_oob ();
-    raise Engine.Thread_killed
-  end;
-  match outcome with
-  | Ok () when not was_valid -> Error (Call_failed "linkage invalidated")
-  | o -> o
+  try run () with
+  | Unwind_termination ->
+      (* The server domain terminated under us outside the procedure
+         body (the in-body case surfaces through the normal return
+         path). Unwind the linkage claim, reclaim the A-stack, and come
+         home so the restarted caller continues in its own domain. *)
+      crash_cleanup ();
+      if Pdomain.active client then begin
+        transfer_to rt ~target:client;
+        Engine.touch_pages e ~pages:(Footprint.return_side rt b)
+      end;
+      Error (Call_failed "server domain terminated")
+  | exn ->
+      (* Thread_killed and everything else: reclaim, then let
+         run_completion land or re-raise it. *)
+      crash_cleanup ();
+      raise exn
 
 (* §5.1: the conventional network path, behind the remote bit. The
    window slot claimed at issue is returned when the reply lands, waking
@@ -298,28 +375,72 @@ let complete_body rt h =
   | Ck_local lc -> complete_local rt h lc
   | Ck_remote rc -> complete_remote rt h rc
 
+(* Send home whatever the issue half claimed — the A-stack (and any
+   out-of-band region) of a local call, the window slot of a remote one
+   — without running the completion half. Idempotent against the
+   completion half's own release paths. *)
+let reclaim_issue rt h =
+  match h.ch_kind with
+  | Ck_local lc ->
+      if not lc.lc_released then begin
+        if lc.lc_oob then
+          Kernel.release_region rt.kernel ~owner:h.ch_binding.b_client
+            lc.lc_region;
+        lc.lc_released <- true;
+        Astack.checkin rt lc.lc_pb lc.lc_astack
+      end
+  | Ck_remote rc ->
+      if rc.rc_slot_held then begin
+        let r =
+          match h.ch_binding.b_remote with Some r -> r | None -> assert false
+        in
+        rc.rc_slot_held <- false;
+        r.r_in_flight <- r.r_in_flight - 1;
+        ignore (Waitq.signal r.r_wait)
+      end
+
 (* Run the completion half on the current thread and land the handle.
    Never lets an exception other than [Thread_killed] escape: failures
    land as the call's outcome and are re-raised at readback time, so a
    dead carrier cannot leave awaiting threads hanging. *)
 let run_completion rt h =
-  (match h.ch_state with
-  | Issued | In_flight -> ()
+  match h.ch_state with
   | Landed _ | Consumed ->
-      invalid_arg "Call.run_completion: handle already landed");
-  match complete_body rt h with
-  | outcome -> land_ rt h outcome
-  | exception (Engine.Thread_killed as k) ->
-      (* The executing thread dies (abandoned call, terminated client);
-         the A-stack is deliberately not checked in, exactly as the
-         synchronous path leaks it, and the awaiter is told the call was
-         released. *)
-      (match h.ch_kind with
-      | Ck_local lc -> lc.lc_released <- true
-      | Ck_remote _ -> ());
-      land_ rt h (Error (Call_aborted (h.ch_proc ^ ": call released while captured")));
-      raise k
-  | exception exn -> land_ rt h (Error exn)
+      (* Aborted between dispatch and the carrier's first instruction:
+         the call never enters the kernel, the vehicle just returns the
+         claimed resources (the awaiter was detached by the abort). *)
+      reclaim_issue rt h
+  | Issued | In_flight -> (
+      (match h.ch_state with
+      | Issued ->
+          (* Executing: an inline vehicle in its completion half is
+             indistinguishable from a carrier for abort purposes. *)
+          h.ch_state <- In_flight
+      | _ -> ());
+      match complete_body rt h with
+      | outcome ->
+          land_ rt h outcome;
+          (* An abort raced us to the landing (e.g. the deadline fired
+             during the return transfer, after the linkage was already
+             released): the awaiter was detached and will not release,
+             so the claimed resources come home with the vehicle. *)
+          (match h.ch_kind with
+          | Ck_local lc when lc.lc_detached -> reclaim_issue rt h
+          | _ -> ())
+      | exception (Engine.Thread_killed as k) ->
+          (* The executing thread dies (abandoned call, terminated
+             client, deadline abort); the completion half has reclaimed
+             the A-stack on every kill path — belt and braces here for
+             vehicles killed before the claim. *)
+          reclaim_issue rt h;
+          let outcome =
+            match h.ch_abort with
+            | Some exn -> exn
+            | None -> Call_aborted (h.ch_proc ^ ": call released while captured")
+          in
+          land_ rt h (Error outcome);
+          raise k
+      | exception exn -> land_ rt h (Error exn))
 
 (* ---- readback (the awaiting thread's half) ------------------------------ *)
 
@@ -377,9 +498,12 @@ let readout rt h outcome =
       | Error exn ->
           (* Resources already released mean the call failed before the
              transfer (validation, marshalling) or died captured — the
-             client stub's return side never runs. Otherwise the error
-             came home through the normal return path. *)
-          if not lc.lc_released then begin
+             client stub's return side never runs. A detached call's
+             A-stack is still in the hands of its captured vehicle and
+             comes home when that thread finally returns (§5.3), so the
+             awaiter must not release either. Otherwise the error came
+             home through the normal return path. *)
+          if (not lc.lc_released) && not lc.lc_detached then begin
             Engine.delay ~category:Category.Stub_client e
               cm.Lrpc_sim.Cost_model.client_stub_return;
             release_all ()
@@ -447,13 +571,63 @@ let issue_local ?audit rt b ~proc args =
       lc_bytes_in = slot_bytes (Layout.input_slots plan);
       lc_bytes_out = slot_bytes (Layout.output_slots plan);
       lc_released = false;
+      lc_detached = false;
       lc_t_bind = t_bind;
       lc_t_marshal = t_marshal;
       lc_t_transfer = t_marshal;
       lc_t_server = t_marshal;
     }
 
-let issue ?audit ~vehicle rt b ~proc args =
+(* Abort an unlanded call — the deadline/timeout path. §5.3 discipline:
+   a vehicle inside the server cannot be forced home, so its linkage is
+   marked abandoned (the kernel destroys the thread and reclaims the
+   A-stack when it finally returns), while the handle lands {e now} so
+   the awaiter resumes with [Deadline_exceeded]. A vehicle still on its
+   way in picks the abort up at linkage-claim time. Inline vehicles
+   (the awaiting thread itself) cannot abort themselves — a no-op, as is
+   aborting a call that already landed. Engine-level safe: timers call
+   this directly. *)
+let abort rt h ~reason =
+  let exn = Deadline_exceeded reason in
+  match h.ch_state with
+  | Landed _ | Consumed -> ()
+  | Issued ->
+      (* Not yet executing: fail the handle; the awaiter's readback
+         releases the A-stack. *)
+      land_ rt h (Error exn)
+  | In_flight -> (
+      match h.ch_carrier with
+      | None ->
+          (* The awaiting thread is the vehicle, mid-completion: it
+             cannot abandon itself; let the call finish. *)
+          ()
+      | Some c ->
+          h.ch_abort <- Some exn;
+          (match h.ch_kind with
+          | Ck_remote _ ->
+              (* The carrier serves out the wire exchange (the server may
+                 or may not have executed — at-most-once, not exactly-
+                 once); its late outcome is dropped by the landing
+                 guard. *)
+              ()
+          | Ck_local lc ->
+              lc.lc_detached <- true;
+              let linkage = lc.lc_astack.a_linkage in
+              let held_by_carrier =
+                linkage.l_in_use
+                && (match linkage.l_caller with
+                   | Some th -> th == c
+                   | None -> false)
+              in
+              if held_by_carrier then begin
+                (* Captured inside the server: abandoned, destroyed on
+                   return (§5.3). *)
+                linkage.l_abandoned <- true;
+                linkage.l_valid <- false
+              end);
+          land_ rt h (Error exn))
+
+let issue ?audit ?deadline ~vehicle rt b ~proc args =
   let e = engine rt in
   let cm = cost_model rt in
   let t0 = Engine.now e in
@@ -484,6 +658,8 @@ let issue ?audit ~vehicle rt b ~proc args =
       ch_carrier = None;
       ch_state = Issued;
       ch_waiters = [];
+      ch_abort = None;
+      ch_deadline = None;
     }
   in
   rt.next_handle <- rt.next_handle + 1;
@@ -501,11 +677,21 @@ let issue ?audit ~vehicle rt b ~proc args =
           (fun () -> run_completion rt h)
       in
       h.ch_carrier <- Some carrier);
+  (match deadline with
+  | Some d ->
+      h.ch_deadline <-
+        Some
+          (Engine.at e (Time.add t0 d) (fun () ->
+               abort rt h
+                 ~reason:
+                   (Printf.sprintf "%s: deadline (%.0f us) exceeded" proc
+                      (Time.to_us d))))
+  | None -> ());
   h
 
 (* ---- await -------------------------------------------------------------- *)
 
-let rec await rt h =
+let rec await_loop rt h =
   let e = engine rt in
   match h.ch_state with
   | Consumed ->
@@ -516,12 +702,30 @@ let rec await rt h =
          is the synchronous call path, bit-identical in cost to the
          pre-handle implementation. *)
       run_completion rt h;
-      await rt h
+      await_loop rt h
   | Landed outcome -> readout rt h outcome
   | In_flight ->
       h.ch_waiters <- Engine.self e :: h.ch_waiters;
       Engine.block e;
-      await rt h
+      await_loop rt h
+
+let await ?timeout rt h =
+  match timeout with
+  | None -> await_loop rt h
+  | Some d ->
+      let e = engine rt in
+      let tmr =
+        Engine.at e
+          (Time.add (Engine.now e) d)
+          (fun () ->
+            abort rt h
+              ~reason:
+                (Printf.sprintf "%s: await timeout (%.0f us) exceeded"
+                   h.ch_proc (Time.to_us d)))
+      in
+      Fun.protect
+        ~finally:(fun () -> Engine.cancel_timer e tmr)
+        (fun () -> await_loop rt h)
 
 let await_any rt hs =
   if hs = [] then invalid_arg "Call.await_any: no handles";
@@ -557,12 +761,19 @@ let await_any rt hs =
   in
   loop ()
 
-let await_all rt hs = List.map (fun h -> await rt h) hs
+let await_all ?timeout rt hs = List.map (fun h -> await ?timeout rt h) hs
 
 (* ---- entry points ------------------------------------------------------- *)
 
-let call ?audit rt b ~proc args =
-  await rt (issue ?audit ~vehicle:`Inline rt b ~proc args)
+let call ?audit ?deadline rt b ~proc args =
+  match deadline with
+  | None -> await rt (issue ?audit ~vehicle:`Inline rt b ~proc args)
+  | Some _ ->
+      (* A synchronous call with a deadline needs an abortable vehicle:
+         the §5.3 abandon protocol cannot release the awaiting thread
+         from itself, so the completion half rides a carrier. This is
+         the one case where a deadline changes the call's cost. *)
+      await rt (issue ?audit ?deadline ~vehicle:`Carrier rt b ~proc args)
 
-let call_async ?audit rt b ~proc args =
-  issue ?audit ~vehicle:`Carrier rt b ~proc args
+let call_async ?audit ?deadline rt b ~proc args =
+  issue ?audit ?deadline ~vehicle:`Carrier rt b ~proc args

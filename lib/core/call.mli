@@ -22,6 +22,7 @@
 
 val call :
   ?audit:Lrpc_kernel.Vm.audit ->
+  ?deadline:Lrpc_sim.Time.t ->
   Rt.runtime ->
   Rt.binding ->
   proc:string ->
@@ -38,10 +39,17 @@ val call :
     [Rt.Call_failed] when the server domain terminates mid-call, and
     re-raises any exception escaping the server procedure after
     returning control (and context) to the client. With [?audit], every
-    copy operation is recorded with its Table 3 label (A, E, F). *)
+    copy operation is recorded with its Table 3 label (A, E, F).
+
+    With [?deadline] (measured from issue), the call is aborted through
+    the §5.3 captured-thread path if it has not landed in time, raising
+    [Rt.Deadline_exceeded]; the completion half then rides a carrier
+    thread (an awaiting thread cannot release itself), so this is the
+    one option that changes the call's simulated cost. *)
 
 val call_async :
   ?audit:Lrpc_kernel.Vm.audit ->
+  ?deadline:Lrpc_sim.Time.t ->
   Rt.runtime ->
   Rt.binding ->
   proc:string ->
@@ -62,6 +70,7 @@ val call_async :
     (procedure's [astacks] count, default 5). *)
 
 val await :
+  ?timeout:Lrpc_sim.Time.t ->
   Rt.runtime -> Rt.call_handle -> Lrpc_idl.Value.t list
 (** Wait for the call to land, then read the results back (copy F) and
     release the A-stack. Blocks only when the result is not home yet;
@@ -69,7 +78,14 @@ val await :
     awaiting thread. Raises whatever the call failed with (see
     {!call}), [Rt.Call_aborted] if the call was released while
     captured, and [Rt.Already_awaited] on a second await of the same
-    handle. *)
+    handle.
+
+    With [?timeout] (measured from the start of this await), an
+    in-flight call that does not land in time is aborted via {!abort}
+    and the await raises [Rt.Deadline_exceeded]. A timeout cannot
+    interrupt an {e inline} handle (the awaiting thread is the vehicle
+    and cannot abandon itself) — arm a [?deadline] at issue, or use
+    {!call_async}, for abortable calls. *)
 
 val await_any :
   Rt.runtime -> Rt.call_handle list -> Rt.call_handle * Lrpc_idl.Value.t list
@@ -78,9 +94,23 @@ val await_any :
     [Rt.Already_awaited] when every handle was already consumed. *)
 
 val await_all :
+  ?timeout:Lrpc_sim.Time.t ->
   Rt.runtime -> Rt.call_handle list -> Lrpc_idl.Value.t list list
-(** [await] each handle in order. On failure the error propagates
-    immediately, leaving later handles unconsumed. *)
+(** [await] each handle in order ([?timeout] applies to each await in
+    turn). On failure the error propagates immediately, leaving later
+    handles unconsumed — use {!Api.await_all_results} when every handle
+    must be drained regardless. *)
+
+val abort : Rt.runtime -> Rt.call_handle -> reason:string -> unit
+(** Abort an unlanded call, landing it with [Rt.Deadline_exceeded
+    reason] so awaiters resume now. §5.3 discipline: a vehicle already
+    inside the server cannot be forced home — its linkage is marked
+    abandoned and the kernel destroys the thread (reclaiming the
+    A-stack) when it finally returns; a vehicle still on its way in
+    picks the abort up at linkage-claim time and serves out the call as
+    an abandoned capture. No-op on landed/consumed handles and on
+    inline handles currently executing on the awaiting thread.
+    Engine-level safe — deadline timers call this directly. *)
 
 val calls_completed : Rt.runtime -> int
 (** Successful local calls since the runtime was created. *)

@@ -36,6 +36,10 @@ exception Not_exported of string
 exception Already_awaited of string
 (** A call handle was awaited a second time ({!Call.await} consumed it). *)
 
+exception Deadline_exceeded of string
+(** The call's deadline (or an await's timeout) fired before it landed;
+    the call was aborted through the §5.3 captured-thread path. *)
+
 (* Delivered into a thread that must unwind out of a terminating server
    domain; never escapes the call path. *)
 exception Unwind_termination
@@ -87,6 +91,45 @@ let default_config =
     kernel_lock = `Per_astack;
     astack_sharing = false;
   }
+
+(* --- fault-injection hooks ---------------------------------------------- *)
+
+(* What the (simulated) wire does to one request/reply exchange. *)
+type wire_fault = {
+  wf_request_lost : bool;  (** the request packet never reaches the server *)
+  wf_reply_lost : bool;  (** the server executes, but the reply is lost *)
+  wf_duplicate : bool;
+      (** a retransmission races the ack: the server sees the request
+          twice; sequence-number dedup must suppress the re-execution *)
+  wf_extra_delay : Time.t;  (** added one-way latency for this exchange *)
+}
+
+let wire_ok =
+  {
+    wf_request_lost = false;
+    wf_reply_lost = false;
+    wf_duplicate = false;
+    wf_extra_delay = Time.zero;
+  }
+
+(* The hook record a fault plan installs on the runtime. Kept here, at
+   the bottom of the dependency order, so [Astack], [Call] and [Netrpc]
+   can consult it without depending on [lrpc_fault]; when [faults] is
+   [None] (the default) every consultation is a single pointer test —
+   the fast path costs nothing. *)
+type faults = {
+  f_wire : proc:string -> seq:int -> attempt:int -> wire_fault;
+      (** consulted once per transmission attempt on the network path *)
+  f_backoff_jitter : attempt:int -> float;
+      (** deterministic jitter factor in [0, 1) for retry backoff *)
+  f_server_exn : proc:string -> exn option;
+      (** exception to raise from the server stub instead of the
+          procedure body *)
+  f_starvation : proc:string -> Time.t option;
+      (** transient A-stack pool starvation: force this checkout to wait
+          in the FIFO queue for (at most) the returned duration even if
+          the free list is non-empty *)
+}
 
 type linkage = {
   l_region : Vm.region;  (** kernel-private page holding the record *)
@@ -232,6 +275,13 @@ and call_handle = {
   mutable ch_waiters : Engine.thread list;
       (** threads blocked in await/await_any; woken (possibly spuriously)
           when the call lands — wait loops re-check the state *)
+  mutable ch_abort : exn option;
+      (** set when the call was aborted (deadline/timeout) while its
+          vehicle was still en route; the vehicle checks it at linkage
+          claim and serves out the call as abandoned *)
+  mutable ch_deadline : Engine.timer option;
+      (** armed at issue when [Options.deadline] is set; cancelled by the
+          landing *)
 }
 
 and call_kind = Ck_local of local_call | Ck_remote of remote_call
@@ -249,6 +299,10 @@ and local_call = {
   lc_bytes_out : int;
   mutable lc_released : bool;
       (** out-of-band segment freed and A-stack checked in *)
+  mutable lc_detached : bool;
+      (** the awaiter must not release: the call was aborted while its
+          captured vehicle still holds the A-stack, which comes home when
+          the vehicle finally returns (§5.3) *)
   mutable lc_t_bind : Time.t;
   mutable lc_t_marshal : Time.t;
   mutable lc_t_transfer : Time.t;
@@ -288,6 +342,11 @@ and runtime = {
   c_pool_exhausted : Metrics.counter;
       (** ["lrpc.astack_pool_exhausted"]: checkouts that found the free
           list empty (paper §5.2's wait-or-allocate moment) *)
+  c_calls_failed : Metrics.counter;
+      (** ["lrpc.calls_failed"]: calls that landed with an error *)
+  mutable faults : faults option;
+      (** installed fault plan; [None] (the default) keeps every fault
+          consultation down to one pointer test *)
 }
 
 let engine rt = Kernel.engine rt.kernel
@@ -337,6 +396,10 @@ let create ?(config = default_config) kernel =
     c_pool_exhausted =
       Metrics.counter (Engine.metrics (Kernel.engine kernel))
         "lrpc.astack_pool_exhausted";
+    c_calls_failed =
+      Metrics.counter (Engine.metrics (Kernel.engine kernel))
+        "lrpc.calls_failed";
+    faults = None;
   }
 
 (* Registered lazily at bind time; same-binding ids share instruments. *)

@@ -36,7 +36,12 @@ let collect rt d =
           other.Pdomain.threads)
     (Kernel.domains rt.kernel)
 
-let install rt = Kernel.on_terminate rt.kernel (fun d -> collect rt d)
+(* Keyed registration: a second [Api.init] on the same kernel replaces
+   the previous runtime's collector instead of stacking a stale one. *)
+let install rt =
+  ignore
+    (Kernel.on_terminate ~key:"lrpc-collector" rt.kernel (fun d -> collect rt d)
+      : Kernel.hook_handle)
 
 let release_captured rt ~captured ~replacement =
   match !(linkstack_of rt captured) with

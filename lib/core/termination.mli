@@ -15,8 +15,20 @@
     released. *)
 
 val install : Rt.runtime -> unit
-(** Register the LRPC collector with the kernel's termination hook. Done
-    automatically by {!Api.init}. *)
+(** Register the LRPC collector with the kernel's termination hook,
+    under the keyed registration ["lrpc-collector"] — a repeated
+    {!Api.init} on the same kernel {e replaces} the stale collector
+    rather than accumulating hooks (see
+    {!Lrpc_kernel.Kernel.on_terminate} /
+    {!Lrpc_kernel.Kernel.remove_terminate_hook}). Done automatically by
+    {!Api.init}.
+
+    The collector also unlinks callers queued on the A-stack pools of
+    the revoked bindings ({!Astack.fail_waiters}): a FIFO waiter whose
+    binding dies while it is queued receives [Rt.Call_failed] instead of
+    a grant into a dead binding. Deterministic fault plans
+    ([Lrpc_fault.Plan]) exercise all of these paths; see the README's
+    "Failure semantics & fault injection" section. *)
 
 val release_captured :
   Rt.runtime ->

@@ -1,0 +1,123 @@
+module Prng = Lrpc_util.Prng
+module Engine = Lrpc_sim.Engine
+module Time = Lrpc_sim.Time
+module Metrics = Lrpc_obs.Metrics
+module Kernel = Lrpc_kernel.Kernel
+module Pdomain = Lrpc_kernel.Pdomain
+module Rt = Lrpc_core.Rt
+
+exception Injected_fault of string
+
+type spec = {
+  seed : int64;
+  wire_drop : float;
+  wire_reply_drop : float;
+  wire_duplicate : float;
+  wire_delay : float;
+  wire_delay_mean_us : float;
+  server_exn : float;
+  starvation : float;
+  starvation_us : float;
+  crashes : (float * string) list;
+}
+
+let none =
+  {
+    seed = 1L;
+    wire_drop = 0.0;
+    wire_reply_drop = 0.0;
+    wire_duplicate = 0.0;
+    wire_delay = 0.0;
+    wire_delay_mean_us = 0.0;
+    server_exn = 0.0;
+    starvation = 0.0;
+    starvation_us = 0.0;
+    crashes = [];
+  }
+
+type t = {
+  t_spec : spec;
+  (* One independent stream per fault family, split off the seed in a
+     fixed order: the wire verdict sequence does not shift when, say,
+     the starvation probability changes. *)
+  t_wire : Prng.t;
+  t_jitter : Prng.t;
+  t_server : Prng.t;
+  t_starve : Prng.t;
+  mutable t_timers : Engine.timer list;
+}
+
+let make spec =
+  let root = Prng.create ~seed:spec.seed in
+  let t_wire = Prng.split root in
+  let t_jitter = Prng.split root in
+  let t_server = Prng.split root in
+  let t_starve = Prng.split root in
+  { t_spec = spec; t_wire; t_jitter; t_server; t_starve; t_timers = [] }
+
+let spec t = t.t_spec
+
+let install t rt =
+  let s = t.t_spec in
+  let e = Lrpc_core.Api.engine rt in
+  let k = Lrpc_core.Api.kernel rt in
+  let m = Engine.metrics e in
+  let wire_faults = Metrics.counter m "fault.wire_faults" in
+  let server_exns = Metrics.counter m "fault.server_exns" in
+  let crash_count = Metrics.counter m "fault.crashes" in
+  let f_wire ~proc:_ ~seq:_ ~attempt:_ =
+    (* Every verdict consumes the same number of draws whichever way it
+       lands, so the wire stream stays aligned across outcomes. *)
+    let request_lost = Prng.bernoulli t.t_wire ~p:s.wire_drop in
+    let reply_lost = Prng.bernoulli t.t_wire ~p:s.wire_reply_drop in
+    let duplicate = Prng.bernoulli t.t_wire ~p:s.wire_duplicate in
+    let delayed = Prng.bernoulli t.t_wire ~p:s.wire_delay in
+    let extra_us =
+      if s.wire_delay > 0.0 then
+        Prng.exponential t.t_wire ~mean:s.wire_delay_mean_us
+      else 0.0
+    in
+    if request_lost || reply_lost || duplicate || delayed then
+      Metrics.Counter.incr wire_faults;
+    {
+      Rt.wf_request_lost = request_lost;
+      wf_reply_lost = reply_lost;
+      wf_duplicate = duplicate;
+      wf_extra_delay = (if delayed then Time.us_f extra_us else Time.zero);
+    }
+  in
+  let f_backoff_jitter ~attempt:_ = Prng.float t.t_jitter 0.5 in
+  let f_server_exn ~proc =
+    if Prng.bernoulli t.t_server ~p:s.server_exn then begin
+      Metrics.Counter.incr server_exns;
+      Some (Injected_fault (proc ^ ": injected server fault"))
+    end
+    else None
+  in
+  let f_starvation ~proc:_ =
+    if Prng.bernoulli t.t_starve ~p:s.starvation then
+      Some (Time.us_f s.starvation_us)
+    else None
+  in
+  rt.Rt.faults <- Some { Rt.f_wire; f_backoff_jitter; f_server_exn; f_starvation };
+  t.t_timers <-
+    List.map
+      (fun (t_us, name) ->
+        Engine.at e (Time.us_f t_us) (fun () ->
+            match
+              List.find_opt
+                (fun d -> d.Pdomain.name = name && Pdomain.active d)
+                (Kernel.domains k)
+            with
+            | Some d ->
+                Metrics.Counter.incr crash_count;
+                Kernel.terminate_domain k d
+            | None -> ()))
+      s.crashes
+    @ t.t_timers
+
+let uninstall t rt =
+  let e = Lrpc_core.Api.engine rt in
+  rt.Rt.faults <- None;
+  List.iter (Engine.cancel_timer e) t.t_timers;
+  t.t_timers <- []

@@ -1,0 +1,330 @@
+module Prng = Lrpc_util.Prng
+module Engine = Lrpc_sim.Engine
+module Time = Lrpc_sim.Time
+module Cost_model = Lrpc_sim.Cost_model
+module Metrics = Lrpc_obs.Metrics
+module Trace = Lrpc_obs.Trace
+module Kernel = Lrpc_kernel.Kernel
+module Rt = Lrpc_core.Rt
+module Api = Lrpc_core.Api
+module Server_ctx = Lrpc_core.Server_ctx
+module I = Lrpc_idl.Types
+module V = Lrpc_idl.Value
+
+type config = {
+  seed : int64;
+  calls : int;
+  clients : int;
+  processors : int;
+  spec : Plan.spec;
+  remote_share : float;
+  async_share : float;
+  deadline_share : float;
+  trace_capacity : int;
+}
+
+let default =
+  {
+    seed = 0xC0FFEEL;
+    calls = 6_000;
+    clients = 8;
+    processors = 4;
+    spec =
+      {
+        Plan.none with
+        wire_drop = 0.05;
+        wire_reply_drop = 0.03;
+        wire_duplicate = 0.05;
+        wire_delay = 0.10;
+        wire_delay_mean_us = 500.0;
+        server_exn = 0.02;
+        starvation = 0.02;
+        starvation_us = 150.0;
+        crashes = [ (60_000.0, "srv-b") ];
+      };
+    remote_share = 0.15;
+    async_share = 0.5;
+    deadline_share = 0.1;
+    trace_capacity = 1 lsl 16;
+  }
+
+type report = {
+  r_seed : int64;
+  r_calls : int;
+  r_ok : int;
+  r_failed : int;
+  r_aborted : int;
+  r_deadline : int;
+  r_rejected : int;
+  r_stub : int;
+  r_retries : int;
+  r_dups_suppressed : int;
+  r_crashes : int;
+  r_starvations : int;
+  r_all_resolved : bool;
+  r_pool_balanced : bool;
+  r_linkages_zero : bool;
+  r_in_flight_zero : bool;
+  r_no_stuck : bool;
+  r_no_failures : bool;
+  r_digest : string;
+}
+
+let local_iface name =
+  I.interface name
+    [
+      I.proc "null" [];
+      I.proc ~result:I.Int32 "add" [ I.param "a" I.Int32; I.param "b" I.Int32 ];
+      I.proc ~result:I.Int32 "slow" [ I.param "v" I.Int32 ];
+      I.proc ~result:I.Int32 ~astacks:1 "slow_one" [ I.param "v" I.Int32 ];
+    ]
+
+let remote_iface =
+  I.interface "ChaosNet"
+    [
+      I.proc "rnull" [];
+      I.proc ~result:I.Int32 "radd" [ I.param "a" I.Int32; I.param "b" I.Int32 ];
+    ]
+
+let local_impls engine =
+  let echo ctx =
+    match Server_ctx.arg ctx 0 with V.Int v -> [ V.int v ] | _ -> [ V.int 0 ]
+  in
+  let slow ctx =
+    Engine.delay engine (Time.us 100);
+    echo ctx
+  in
+  [
+    ("null", fun _ -> []);
+    ( "add",
+      fun ctx ->
+        match Server_ctx.args ctx with
+        | [ V.Int a; V.Int b ] -> [ V.int (a + b) ]
+        | _ -> [ V.int 0 ] );
+    ("slow", slow);
+    ("slow_one", slow);
+  ]
+
+let remote_impls =
+  [
+    ("rnull", fun (_ : V.t list) -> []);
+    ( "radd",
+      fun args ->
+        match args with
+        | [ V.Int a; V.Int b ] -> [ V.int (a + b) ]
+        | _ -> [ V.int 0 ] );
+  ]
+
+let run cfg =
+  let engine = Engine.create ~processors:cfg.processors Cost_model.cvax_firefly in
+  let tracer = Trace.create ~capacity:cfg.trace_capacity () in
+  Engine.set_tracer engine (Some tracer);
+  let kernel = Kernel.boot engine in
+  let rt = Api.init kernel in
+  let srv_a = Kernel.create_domain kernel ~name:"srv-a" in
+  let srv_b = Kernel.create_domain kernel ~name:"srv-b" in
+  let srv_net = Kernel.create_domain kernel ~machine:1 ~name:"srv-net" in
+  let app = Kernel.create_domain kernel ~name:"app" in
+  ignore
+    (Api.export rt ~domain:srv_a (local_iface "ChaosA")
+       ~impls:(local_impls engine));
+  ignore
+    (Api.export rt ~domain:srv_b (local_iface "ChaosB")
+       ~impls:(local_impls engine));
+  let b_a = Api.import rt ~domain:app ~interface:"ChaosA" in
+  let b_b = Api.import rt ~domain:app ~interface:"ChaosB" in
+  let b_net =
+    Lrpc_net.Netrpc.import_remote rt ~client:app ~server:srv_net remote_iface
+      ~impls:remote_impls
+  in
+  let plan = Plan.make { cfg.spec with Plan.seed = cfg.seed } in
+  Plan.install plan rt;
+  (* The workload streams must not collide with the plan's (both are
+     split off the seed), so the workload root is perturbed first. *)
+  let master = Prng.create ~seed:(Int64.logxor cfg.seed 0x9E3779B97F4A7C15L) in
+  let issued = ref 0 in
+  let ok = ref 0
+  and failed = ref 0
+  and aborted = ref 0
+  and deadline = ref 0
+  and rejected = ref 0
+  and stub = ref 0 in
+  let resolve = function
+    | Ok _ -> incr ok
+    | Error (Api.Failed _) -> incr failed
+    | Error (Api.Aborted _) -> incr aborted
+    | Error (Api.Deadline _) -> incr deadline
+    | Error (Api.Rejected _) -> incr rejected
+    | Error (Api.Stub_raised _) -> incr stub
+  in
+  let client_body prng my_a my_b () =
+    (* Shared bindings for synchronous calls (issue blocks holding
+       nothing — cross-client FIFO contention is safe); private
+       per-client bindings for pipelined batches, whose A-stack pool is
+       the client's own issue window (§3.1: issuing beyond the pool
+       while holding unawaited claims is hold-and-wait). *)
+    let pick_call ~pipelined =
+      if Prng.bernoulli prng ~p:cfg.remote_share then
+        let proc, args =
+          if Prng.bool prng then ("rnull", [])
+          else
+            ("radd", [ V.int (Prng.int prng 1000); V.int (Prng.int prng 1000) ])
+        in
+        (b_net, proc, args, Time.us (3_000 + Prng.int prng 8_000))
+      else
+        let b =
+          if Prng.bool prng then (if pipelined then my_a else b_a)
+          else if pipelined then my_b
+          else b_b
+        in
+        let proc, args =
+          match Prng.int prng 4 with
+          | 0 -> ("null", [])
+          | 1 ->
+              ("add", [ V.int (Prng.int prng 1000); V.int (Prng.int prng 1000) ])
+          | 2 -> ("slow", [ V.int (Prng.int prng 1000) ])
+          | _ -> ("slow_one", [ V.int (Prng.int prng 1000) ])
+        in
+        (b, proc, args, Time.us (30 + Prng.int prng 150))
+    in
+    let options dl =
+      if Prng.bernoulli prng ~p:cfg.deadline_share then
+        Some { Api.Options.default with deadline = Some dl }
+      else None
+    in
+    let issue_async b proc args opts =
+      match Api.call_async ?options:opts rt b ~proc args with
+      | h -> Some h
+      | exception (Rt.Bad_binding m | Rt.Not_exported m) ->
+          resolve (Error (Api.Rejected m));
+          None
+      | exception Rt.Call_failed m ->
+          resolve (Error (Api.Failed m));
+          None
+    in
+    while !issued < cfg.calls do
+      if Prng.bernoulli prng ~p:cfg.async_share then begin
+        (* A pipelined batch on one procedure of a binding this client
+           owns, sized within its A-stack pool, then drained handle by
+           handle whatever each one's fate. *)
+        let b, proc, _, dl = pick_call ~pipelined:true in
+        let width = if proc = "slow_one" then 1 else 1 + Prng.int prng 4 in
+        let n = min width (cfg.calls - !issued) in
+        issued := !issued + n;
+        let hs =
+          List.filter_map
+            (fun _ ->
+              let args =
+                match proc with
+                | "null" | "rnull" -> []
+                | "add" | "radd" ->
+                    [ V.int (Prng.int prng 1000); V.int (Prng.int prng 1000) ]
+                | _ -> [ V.int (Prng.int prng 1000) ]
+              in
+              issue_async b proc args (options dl))
+            (List.init n Fun.id)
+        in
+        List.iter resolve (Api.await_all_results rt hs)
+      end
+      else begin
+        incr issued;
+        let b, proc, args, dl = pick_call ~pipelined:false in
+        resolve (Api.call_result ?options:(options dl) rt b ~proc args)
+      end
+    done
+  in
+  for i = 1 to cfg.clients do
+    let prng = Prng.split master in
+    let my_a = Api.import rt ~domain:app ~interface:"ChaosA" in
+    let my_b = Api.import rt ~domain:app ~interface:"ChaosB" in
+    ignore
+      (Kernel.spawn kernel app
+         ~name:(Printf.sprintf "chaos-client-%d" i)
+         (client_body prng my_a my_b))
+  done;
+  Engine.run engine;
+  (if Sys.getenv_opt "LRPC_SOAK_DEBUG" <> None then begin
+     List.iter
+       (fun (th, exn) ->
+         Printf.eprintf "FAILED %s: %s\n%!" (Engine.thread_name th)
+           (Printexc.to_string exn))
+       (Engine.failures engine);
+     List.iter
+       (fun th -> Printf.eprintf "STUCK %s\n%!" (Engine.thread_name th))
+       (Engine.stuck_threads engine);
+     Hashtbl.iter
+       (fun _ b ->
+         List.iter
+           (fun (pn, pb) ->
+             let p = pb.Rt.pb_pool in
+             Printf.eprintf "POOL b%d %s: free=%d all=%d waiters=%d\n%!"
+               b.Rt.bid pn
+               (List.length p.Rt.ap_queue)
+               (List.length p.Rt.ap_all)
+               (Queue.fold
+                  (fun acc c -> if c.Rt.aw_active then acc + 1 else acc)
+                  0 p.Rt.ap_waiters))
+           b.Rt.b_procs)
+       rt.Rt.bindings
+   end);
+  (* --- quiescence invariants ------------------------------------------ *)
+  let pools =
+    Hashtbl.fold
+      (fun _ b acc ->
+        List.fold_left
+          (fun acc (_, pb) ->
+            if List.memq pb.Rt.pb_pool acc then acc else pb.Rt.pb_pool :: acc)
+          acc b.Rt.b_procs)
+      rt.Rt.bindings []
+  in
+  let pool_balanced =
+    List.for_all
+      (fun p ->
+        List.length p.Rt.ap_queue = List.length p.Rt.ap_all
+        && Queue.fold (fun acc c -> acc && not c.Rt.aw_active) true p.Rt.ap_waiters)
+      pools
+  in
+  let resolved = !ok + !failed + !aborted + !deadline + !rejected + !stub in
+  let m = Engine.metrics engine in
+  let counter name = Metrics.Counter.value (Metrics.counter m name) in
+  {
+    r_seed = cfg.seed;
+    r_calls = !issued;
+    r_ok = !ok;
+    r_failed = !failed;
+    r_aborted = !aborted;
+    r_deadline = !deadline;
+    r_rejected = !rejected;
+    r_stub = !stub;
+    r_retries = counter "net.retries";
+    r_dups_suppressed = counter "net.duplicates_suppressed";
+    r_crashes = counter "fault.crashes";
+    r_starvations = counter "fault.astack_starvations";
+    r_all_resolved = resolved = !issued;
+    r_pool_balanced = pool_balanced;
+    r_linkages_zero = Kernel.total_linkages kernel = 0;
+    r_in_flight_zero = Api.calls_in_flight rt = 0;
+    r_no_stuck = Engine.stuck_threads engine = [];
+    r_no_failures = Engine.failures engine = [];
+    r_digest = Digest.to_hex (Digest.string (Trace.dump tracer));
+  }
+
+let ok r =
+  r.r_all_resolved && r.r_pool_balanced && r.r_linkages_zero
+  && r.r_in_flight_zero && r.r_no_stuck && r.r_no_failures
+
+let report_to_json r =
+  Printf.sprintf
+    "{\"seed\": %Ld, \"calls\": %d,\n\
+    \ \"outcomes\": {\"ok\": %d, \"failed\": %d, \"aborted\": %d, \"deadline\": \
+     %d, \"rejected\": %d, \"stub_raised\": %d},\n\
+    \ \"faults\": {\"net_retries\": %d, \"net_duplicates_suppressed\": %d, \
+     \"crashes\": %d, \"astack_starvations\": %d},\n\
+    \ \"invariants\": {\"all_resolved\": %b, \"pool_balanced\": %b, \
+     \"linkages_zero\": %b, \"in_flight_zero\": %b, \"no_stuck_threads\": %b, \
+     \"no_thread_failures\": %b},\n\
+    \ \"digest\": \"%s\"}"
+    r.r_seed r.r_calls r.r_ok r.r_failed r.r_aborted r.r_deadline r.r_rejected
+    r.r_stub r.r_retries r.r_dups_suppressed r.r_crashes r.r_starvations
+    r.r_all_resolved r.r_pool_balanced r.r_linkages_zero r.r_in_flight_zero
+    r.r_no_stuck r.r_no_failures r.r_digest

@@ -1,0 +1,65 @@
+(** The chaos soak: thousands of mixed local / remote / async calls
+    under a seeded {!Plan}, with global-invariant checks at quiescence.
+
+    The world is two local server domains (one of which the default
+    plan crashes mid-run), a remote server on another machine behind
+    the lossy {!Lrpc_net.Netrpc} wire, and a pool of client threads
+    issuing synchronous, pipelined and deadline-bearing calls whose
+    outcomes are collected with [Api.call_result] /
+    [Api.await_all_results] — no outcome is allowed to escape as an
+    exception. Everything stochastic derives from [config.seed], so a
+    report (including its trace digest) is a pure function of the
+    config: two same-seed runs are bit-identical. *)
+
+type config = {
+  seed : int64;  (** drives the workload PRNG {e and} the fault plan *)
+  calls : int;  (** total calls across all clients *)
+  clients : int;  (** client threads *)
+  processors : int;
+  spec : Plan.spec;  (** fault probabilities; [spec.seed] is overridden
+                         by [seed] above *)
+  remote_share : float;  (** fraction of calls taking the network path *)
+  async_share : float;  (** fraction issued as pipelined batches *)
+  deadline_share : float;  (** fraction issued with a tight deadline *)
+  trace_capacity : int;  (** tracer ring size for the digest *)
+}
+
+val default : config
+(** 6000 calls, 8 clients, 4 processors, moderate fault probabilities,
+    one mid-run server crash — the [make fault-smoke] configuration. *)
+
+(** Outcome tallies, invariant verdicts and the determinism digest of
+    one run. *)
+type report = {
+  r_seed : int64;
+  r_calls : int;  (** calls issued (equals [config.calls]) *)
+  r_ok : int;
+  r_failed : int;  (** [Api.Failed]: crashes mid-call, retry exhaustion *)
+  r_aborted : int;  (** [Api.Aborted] *)
+  r_deadline : int;  (** [Api.Deadline] *)
+  r_rejected : int;  (** [Api.Rejected]: call never started *)
+  r_stub : int;  (** [Api.Stub_raised]: injected server exceptions *)
+  r_retries : int;  (** ["net.retries"] at quiescence *)
+  r_dups_suppressed : int;  (** ["net.duplicates_suppressed"] *)
+  r_crashes : int;  (** ["fault.crashes"] delivered *)
+  r_starvations : int;  (** ["fault.astack_starvations"] *)
+  r_all_resolved : bool;  (** every call landed in exactly one tally *)
+  r_pool_balanced : bool;
+      (** every A-stack pool: free list == full population, no waiter
+          still marked active *)
+  r_linkages_zero : bool;  (** kernel linkage gauge back to zero *)
+  r_in_flight_zero : bool;  (** ["lrpc.calls_in_flight"] gauge *)
+  r_no_stuck : bool;  (** no thread left Blocked at quiescence *)
+  r_no_failures : bool;  (** no thread died with an unhandled exn *)
+  r_digest : string;  (** MD5 of the trace dump — the replay check *)
+}
+
+val run : config -> report
+
+val ok : report -> bool
+(** All six invariant fields true. *)
+
+val report_to_json : report -> string
+(** One-object JSON rendering: ["seed"], ["calls"], an ["outcomes"]
+    object, a ["faults"] object, an ["invariants"] object (all six
+    booleans) and ["digest"]. Hand-built; stable key order. *)

@@ -6,6 +6,14 @@ module Metrics = Lrpc_obs.Metrics
 
 exception Domain_terminated of string
 
+type hook_handle = int
+
+type hook = {
+  hk_id : hook_handle;
+  hk_key : string option;
+  hk_fn : Pdomain.t -> unit;
+}
+
 type t = {
   engine : Engine.t;
   kernel_domain : Pdomain.t;
@@ -17,7 +25,8 @@ type t = {
   mutable caching : bool;
   misses : (Pdomain.id, Metrics.counter) Hashtbl.t;
   hits : (Pdomain.id, Metrics.counter) Hashtbl.t;
-  mutable hooks : (Pdomain.t -> unit) list; (* reversed *)
+  mutable hooks : hook list; (* reversed *)
+  mutable next_hook : int;
   linkages : (int, int) Hashtbl.t; (* tid -> outstanding linkage records *)
   g_linkages : Metrics.gauge;
 }
@@ -48,6 +57,7 @@ let boot engine =
     misses = Hashtbl.create 16;
     hits = Hashtbl.create 16;
     hooks = [];
+    next_hook = 1;
     linkages = Hashtbl.create 64;
     g_linkages = Metrics.gauge (Engine.metrics engine) "kernel.linkages_outstanding";
   }
@@ -242,7 +252,20 @@ let note_context_miss t d =
 
 (* --- termination ---------------------------------------------------------- *)
 
-let on_terminate t hook = t.hooks <- hook :: t.hooks
+let on_terminate ?key t fn =
+  (* A keyed registration replaces any previous hook with the same key,
+     so re-initialising a subsystem (e.g. a second [Api.init] on one
+     engine) does not accumulate stale collectors. *)
+  (match key with
+  | Some k -> t.hooks <- List.filter (fun h -> h.hk_key <> Some k) t.hooks
+  | None -> ());
+  let id = t.next_hook in
+  t.next_hook <- id + 1;
+  t.hooks <- { hk_id = id; hk_key = key; hk_fn = fn } :: t.hooks;
+  id
+
+let remove_terminate_hook t id =
+  t.hooks <- List.filter (fun h -> h.hk_id <> id) t.hooks
 
 let terminate_domain t d =
   match d.Pdomain.state with
@@ -250,7 +273,7 @@ let terminate_domain t d =
   | Pdomain.Active ->
       Engine.emit t.engine (Event.Terminated { domain = d.Pdomain.name });
       d.Pdomain.state <- Pdomain.Terminating;
-      List.iter (fun hook -> hook d) (List.rev t.hooks);
+      List.iter (fun h -> h.hk_fn d) (List.rev t.hooks);
       (* Stop homed threads that are still inside the domain. Threads that
          a hook moved elsewhere (restarted callers) are left alone. *)
       List.iter

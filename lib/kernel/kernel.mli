@@ -106,11 +106,19 @@ val context_hits : t -> Pdomain.t -> int
 
 (** {1 Termination (paper §5.3)} *)
 
-val on_terminate : t -> (Pdomain.t -> unit) -> unit
+type hook_handle
+(** Identifies one registered collector hook, for removal. *)
+
+val on_terminate : ?key:string -> t -> (Pdomain.t -> unit) -> hook_handle
 (** Register a collector hook, run (in registration order) while the
     domain is in the [Terminating] state, before its threads are stopped.
     The LRPC runtime registers binding revocation and linkage
-    invalidation here. *)
+    invalidation here. With [?key], the registration {e replaces} any
+    earlier hook bearing the same key — this is how repeated [Api.init]
+    calls on one kernel avoid stacking stale collectors. *)
+
+val remove_terminate_hook : t -> hook_handle -> unit
+(** Unregister a hook; harmless when already removed. *)
 
 val terminate_domain : t -> Pdomain.t -> unit
 (** Mark [Terminating]; run collector hooks; kill the domain's remaining

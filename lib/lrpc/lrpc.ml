@@ -70,3 +70,7 @@ module Driver = Lrpc_workload.Driver
 module Event = Lrpc_obs.Event
 module Metrics = Lrpc_obs.Metrics
 module Trace = Lrpc_obs.Trace
+
+(* deterministic fault injection *)
+module Fault_plan = Lrpc_fault.Plan
+module Fault_soak = Lrpc_fault.Soak

@@ -32,13 +32,29 @@ let remote_counter rt =
 let remote_calls rt = Metrics.Counter.value (remote_counter rt)
 let reset_remote_calls rt = Metrics.Counter.reset (remote_counter rt)
 
-let import_remote ?(window = 8) rt ~client ~server iface ~impls =
+let default_rto = Time.us 4_000
+let default_max_attempts = 5
+
+let import_remote ?(window = 8) ?(rto = default_rto)
+    ?(max_attempts = default_max_attempts) rt ~client ~server iface ~impls =
   if Pdomain.is_local client server then
     invalid_arg "Netrpc.import_remote: domains share a machine; bind locally";
   (match I.validate iface with
   | Ok () -> ()
   | Error m -> invalid_arg ("Netrpc.import_remote: " ^ m));
+  if max_attempts < 1 then
+    invalid_arg "Netrpc.import_remote: max_attempts must be at least 1";
   let engine = Lrpc_core.Api.engine rt in
+  let retry_counter = Metrics.counter (Engine.metrics engine) "net.retries" in
+  let dup_counter =
+    Metrics.counter (Engine.metrics engine) "net.duplicates_suppressed"
+  in
+  (* At-most-once machinery (per binding): each transport call gets a
+     sequence number; the server side keeps the results of executions
+     whose reply may have been lost, so a retransmitted request is
+     answered from the cache instead of re-running the procedure. *)
+  let next_seq = ref 0 in
+  let executed : (int, V.t list) Hashtbl.t = Hashtbl.create 16 in
   let transport ~proc args =
     let p =
       match I.find_proc iface proc with
@@ -61,19 +77,78 @@ let import_remote ?(window = 8) rt ~client ~server iface ~impls =
         (Lrpc_idl.Layout.Arity_mismatch
            (Printf.sprintf "%s: expected %d arguments" proc (List.length inputs)));
     List.iter2 (fun (prm : I.param) v -> V.check_exn prm.I.ty v) inputs args;
-    let results = impl args in
+    let seq = !next_seq in
+    incr next_seq;
+    Metrics.Counter.incr (remote_counter rt);
     let arg_bytes =
       List.fold_left (fun acc v -> acc + V.payload_bytes v) 0 args
     in
-    let result_bytes =
-      List.fold_left (fun acc v -> acc + V.payload_bytes v) 0 results
+    (* One server-side execution per sequence number, ever. *)
+    let execute () =
+      match Hashtbl.find_opt executed seq with
+      | Some results ->
+          Metrics.Counter.incr dup_counter;
+          results
+      | None ->
+          let results = impl args in
+          Hashtbl.replace executed seq results;
+          results
     in
-    Metrics.Counter.incr (remote_counter rt);
-    Engine.emit engine (Event.Net_send { bytes = arg_bytes });
-    Engine.delay ~category:Category.Network engine
-      (wire_time ~bytes:(arg_bytes + result_bytes));
-    Engine.emit engine (Event.Net_recv { bytes = result_bytes });
-    results
+    let fault ~attempt =
+      match rt.Lrpc_core.Rt.faults with
+      | None -> Lrpc_core.Rt.wire_ok
+      | Some f -> f.Lrpc_core.Rt.f_wire ~proc ~seq ~attempt
+    in
+    let jitter ~attempt =
+      match rt.Lrpc_core.Rt.faults with
+      | None -> 0.0
+      | Some f -> f.Lrpc_core.Rt.f_backoff_jitter ~attempt
+    in
+    let rec attempt n =
+      let wf = fault ~attempt:n in
+      Engine.emit engine (Event.Net_send { bytes = arg_bytes });
+      if wf.Lrpc_core.Rt.wf_request_lost then
+        retry n "request lost"
+      else begin
+        let results = execute () in
+        if wf.Lrpc_core.Rt.wf_duplicate then
+          (* The network delivered the request twice; the dedup cache
+             answers the second copy without re-running the procedure. *)
+          ignore (execute () : V.t list);
+        if wf.Lrpc_core.Rt.wf_reply_lost then retry n "reply lost"
+        else begin
+          let result_bytes =
+            List.fold_left (fun acc v -> acc + V.payload_bytes v) 0 results
+          in
+          Engine.delay ~category:Category.Network engine
+            (Time.add
+               (wire_time ~bytes:(arg_bytes + result_bytes))
+               wf.Lrpc_core.Rt.wf_extra_delay);
+          Engine.emit engine (Event.Net_recv { bytes = result_bytes });
+          Hashtbl.remove executed seq;
+          results
+        end
+      end
+    and retry n why =
+      if n >= max_attempts then begin
+        Hashtbl.remove executed seq;
+        raise
+          (Lrpc_core.Rt.Call_failed
+             (Printf.sprintf "%s: remote call failed after %d attempts (%s; seq %d)"
+                proc n why seq))
+      end
+      else begin
+        Metrics.Counter.incr retry_counter;
+        (* Bounded exponential backoff; the jitter factor comes from the
+           fault plan's PRNG so replays are bit-identical. *)
+        let backoff =
+          Time.scale rto (float_of_int (1 lsl (n - 1)) *. (1.0 +. jitter ~attempt:n))
+        in
+        Engine.delay ~category:Category.Network engine backoff;
+        attempt (n + 1)
+      end
+    in
+    attempt 1
   in
   Lrpc_core.Binding.make_remote_binding ~window rt ~client ~server iface
     ~transport

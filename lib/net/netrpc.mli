@@ -25,6 +25,8 @@ val wire_time : bytes:int -> Lrpc_sim.Time.t
 
 val import_remote :
   ?window:int ->
+  ?rto:Lrpc_sim.Time.t ->
+  ?max_attempts:int ->
   Lrpc_core.Api.t ->
   client:Lrpc_kernel.Pdomain.t ->
   server:Lrpc_kernel.Pdomain.t ->
@@ -38,7 +40,23 @@ val import_remote :
     [Api.call_async] through a remote binding claims one of [window]
     (default 8, the wire analogue of the A-stack pool bound) in-flight
     slots, blocking FIFO when the window is full, and [Api.await] reads
-    the reply when it lands. *)
+    the reply when it lands.
+
+    The wire is {e at-most-once}: every transport call carries a
+    per-binding sequence number, and a retransmission whose original
+    request did execute (reply lost, or a duplicated packet) is answered
+    from a dedup cache instead of re-running the procedure (the
+    ["net.duplicates_suppressed"] counter records each suppression).
+    Lost packets — injected by an installed fault plan
+    ([Lrpc_fault.Plan]); the fault-free wire never drops — are retried
+    with bounded exponential backoff: attempt [n] waits
+    [rto * 2^(n-1) * (1 + jitter)] (default [rto] 4 ms, jitter drawn
+    from the fault plan's own PRNG so replays are bit-identical),
+    incrementing ["net.retries"] per retransmission. After
+    [max_attempts] (default 5) the call surfaces as
+    [Rt.Call_failed]. ["net.remote_calls"] still counts logical calls:
+    exactly one increment per transport call, however many
+    retransmissions it took. *)
 
 val remote_calls : Lrpc_core.Api.t -> int
 (** Count of network RPCs performed through this runtime, read from

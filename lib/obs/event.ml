@@ -12,6 +12,7 @@ type t =
   | Bound of { interface : string; binding : int }
   | Call_issued of { binding : int; proc : string; handle : int }
   | Call_completed of { binding : int; proc : string; handle : int; ok : bool }
+  | Call_failed of { binding : int; proc : string; handle : int; reason : string }
   | Terminated of { domain : string }
   | Net_send of { bytes : int }
   | Net_recv of { bytes : int }
@@ -32,6 +33,7 @@ let name = function
   | Bound _ -> "bind"
   | Call_issued _ -> "call-issued"
   | Call_completed _ -> "call-completed"
+  | Call_failed _ -> "call-failed"
   | Terminated _ -> "terminate"
   | Net_send _ -> "net-send"
   | Net_recv _ -> "net-recv"
@@ -59,6 +61,9 @@ let detail = function
   | Call_completed c ->
       Printf.sprintf "%s handle=%d binding=%d%s" c.proc c.handle c.binding
         (if c.ok then "" else " failed")
+  | Call_failed c ->
+      Printf.sprintf "%s handle=%d binding=%d: %s" c.proc c.handle c.binding
+        c.reason
   | Terminated t -> t.domain
   | Net_send s -> Printf.sprintf "%d bytes" s.bytes
   | Net_recv r -> Printf.sprintf "%d bytes" r.bytes
@@ -95,6 +100,13 @@ let args = function
         ("handle", `Int c.handle);
         ("binding", `Int c.binding);
         ("ok", `Str (string_of_bool c.ok));
+      ]
+  | Call_failed c ->
+      [
+        ("proc", `Str c.proc);
+        ("handle", `Int c.handle);
+        ("binding", `Int c.binding);
+        ("reason", `Str c.reason);
       ]
   | Terminated t -> [ ("domain", `Str t.domain) ]
   | Net_send s -> [ ("bytes", `Int s.bytes) ]

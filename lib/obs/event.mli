@@ -38,6 +38,11 @@ type t =
   | Call_completed of { binding : int; proc : string; handle : int; ok : bool }
       (** The call's completion half landed; on [ok] the results await
           their readback by the awaiting thread. *)
+  | Call_failed of { binding : int; proc : string; handle : int; reason : string }
+      (** The call landed with an error: server termination, deadline
+          abort, retry exhaustion, an injected or real server-stub
+          exception. Emitted alongside the (not-[ok]) [Call_completed]
+          with the human-readable [reason]. *)
   | Terminated of { domain : string }
   | Net_send of { bytes : int }
   | Net_recv of { bytes : int }

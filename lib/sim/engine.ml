@@ -31,7 +31,9 @@ type cpu = {
   mutable busy : Time.t;
 }
 
-type event = Run of thread
+type timer = { t_fn : unit -> unit; mutable t_cancelled : bool }
+
+type event = Run of thread | Fire of timer
 
 type t = {
   cm : Cost_model.t;
@@ -362,7 +364,13 @@ let run ?until t =
                 | Embryo | Ready | Blocked | Spinning | Done | Failed ->
                     (* Stale event: the thread moved on (e.g. it was
                        killed while waiting and already discontinued). *)
-                    ()))
+                    ())
+            | Some (tm, Fire tmr) ->
+                t.now_ <- tm;
+                if not tmr.t_cancelled then begin
+                  tmr.t_cancelled <- true;
+                  tmr.t_fn ()
+                end)
       done)
 
 (* --- in-thread operations ---------------------------------------------- *)
@@ -500,3 +508,14 @@ let interrupt t th e =
       | Embryo | Ready | Running | Done | Failed -> ())
 
 let kill t th = interrupt t th Thread_killed
+
+(* --- timers ------------------------------------------------------------- *)
+
+let at t time fn =
+  let tmr = { t_fn = fn; t_cancelled = false } in
+  (* Never schedule into the past: the heap would rewind [now_]. *)
+  let time = if Time.compare time t.now_ < 0 then t.now_ else time in
+  Heap.push t.q ~time (Fire tmr);
+  tmr
+
+let cancel_timer _t tmr = tmr.t_cancelled <- true

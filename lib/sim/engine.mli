@@ -163,6 +163,23 @@ val kill : t -> thread -> unit
 (** [interrupt] with {!Thread_killed}; the engine treats the resulting
     death as normal termination. *)
 
+(** {1 Timers (engine level)} *)
+
+type timer
+
+val at : t -> Time.t -> (unit -> unit) -> timer
+(** Schedule a callback for the given simulated time (clamped to [now]
+    when already past). The callback runs at engine level — it may
+    {!wake}, {!interrupt}, {!kill}, {!emit} and touch metrics, but must
+    not perform effects ({!delay}, {!block}, ...). Timers share the
+    event heap with thread resumptions, so their firing order against
+    other events at the same instant is the deterministic (time,
+    sequence) order. Used for call deadlines and fault-plan crash
+    schedules. *)
+
+val cancel_timer : t -> timer -> unit
+(** Disarm a timer; harmless when it already fired. *)
+
 (** {1 Accounting} *)
 
 val charge : t -> Category.t -> Time.t -> unit

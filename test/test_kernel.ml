@@ -169,8 +169,13 @@ let test_terminate_runs_hooks_once () =
   let _, k = boot () in
   let d = Kernel.create_domain k ~name:"d" in
   let hits = ref [] in
-  Kernel.on_terminate k (fun dom -> hits := ("first", dom.Pdomain.name) :: !hits);
-  Kernel.on_terminate k (fun dom -> hits := ("second", dom.Pdomain.name) :: !hits);
+  let _ : Kernel.hook_handle =
+    Kernel.on_terminate k (fun dom -> hits := ("first", dom.Pdomain.name) :: !hits)
+  in
+  let _ : Kernel.hook_handle =
+    Kernel.on_terminate k (fun dom ->
+        hits := ("second", dom.Pdomain.name) :: !hits)
+  in
   Kernel.terminate_domain k d;
   Kernel.terminate_domain k d;
   (* idempotent *)
