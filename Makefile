@@ -1,10 +1,12 @@
 SMOKE_JSON := /tmp/lrpc_trace_smoke.json
 PIPELINE_JSON := /tmp/lrpc_pipeline_smoke.json
 FAULT_JSON := /tmp/lrpc_fault_smoke.json
+HOST_JSON := /tmp/lrpc_bench_host_smoke.json
 
-.PHONY: check build test smoke pipeline-smoke fault-smoke bench-pipeline clean
+.PHONY: check build test smoke pipeline-smoke fault-smoke fault-stress \
+  bench-pipeline bench-host bench-host-full clean
 
-check: build test smoke pipeline-smoke fault-smoke
+check: build test smoke pipeline-smoke fault-smoke bench-host
 
 build:
 	dune build
@@ -50,9 +52,35 @@ fault-smoke: build
 	  assert d['digest']"
 	@echo "fault smoke OK"
 
+# The chaos soak at its stress tier: ~10x the smoke call count, same
+# invariants and replay check. Not part of `check` (takes a while).
+fault-stress: build
+	dune exec bin/lrpc_chaos.exe -- --calls 50000 --replay
+
 # Regenerate the committed BENCH_pipeline.json (full call count).
 bench-pipeline: build
 	dune exec bench/pipeline.exe
+
+# Host-clock benchmark smoke: every tracked number must be present and
+# numeric, and the suite must be byte-identical serial vs parallel
+# (host.exe itself fails otherwise).
+bench-host: build
+	dune exec bench/host.exe -- --quick --out $(HOST_JSON) > /dev/null
+	@python3 -c "import json, numbers; d = json.load(open('$(HOST_JSON)')); \
+	  keys = ['engine_events_per_sec', 'fig1_synthesis_calls_per_sec', \
+	          'fig2_wallclock_sec', 'chaos_calls_per_sec', \
+	          'suite_serial_sec', 'suite_jobs_sec', 'suite_speedup', 'jobs']; \
+	  missing = [k for k in keys if k not in d]; \
+	  assert not missing, 'missing keys: %s' % missing; \
+	  bad = [k for k in keys if not isinstance(d[k], numbers.Number)]; \
+	  assert not bad, 'non-numeric keys: %s' % bad; \
+	  assert d['bench'] == 'host' and d['mode'] == 'quick'; \
+	  assert all(d[k] > 0 for k in keys)"
+	@echo "bench-host OK"
+
+# Regenerate the committed BENCH_host.json (full sample sizes).
+bench-host-full: build
+	dune exec bench/host.exe
 
 clean:
 	dune clean

@@ -1,0 +1,118 @@
+(* Host-clock benchmark: how fast the simulator itself runs on this
+   machine, as opposed to the simulated times it reports. Writes one
+   JSON object (BENCH_host.json when regenerated with `make
+   bench-host-full`) whose numbers are tracked across commits:
+
+     engine_events_per_sec       raw event-loop rate, tight delay loop
+     fig1_synthesis_calls_per_sec  Fig.1 traffic synthesis throughput
+     fig2_wallclock_sec          the 4-CPU throughput experiment, wall
+     chaos_calls_per_sec         chaos soak rate (stress call count)
+     suite_serial_sec            all 14 paper artifacts, --jobs 1
+     suite_jobs_sec              same artifacts fanned across domains
+     suite_speedup               serial / jobs
+
+   `--quick` shrinks every sample size for the `make check` smoke run;
+   the committed BENCH_host.json comes from the full mode. The suite is
+   run both ways and the outputs are compared — a digest mismatch
+   between serial and parallel runs is a hard failure here, same as in
+   the test suite. *)
+
+module Engine = Lrpc_sim.Engine
+module Time = Lrpc_sim.Time
+module Cost_model = Lrpc_sim.Cost_model
+module Suite = Lrpc_experiments.Suite
+module Parallel = Lrpc_harness.Parallel
+module Prng = Lrpc_util.Prng
+module Sizes = Lrpc_workload.Sizes
+module Soak = Lrpc_fault.Soak
+
+let quick = Array.exists (( = ) "--quick") Sys.argv
+
+let arg_value flag default parse =
+  let v = ref default in
+  Array.iteri
+    (fun i a ->
+      if a = flag && i + 1 < Array.length Sys.argv then
+        match parse Sys.argv.(i + 1) with
+        | Some x -> v := x
+        | None -> invalid_arg (flag ^ ": bad value " ^ Sys.argv.(i + 1)))
+    Sys.argv;
+  !v
+
+let jobs = arg_value "--jobs" (Parallel.default_jobs ()) (fun s ->
+    match int_of_string_opt s with Some n when n >= 1 -> Some n | _ -> None)
+
+let out_path = arg_value "--out" "BENCH_host.json" (fun s -> Some s)
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Raw event-loop rate: one thread, a tight delay loop, no tracer. Each
+   delay is one timed event through the heap plus one dispatch, so this
+   is events/sec of the engine hot path in isolation. *)
+let engine_events_per_sec () =
+  let n = if quick then 200_000 else 2_000_000 in
+  let e = Engine.create ~processors:1 Cost_model.cvax_firefly in
+  ignore
+    (Engine.spawn e ~domain:0 (fun () ->
+         for _ = 1 to n do
+           Engine.delay e (Time.ns 10)
+         done));
+  let (), dt = wall (fun () -> Engine.run e) in
+  float_of_int n /. dt
+
+let fig1_synthesis_calls_per_sec () =
+  let calls = if quick then 50_000 else 500_000 in
+  let rng = Prng.create ~seed:7L in
+  let pop = Sizes.generate_population rng in
+  let _, dt = wall (fun () -> Sizes.synthesize_traffic rng pop ~calls) in
+  float_of_int calls /. dt
+
+let fig2_wallclock_sec () =
+  let horizon = Time.ms (if quick then 150 else 500) in
+  let _, dt = wall (fun () -> Lrpc_experiments.Fig2.run ~horizon ()) in
+  dt
+
+(* The soak at its stress tier: the headroom reclaimed by the hot-path
+   work pays for a call count well past the smoke configuration. *)
+let chaos_calls_per_sec () =
+  let calls = if quick then 6_000 else 50_000 in
+  let cfg = { Soak.default with Soak.calls = calls } in
+  let report, dt = wall (fun () -> Soak.run cfg) in
+  if not (Soak.ok report) then failwith "chaos soak invariants failed";
+  float_of_int calls /. dt
+
+let suite_times () =
+  let render js = Parallel.map ~jobs:js (Suite.run ~quick) Suite.names in
+  let serial, serial_dt = wall (fun () -> render 1) in
+  let fanned, jobs_dt = wall (fun () -> render jobs) in
+  if serial <> fanned then
+    failwith "suite output differs between --jobs 1 and parallel run";
+  (serial_dt, jobs_dt)
+
+let () =
+  let events = engine_events_per_sec () in
+  let fig1 = fig1_synthesis_calls_per_sec () in
+  let fig2 = fig2_wallclock_sec () in
+  let chaos = chaos_calls_per_sec () in
+  let suite_serial, suite_jobs = suite_times () in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n";
+  Printf.bprintf buf "  \"bench\": \"host\",\n";
+  Printf.bprintf buf "  \"mode\": \"%s\",\n" (if quick then "quick" else "full");
+  Printf.bprintf buf "  \"jobs\": %d,\n" jobs;
+  Printf.bprintf buf "  \"engine_events_per_sec\": %.0f,\n" events;
+  Printf.bprintf buf "  \"fig1_synthesis_calls_per_sec\": %.0f,\n" fig1;
+  Printf.bprintf buf "  \"fig2_wallclock_sec\": %.3f,\n" fig2;
+  Printf.bprintf buf "  \"chaos_calls_per_sec\": %.0f,\n" chaos;
+  Printf.bprintf buf "  \"suite_serial_sec\": %.3f,\n" suite_serial;
+  Printf.bprintf buf "  \"suite_jobs_sec\": %.3f,\n" suite_jobs;
+  Printf.bprintf buf "  \"suite_speedup\": %.2f\n" (suite_serial /. suite_jobs);
+  Buffer.add_string buf "}\n";
+  let oc = open_out out_path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  print_string (Buffer.contents buf);
+  Printf.printf "bench-host: wrote %s\n" out_path

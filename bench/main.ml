@@ -2,13 +2,19 @@
 
    Part 1 regenerates every table and figure of the paper (plus the
    ablations) from the simulator and prints them in the paper's layout
-   with the published values alongside.
+   with the published values alongside. The artifacts are independent
+   — each owns its engine and PRNGs — so `--jobs N` fans them across N
+   domains; the printed output is byte-identical to a serial run.
 
    Part 2 runs Bechamel micro-benchmarks of the host-level hot paths, so
    regressions in the simulator itself (not in the simulated times) are
-   visible: how many real nanoseconds one simulated LRPC costs, etc. *)
+   visible: how many real nanoseconds one simulated LRPC costs, etc.
+   Micro-benchmarks always run serially — concurrent domains would
+   perturb each other's timings. *)
 
 module E = Lrpc_experiments
+module Suite = Lrpc_experiments.Suite
+module Parallel = Lrpc_harness.Parallel
 module Driver = Lrpc_workload.Driver
 module Profile = Lrpc_msgrpc.Profile
 module Prng = Lrpc_util.Prng
@@ -18,33 +24,34 @@ let section title =
   let bar = String.make 72 '=' in
   Printf.printf "%s\n%s\n%s\n\n" bar title bar
 
+let quick = Array.exists (( = ) "--quick") Sys.argv
+
+let jobs =
+  let j = ref (Parallel.default_jobs ()) in
+  Array.iteri
+    (fun i a ->
+      if a = "--jobs" && i + 1 < Array.length Sys.argv then
+        match int_of_string_opt Sys.argv.(i + 1) with
+        | Some n when n >= 1 -> j := n
+        | _ -> invalid_arg "--jobs expects a positive integer")
+    Sys.argv;
+  !j
+
 (* ------------------------------------------------------------------ *)
 (* Part 1: paper artifacts                                             *)
 (* ------------------------------------------------------------------ *)
 
-let quick = Array.exists (( = ) "--quick") Sys.argv
-
 let experiments () =
-  let ops = if quick then 100_000 else 1_000_000 in
-  let calls = if quick then 150_000 else 1_487_105 in
-  let horizon = Lrpc_sim.Time.ms (if quick then 150 else 500) in
-  section "Part 1: every table and figure of the paper, regenerated";
-  print_endline (E.Table1.render (E.Table1.run ~operations:ops ()));
-  print_endline (E.Fig1.render (E.Fig1.run ~calls ()));
-  print_endline (E.Table2.render (E.Table2.run ()));
-  print_endline (E.Table3.render (E.Table3.run ()));
-  print_endline (E.Table4.render (E.Table4.run ()));
-  print_endline (E.Table5.render (E.Table5.run ()));
-  print_endline (E.Fig2.render (E.Fig2.run ~horizon ()));
-  section "Ablations (DESIGN.md A1-A6)";
-  print_endline (E.Ablations.render_a1 (E.Ablations.run_a1 ()));
-  print_endline (E.Ablations.render_a2 (E.Ablations.run_a2 ()));
-  print_endline (E.Ablations.render_a3 (E.Ablations.run_a3 ()));
-  print_endline (E.Ablations.render_a4 (E.Ablations.run_a4 ~horizon ()));
-  print_endline (E.Ablations.render_a5 (E.Ablations.run_a5 ()));
-  print_endline (E.Ablations.render_a6 (E.Ablations.run_a6 ()));
-  section "Supplementary measurements";
-  print_endline (E.Latency.render (E.Latency.run ~horizon ()))
+  let outputs = Parallel.map ~jobs (Suite.run ~quick) Suite.names in
+  let tagged = List.combine Suite.names outputs in
+  let print_group title group =
+    section title;
+    List.iter (fun n -> print_endline (List.assoc n tagged)) group
+  in
+  print_group "Part 1: every table and figure of the paper, regenerated"
+    Suite.paper;
+  print_group "Ablations (DESIGN.md A1-A6)" Suite.ablations;
+  print_group "Supplementary measurements" Suite.supplementary
 
 (* ------------------------------------------------------------------ *)
 (* Metrics registry snapshot of a fixed workload                       *)
@@ -117,9 +124,11 @@ let microbenchmarks () =
       ]
   in
   let instance = Toolkit.Instance.monotonic_clock in
-  let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
-  in
+  (* The quota is the floor under the whole harness run: 6 tests never
+     finish faster than 6x quota. Smoke runs get a short quota; the
+     full run keeps 0.5s per test for stable estimates. *)
+  let quota = Time.second (if quick then 0.1 else 0.5) in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota ~kde:(Some 1000) () in
   let raw = Benchmark.all cfg [ instance ] tests in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]

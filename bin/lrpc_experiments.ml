@@ -1,47 +1,35 @@
 (* CLI for regenerating every table and figure of the paper, and the
-   ablations. `lrpc_experiments all` prints the lot. *)
+   ablations. `lrpc_experiments all` prints the lot; `--jobs N` fans
+   the artifacts across N domains (output is byte-identical to a
+   serial run — each artifact owns its engine and PRNGs). *)
 
-module E = Lrpc_experiments
+module Suite = Lrpc_experiments.Suite
+module Parallel = Lrpc_harness.Parallel
 
-let available =
-  [ "t1"; "f1"; "t2"; "t3"; "t4"; "t5"; "f2"; "a1"; "a2"; "a3"; "a4"; "a5"; "a6"; "lat" ]
-
-let run_one ~seed ~quick name =
-  let q_ops = if quick then 100_000 else 1_000_000 in
-  let q_calls = if quick then 150_000 else 1_487_105 in
-  let horizon = Lrpc_sim.Time.ms (if quick then 150 else 500) in
-  match name with
-  | "t1" -> E.Table1.render (E.Table1.run ~seed ~operations:q_ops ())
-  | "f1" -> E.Fig1.render (E.Fig1.run ~seed ~calls:q_calls ())
-  | "t2" -> E.Table2.render (E.Table2.run ())
-  | "t3" -> E.Table3.render (E.Table3.run ())
-  | "t4" -> E.Table4.render (E.Table4.run ())
-  | "t5" -> E.Table5.render (E.Table5.run ())
-  | "f2" -> E.Fig2.render (E.Fig2.run ~horizon ())
-  | "a1" -> E.Ablations.render_a1 (E.Ablations.run_a1 ())
-  | "a2" -> E.Ablations.render_a2 (E.Ablations.run_a2 ())
-  | "a3" -> E.Ablations.render_a3 (E.Ablations.run_a3 ())
-  | "a4" -> E.Ablations.render_a4 (E.Ablations.run_a4 ())
-  | "a5" -> E.Ablations.render_a5 (E.Ablations.run_a5 ())
-  | "a6" -> E.Ablations.render_a6 (E.Ablations.run_a6 ())
-  | "lat" -> E.Latency.render (E.Latency.run ~horizon ())
-  | other -> Printf.sprintf "unknown experiment %S (try: %s, all)" other
-               (String.concat ", " available)
-
-let run names seed quick =
-  let names = if names = [] || names = [ "all" ] then available else names in
+let run names seed quick jobs =
+  let names = if names = [] || names = [ "all" ] then Suite.names else names in
+  (match List.filter (fun n -> not (Suite.mem n)) names with
+  | [] -> ()
+  | unknown ->
+      Printf.eprintf "lrpc_experiments: unknown experiment%s %s (try: %s, all)\n"
+        (if List.length unknown = 1 then "" else "s")
+        (String.concat ", " (List.map (Printf.sprintf "%S") unknown))
+        (String.concat ", " Suite.names);
+      exit 2);
+  let outputs = Parallel.map ~jobs (fun n -> Suite.run ~seed ~quick n) names in
   List.iter
-    (fun n ->
-      print_endline (run_one ~seed ~quick n);
+    (fun out ->
+      print_endline out;
       print_newline ())
-    names
+    outputs
 
 open Cmdliner
 
 let names_arg =
   let doc =
-    "Experiments to run: t1 f1 t2 t3 t4 t5 f2 (paper tables/figures), a1-a5 \
-     (ablations incl. a6 register passing), or 'all'."
+    "Experiments to run: t1 f1 t2 t3 t4 t5 f2 (paper tables/figures), a1-a6 \
+     (ablations incl. a6 register passing), lat (supplementary latency), or \
+     'all'. Unknown names are an error (exit code 2)."
   in
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
 
@@ -50,8 +38,22 @@ let seed_arg =
   Arg.(value & opt int64 1989L & info [ "seed" ] ~doc)
 
 let quick_arg =
-  let doc = "Smaller sample sizes / shorter horizons." in
+  let doc =
+    "Smaller sample sizes / shorter horizons. Changes the numbers (fewer \
+     samples), not the table shapes; use for smoke runs."
+  in
   Arg.(value & flag & info [ "quick" ] ~doc)
+
+let jobs_arg =
+  let doc =
+    "Regenerate artifacts across $(docv) domains (default: number of cores). \
+     Each artifact owns its engine and PRNGs, so output is byte-identical to \
+     --jobs 1 — only the wall clock changes."
+  in
+  Arg.(
+    value
+    & opt int (Parallel.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
 let cmd =
   let doc =
@@ -60,6 +62,6 @@ let cmd =
   in
   Cmd.v
     (Cmd.info "lrpc_experiments" ~version:"1.0" ~doc)
-    Term.(const run $ names_arg $ seed_arg $ quick_arg)
+    Term.(const run $ names_arg $ seed_arg $ quick_arg $ jobs_arg)
 
 let () = exit (Cmd.eval cmd)

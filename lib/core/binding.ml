@@ -3,9 +3,10 @@ open Rt
 let note_bound rt b =
   let e = engine rt in
   Metrics.Counter.incr (Metrics.counter (Engine.metrics e) "lrpc.bindings");
-  Engine.emit e
-    (Event.Bound
-       { interface = b.b_export.ex_iface.I.interface_name; binding = b.bid })
+  if Engine.tracing e then
+    Engine.emit e
+      (Event.Bound
+         { interface = b.b_export.ex_iface.I.interface_name; binding = b.bid })
 
 let export rt ~domain ?(defensive_copies = false) iface ~impls =
   (match I.validate iface with

@@ -121,26 +121,28 @@ let land_ rt h outcome =
       | None -> ());
       h.ch_state <- Landed outcome;
       note_call_landed rt;
-      Engine.emit e
-        (Event.Call_completed
-           {
-             binding = h.ch_binding.bid;
-             proc = h.ch_proc;
-             handle = h.ch_id;
-             ok = (match outcome with Ok () -> true | Error _ -> false);
-           });
+      if Engine.tracing e then
+        Engine.emit e
+          (Event.Call_completed
+             {
+               binding = h.ch_binding.bid;
+               proc = h.ch_proc;
+               handle = h.ch_id;
+               ok = (match outcome with Ok () -> true | Error _ -> false);
+             });
       (match outcome with
       | Ok () -> ()
       | Error exn ->
           Metrics.Counter.incr rt.c_calls_failed;
-          Engine.emit e
-            (Event.Call_failed
-               {
-                 binding = h.ch_binding.bid;
-                 proc = h.ch_proc;
-                 handle = h.ch_id;
-                 reason = reason_of_exn exn;
-               }));
+          if Engine.tracing e then
+            Engine.emit e
+              (Event.Call_failed
+                 {
+                   binding = h.ch_binding.bid;
+                   proc = h.ch_proc;
+                   handle = h.ch_id;
+                   reason = reason_of_exn exn;
+                 }));
       let waiters = h.ch_waiters in
       h.ch_waiters <- [];
       List.iter (fun th -> if Engine.alive th then Engine.wake e th) waiters
@@ -664,7 +666,8 @@ let issue ?audit ?deadline ~vehicle rt b ~proc args =
   in
   rt.next_handle <- rt.next_handle + 1;
   note_call_issued rt;
-  Engine.emit e (Event.Call_issued { binding = b.bid; proc; handle = h.ch_id });
+  if Engine.tracing e then
+    Engine.emit e (Event.Call_issued { binding = b.bid; proc; handle = h.ch_id });
   (match vehicle with
   | `Inline -> ()
   | `Carrier ->

@@ -1,0 +1,24 @@
+(** The paper-artifact suite: one canonical name list and runner shared
+    by the CLI, the benchmark harness and the host benchmark. *)
+
+val paper : string list
+(** ["t1"] … ["f2"] — the paper's tables and figures, in paper order. *)
+
+val ablations : string list
+(** ["a1"] … ["a6"] — the DESIGN.md ablations. *)
+
+val supplementary : string list
+(** ["lat"] — supplementary measurements. *)
+
+val names : string list
+(** [paper @ ablations @ supplementary]. *)
+
+val mem : string -> bool
+(** Whether a name is a known artifact. *)
+
+val run : ?seed:int64 -> ?quick:bool -> string -> string
+(** Render one artifact. A pure function of [(seed, quick, name)] —
+    each artifact owns its engine and PRNGs, so results do not depend
+    on what else runs, in this domain or another. [quick] shrinks
+    sample sizes / horizons for smoke runs. Raises [Invalid_argument]
+    on an unknown name (callers validate first; see {!mem}). *)

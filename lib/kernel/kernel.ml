@@ -140,7 +140,7 @@ let spawn ?(name = "thread") ?home t d body =
   th
 
 let trap t =
-  Engine.emit t.engine Event.Trap;
+  if Engine.tracing t.engine then Engine.emit t.engine Event.Trap;
   Engine.delay ~category:Category.Trap t.engine
     (cost_model t).Cost_model.trap
 
@@ -271,7 +271,8 @@ let terminate_domain t d =
   match d.Pdomain.state with
   | Pdomain.Dead | Pdomain.Terminating -> ()
   | Pdomain.Active ->
-      Engine.emit t.engine (Event.Terminated { domain = d.Pdomain.name });
+      if Engine.tracing t.engine then
+        Engine.emit t.engine (Event.Terminated { domain = d.Pdomain.name });
       d.Pdomain.state <- Pdomain.Terminating;
       List.iter (fun h -> h.hk_fn d) (List.rev t.hooks);
       (* Stop homed threads that are still inside the domain. Threads that

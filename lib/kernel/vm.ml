@@ -49,9 +49,10 @@ let charge_copy engine rate label len =
   match engine with
   | None -> ()
   | Some e ->
-      Lrpc_sim.Engine.emit e
-        (Lrpc_obs.Event.Copy
-           { label = Option.value label ~default:"copy"; bytes = len });
+      if Lrpc_sim.Engine.tracing e then
+        Lrpc_sim.Engine.emit e
+          (Lrpc_obs.Event.Copy
+             { label = Option.value label ~default:"copy"; bytes = len });
       let per_value, per_byte =
         match rate with
         | Some r -> r

@@ -106,7 +106,8 @@ let import_remote ?(window = 8) ?(rto = default_rto)
     in
     let rec attempt n =
       let wf = fault ~attempt:n in
-      Engine.emit engine (Event.Net_send { bytes = arg_bytes });
+      if Engine.tracing engine then
+        Engine.emit engine (Event.Net_send { bytes = arg_bytes });
       if wf.Lrpc_core.Rt.wf_request_lost then
         retry n "request lost"
       else begin
@@ -124,7 +125,8 @@ let import_remote ?(window = 8) ?(rto = default_rto)
             (Time.add
                (wire_time ~bytes:(arg_bytes + result_bytes))
                wf.Lrpc_core.Rt.wf_extra_delay);
-          Engine.emit engine (Event.Net_recv { bytes = result_bytes });
+          if Engine.tracing engine then
+            Engine.emit engine (Event.Net_recv { bytes = result_bytes });
           Hashtbl.remove executed seq;
           results
         end

@@ -1,18 +1,27 @@
+(* Bounded ring of the most recent [capacity] elements. Slots hold the
+   elements directly (no ['a option] wrapper): a push is a single array
+   store, which keeps tracing cheap when a tracer is attached. Empty
+   slots hold a dummy immediate that is never read — [iter] walks only
+   the populated range — and [clear] refills with it so no element is
+   retained after a clear. *)
+
+let dummy : unit -> 'a = fun () -> Obj.magic 0
+
 type 'a t = {
   capacity : int;
-  slots : 'a option array;
+  slots : 'a array;
   mutable next : int; (* index of the slot the next push overwrites *)
   mutable total : int; (* pushes since creation or last clear *)
 }
 
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
-  { capacity; slots = Array.make capacity None; next = 0; total = 0 }
+  { capacity; slots = Array.make capacity (dummy ()); next = 0; total = 0 }
 
 let capacity t = t.capacity
 
 let push t x =
-  t.slots.(t.next) <- Some x;
+  t.slots.(t.next) <- x;
   t.next <- (t.next + 1) mod t.capacity;
   t.total <- t.total + 1
 
@@ -27,9 +36,7 @@ let iter t f =
   let n = length t in
   let start = (t.next - n + t.capacity) mod t.capacity in
   for i = 0 to n - 1 do
-    match t.slots.((start + i) mod t.capacity) with
-    | Some x -> f x
-    | None -> assert false
+    f t.slots.((start + i) mod t.capacity)
   done
 
 let to_list t =
@@ -43,6 +50,6 @@ let fold t ~init ~f =
   !acc
 
 let clear t =
-  Array.fill t.slots 0 t.capacity None;
+  Array.fill t.slots 0 t.capacity (dummy ());
   t.next <- 0;
   t.total <- 0

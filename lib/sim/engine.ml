@@ -6,6 +6,8 @@ exception Not_in_thread
 
 type state = Embryo | Ready | Running | Blocked | Spinning | Done | Failed
 
+(* The continuation slot folds the old [cont option] into one variant so
+   parking a continuation costs a single [K] block, not [Some (K _)]. *)
 type thread = {
   tid : int;
   name : string;
@@ -14,14 +16,19 @@ type thread = {
   mutable cpu : int; (* index, -1 when not on a processor *)
   mutable last_cpu : int;
   home : int; (* preferred processor, -1 for any *)
-  mutable cont : cont option;
+  mutable cont : cont;
   mutable body : (unit -> unit) option;
   mutable pending_exn : exn option;
   mutable spin_start : Time.t;
   mutable ever_placed : bool;
+  run_ev : event; (* preallocated [Run self]: scheduling never allocates *)
 }
 
-and cont = K : (unit, unit) Effect.Deep.continuation -> cont
+and cont = No_cont | K : (unit, unit) Effect.Deep.continuation -> cont
+
+and timer = { t_fn : unit -> unit; mutable t_cancelled : bool }
+
+and event = Run of thread | Fire of timer
 
 type cpu = {
   idx : int;
@@ -30,10 +37,6 @@ type cpu = {
   tlb : Tlb.t;
   mutable busy : Time.t;
 }
-
-type timer = { t_fn : unit -> unit; mutable t_cancelled : bool }
-
-type event = Run of thread | Fire of timer
 
 type t = {
   cm : Cost_model.t;
@@ -50,11 +53,27 @@ type t = {
   tlb_miss_count : Metrics.counter;
   mutable running_host : bool;
   mutable tracer : Trace.t option;
+  (* Preallocated suspension callbacks for the closure-free fast paths
+     ([block]/[yield]/[spin_suspend] are per-call operations). *)
+  mutable fn_block : thread -> unit;
+  mutable fn_yield : thread -> unit;
+  mutable fn_spin : thread -> unit;
 }
 
 type _ Effect.t +=
   | Delay : Category.t * Time.t -> unit Effect.t
   | Suspend : (thread -> unit) -> unit Effect.t
+
+let[@inline] tracing t =
+  match t.tracer with None -> false | Some _ -> true
+
+(* Non-optional-argument emit for the engine's own hot call sites: no
+   [Some tid] wrappers, and callers guard with [tracing] so the event
+   payload is never even constructed when detached. *)
+let[@inline] emit_at t ~tid ~cpu kind =
+  match t.tracer with
+  | None -> ()
+  | Some tr -> Trace.emit tr ~at:t.now_ ~tid ~cpu kind
 
 let create ?(processors = 1) cm =
   assert (processors > 0);
@@ -79,22 +98,32 @@ let create ?(processors = 1) cm =
              "sim.time_ns")
          Category.all)
   in
-  {
-    cm;
-    cpus_;
-    q = Heap.create ();
-    ready = Queue.create ();
-    now_ = Time.zero;
-    next_tid = 0;
-    current = None;
-    failures_ = [];
-    threads = [];
-    metrics_;
-    cat_time;
-    tlb_miss_count = Metrics.counter metrics_ "sim.tlb_misses";
-    running_host = false;
-    tracer = None;
-  }
+  let t =
+    {
+      cm;
+      cpus_;
+      q = Heap.create ();
+      ready = Queue.create ();
+      now_ = Time.zero;
+      next_tid = 0;
+      current = None;
+      failures_ = [];
+      threads = [];
+      metrics_;
+      cat_time;
+      tlb_miss_count = Metrics.counter metrics_ "sim.tlb_misses";
+      running_host = false;
+      tracer = None;
+      fn_block = ignore;
+      fn_yield = ignore;
+      fn_spin = ignore;
+    }
+  in
+  t.fn_spin <-
+    (fun th ->
+      th.state <- Spinning;
+      th.spin_start <- t.now_);
+  t
 
 let set_tracer t tracer = t.tracer <- tracer
 
@@ -104,15 +133,11 @@ let emit ?tid ?cpu t kind =
   match t.tracer with
   | None -> ()
   | Some tr ->
-      let of_current f d =
-        match t.current with Some th -> f th | None -> d
+      let dtid, dcpu =
+        match t.current with Some th -> (th.tid, th.cpu) | None -> (-1, -1)
       in
-      let tid =
-        match tid with Some x -> x | None -> of_current (fun th -> th.tid) (-1)
-      in
-      let cpu =
-        match cpu with Some x -> x | None -> of_current (fun th -> th.cpu) (-1)
-      in
+      let tid = match tid with Some x -> x | None -> dtid in
+      let cpu = match cpu with Some x -> x | None -> dcpu in
       Trace.emit tr ~at:t.now_ ~tid ~cpu kind
 
 let cost_model t = t.cm
@@ -156,18 +181,24 @@ let stuck_threads t =
 
 (* --- dispatch machinery ------------------------------------------------ *)
 
+let[@inline] cpu_free c =
+  match c.running with None -> true | Some _ -> false
+
 (* Assign [th] to the free processor [c], charging a context switch when
    the loaded VM context differs from the thread's domain, and schedule
    its resumption. *)
 let place t th c =
-  assert (c.running = None);
+  assert (cpu_free c);
   assert (th.cpu = -1);
   c.running <- Some th;
   th.cpu <- c.idx;
   th.last_cpu <- c.idx;
   th.state <- Running;
+  let differs =
+    match c.context with Some d -> d <> th.domain | None -> true
+  in
   let cost =
-    if c.context <> Some th.domain then begin
+    if differs then begin
       Tlb.invalidate c.tlb;
       c.context <- Some th.domain;
       (* The very first placement models a process that already existed
@@ -183,10 +214,11 @@ let place t th c =
     else Time.zero
   in
   th.ever_placed <- true;
-  emit t ~tid:th.tid ~cpu:c.idx
-    (Event.Dispatch
-       { thread = th.name; domain = th.domain; switched = cost <> Time.zero });
-  Heap.push t.q ~time:(Time.add t.now_ cost) (Run th)
+  if tracing t then
+    emit_at t ~tid:th.tid ~cpu:c.idx
+      (Event.Dispatch
+         { thread = th.name; domain = th.domain; switched = cost <> Time.zero });
+  Heap.push t.q ~time:(Time.add t.now_ cost) th.run_ev
 
 let free_cpu_of t th =
   if th.cpu >= 0 then begin
@@ -196,28 +228,35 @@ let free_cpu_of t th =
     th.cpu <- -1
   end
 
-let pick_cpu t th =
-  let free i = i >= 0 && i < Array.length t.cpus_ && t.cpus_.(i).running = None in
-  if free th.home then Some t.cpus_.(th.home)
-  else if free th.last_cpu then Some t.cpus_.(th.last_cpu)
-  else
-    let found = ref None in
-    Array.iter
-      (fun c -> if !found = None && c.running = None then found := Some c)
-      t.cpus_;
+(* First free processor, preferring home then last-run: returns the cpu
+   index, or -1 when none is free (no option/closure traffic — this runs
+   on every wake and dispatch). *)
+let pick_cpu_idx t th =
+  let cpus = t.cpus_ in
+  let n = Array.length cpus in
+  if th.home >= 0 && th.home < n && cpu_free cpus.(th.home) then th.home
+  else if th.last_cpu >= 0 && th.last_cpu < n && cpu_free cpus.(th.last_cpu)
+  then th.last_cpu
+  else begin
+    let found = ref (-1) and i = ref 0 in
+    while !found < 0 && !i < n do
+      if cpu_free cpus.(!i) then found := !i;
+      incr i
+    done;
     !found
+  end
 
 let rec try_dispatch t =
   if not (Queue.is_empty t.ready) then begin
     let th = Queue.peek t.ready in
     match th.state with
-    | Embryo | Ready -> (
-        match pick_cpu t th with
-        | Some c ->
-            ignore (Queue.pop t.ready);
-            place t th c;
-            try_dispatch t
-        | None -> ())
+    | Embryo | Ready ->
+        let i = pick_cpu_idx t th in
+        if i >= 0 then begin
+          ignore (Queue.pop t.ready);
+          place t th t.cpus_.(i);
+          try_dispatch t
+        end
     | Running | Blocked | Spinning | Done | Failed ->
         (* Stale queue entry (the thread was killed or woken elsewhere). *)
         ignore (Queue.pop t.ready);
@@ -225,7 +264,7 @@ let rec try_dispatch t =
   end
 
 let spawn ?(name = "thread") ?(home = -1) t ~domain body =
-  let th =
+  let rec th =
     {
       tid = t.next_tid;
       name;
@@ -234,11 +273,12 @@ let spawn ?(name = "thread") ?(home = -1) t ~domain body =
       cpu = -1;
       last_cpu = -1;
       home;
-      cont = None;
+      cont = No_cont;
       body = Some body;
       pending_exn = None;
       spin_start = Time.zero;
       ever_placed = false;
+      run_ev = Run th;
     }
   in
   t.next_tid <- t.next_tid + 1;
@@ -250,49 +290,58 @@ let spawn ?(name = "thread") ?(home = -1) t ~domain body =
 (* --- execution --------------------------------------------------------- *)
 
 let finish t th fail =
-  emit t ~tid:th.tid ~cpu:th.cpu
-    (Event.Finish
-       {
-         thread = th.name;
-         error = Option.map Printexc.to_string fail;
-       });
+  if tracing t then
+    emit_at t ~tid:th.tid ~cpu:th.cpu
+      (Event.Finish
+         {
+           thread = th.name;
+           error = Option.map Printexc.to_string fail;
+         });
   th.state <- (match fail with None -> Done | Some _ -> Failed);
   (match fail with
   | Some e -> t.failures_ <- (th, e) :: t.failures_
   | None -> ());
-  th.cont <- None;
+  th.cont <- No_cont;
   th.body <- None;
   free_cpu_of t th;
   try_dispatch t
 
 let take_cont th =
   match th.cont with
-  | Some k ->
-      th.cont <- None;
+  | K k ->
+      th.cont <- No_cont;
       k
-  | None -> assert false
+  | No_cont -> assert false
 
 let executing_count t =
-  Array.fold_left
-    (fun acc c ->
-      match c.running with
-      | Some th when th.state = Running -> acc + 1
-      | _ -> acc)
-    0 t.cpus_
+  let cpus = t.cpus_ in
+  let n = ref 0 in
+  for i = 0 to Array.length cpus - 1 do
+    match cpus.(i).running with
+    | Some th when th.state = Running -> incr n
+    | _ -> ()
+  done;
+  !n
 
 let handle_delay t th cat d k =
   assert (th.cpu >= 0);
-  let execn = executing_count t in
-  let factor =
-    1.0 +. (t.cm.Cost_model.bus_alpha *. float_of_int (max 0 (execn - 1)))
+  let d' =
+    (* Alone on the bus (or no bus model): the factor is exactly 1.0 and
+       [Time.scale d 1.0 = d], so skip the float round-trip entirely. *)
+    let execn = executing_count t in
+    if execn <= 1 then d
+    else
+      let alpha = t.cm.Cost_model.bus_alpha in
+      if alpha = 0.0 then d
+      else Time.scale d (1.0 +. (alpha *. float_of_int (execn - 1)))
   in
-  let d' = Time.scale d factor in
   charge t cat d';
-  emit t ~tid:th.tid ~cpu:th.cpu (Event.Slice { category = cat; dur = d' });
+  if tracing t then
+    emit_at t ~tid:th.tid ~cpu:th.cpu (Event.Slice { category = cat; dur = d' });
   let c = t.cpus_.(th.cpu) in
   c.busy <- Time.add c.busy d';
-  th.cont <- Some k;
-  Heap.push t.q ~time:(Time.add t.now_ d') (Run th)
+  th.cont <- k;
+  Heap.push t.q ~time:(Time.add t.now_ d') th.run_ev
 
 let start t th body =
   Effect.Deep.match_with body ()
@@ -313,7 +362,7 @@ let start t th body =
           | Suspend f ->
               Some
                 (fun (k : (a, _) Effect.Deep.continuation) ->
-                  th.cont <- Some (K k);
+                  th.cont <- K k;
                   f th)
           | _ -> None);
     }
@@ -328,49 +377,45 @@ let exec t th =
       finish t th (match e with Thread_killed -> None | e -> Some e)
   | Some e ->
       th.pending_exn <- None;
-      let (K k) = take_cont th in
-      Effect.Deep.discontinue k e
+      Effect.Deep.discontinue (take_cont th) e
   | None -> (
       match th.body with
       | Some body ->
           th.body <- None;
           start t th body
-      | None ->
-          let (K k) = take_cont th in
-          Effect.Deep.continue k ()));
+      | None -> Effect.Deep.continue (take_cont th) ()));
   t.current <- None
 
 let run ?until t =
   if t.running_host then invalid_arg "Engine.run: re-entrant call";
   t.running_host <- true;
+  let limit = match until with Some u -> u | None -> max_int in
   Fun.protect
     ~finally:(fun () -> t.running_host <- false)
     (fun () ->
       let continue_ = ref true in
       while !continue_ do
-        match Heap.peek_time t.q with
-        | None -> continue_ := false
-        | Some tm
-          when match until with Some u -> Time.compare tm u > 0 | None -> false
-          ->
-            continue_ := false
-        | Some _ -> (
-            match Heap.pop t.q with
-            | None -> continue_ := false
-            | Some (tm, Run th) ->
-                t.now_ <- tm;
-                (match th.state with
+        if Heap.is_empty t.q then continue_ := false
+        else begin
+          let tm = Heap.top_time t.q in
+          if tm > limit then continue_ := false
+          else begin
+            t.now_ <- tm;
+            match Heap.take t.q with
+            | Run th -> (
+                match th.state with
                 | Running -> exec t th
                 | Embryo | Ready | Blocked | Spinning | Done | Failed ->
                     (* Stale event: the thread moved on (e.g. it was
                        killed while waiting and already discontinued). *)
                     ())
-            | Some (tm, Fire tmr) ->
-                t.now_ <- tm;
+            | Fire tmr ->
                 if not tmr.t_cancelled then begin
                   tmr.t_cancelled <- true;
                   tmr.t_fn ()
-                end)
+                end
+          end
+        end
       done)
 
 (* --- in-thread operations ---------------------------------------------- *)
@@ -388,24 +433,14 @@ let delay ?(category = Category.Other) _t d =
 
 let suspend _t f = Effect.perform (Suspend f)
 
-let block t =
-  suspend t (fun th ->
-      emit t ~tid:th.tid ~cpu:th.last_cpu (Event.Block { thread = th.name });
-      th.state <- Blocked;
-      free_cpu_of t th;
-      try_dispatch t)
+(* [block]/[yield]/[spin_suspend] run once or more per simulated call;
+   their suspension callbacks are built once per engine (in [bind_fns])
+   instead of one closure per invocation. *)
+let block t = suspend t t.fn_block
 
-let yield t =
-  suspend t (fun th ->
-      th.state <- Ready;
-      free_cpu_of t th;
-      Queue.push th t.ready;
-      try_dispatch t)
+let yield t = suspend t t.fn_yield
 
-let spin_suspend t =
-  suspend t (fun th ->
-      th.state <- Spinning;
-      th.spin_start <- t.now_)
+let spin_suspend t = suspend t t.fn_spin
 
 let handoff t ~to_ =
   suspend t (fun me ->
@@ -437,9 +472,13 @@ let touch_pages t ~pages =
 let switch_self_context t ~domain =
   let th = self t in
   let c = current_cpu t in
-  if c.context <> Some domain then begin
-    emit t ~tid:th.tid ~cpu:c.idx
-      (Event.Switch { from_domain = th.domain; to_domain = domain });
+  let differs =
+    match c.context with Some d -> d <> domain | None -> true
+  in
+  if differs then begin
+    if tracing t then
+      emit_at t ~tid:th.tid ~cpu:c.idx
+        (Event.Switch { from_domain = th.domain; to_domain = domain });
     Tlb.invalidate c.tlb;
     c.context <- Some domain;
     th.domain <- domain;
@@ -449,9 +488,10 @@ let switch_self_context t ~domain =
 
 let exchange_processors t ~target =
   let th = self t in
-  assert (target.running = None);
-  emit t ~tid:th.tid ~cpu:th.cpu
-    (Event.Exchange { from_cpu = th.cpu; to_cpu = target.idx });
+  assert (cpu_free target);
+  if tracing t then
+    emit_at t ~tid:th.tid ~cpu:th.cpu
+      (Event.Exchange { from_cpu = th.cpu; to_cpu = target.idx });
   let old = t.cpus_.(th.cpu) in
   old.running <- None;
   th.cpu <- target.idx;
@@ -463,27 +503,28 @@ let exchange_processors t ~target =
 (* --- cross-thread operations ------------------------------------------- *)
 
 let wake t th =
-  (match th.state with
-  | Blocked | Spinning ->
-      emit t ~tid:th.tid ~cpu:th.cpu (Event.Wake { thread = th.name })
-  | _ -> ());
   match th.state with
-  | Blocked -> (
-      match pick_cpu t th with
-      | Some c -> place t th c
-      | None ->
-          th.state <- Ready;
-          Queue.push th t.ready)
+  | Blocked ->
+      if tracing t then
+        emit_at t ~tid:th.tid ~cpu:th.cpu (Event.Wake { thread = th.name });
+      let i = pick_cpu_idx t th in
+      if i >= 0 then place t th t.cpus_.(i)
+      else begin
+        th.state <- Ready;
+        Queue.push th t.ready
+      end
   | Spinning ->
+      if tracing t then
+        emit_at t ~tid:th.tid ~cpu:th.cpu (Event.Wake { thread = th.name });
       th.state <- Running;
       let c = t.cpus_.(th.cpu) in
       let spun = Time.sub t.now_ th.spin_start in
       c.busy <- Time.add c.busy spun;
       charge t Category.Lock spun;
-      if spun <> Time.zero then
-        emit t ~tid:th.tid ~cpu:th.cpu
+      if spun <> Time.zero && tracing t then
+        emit_at t ~tid:th.tid ~cpu:th.cpu
           (Event.Slice { category = Category.Lock; dur = spun });
-      Heap.push t.q ~time:t.now_ (Run th)
+      Heap.push t.q ~time:t.now_ th.run_ev
   | Embryo | Ready | Running | Done | Failed -> ()
 
 let place_on t th c =
@@ -519,3 +560,25 @@ let at t time fn =
   tmr
 
 let cancel_timer _t tmr = tmr.t_cancelled <- true
+
+(* --- engine-closure binding (must follow the operations they close over) *)
+
+let bind_fns t =
+  t.fn_block <-
+    (fun th ->
+      if tracing t then
+        emit_at t ~tid:th.tid ~cpu:th.last_cpu (Event.Block { thread = th.name });
+      th.state <- Blocked;
+      free_cpu_of t th;
+      try_dispatch t);
+  t.fn_yield <-
+    (fun th ->
+      th.state <- Ready;
+      free_cpu_of t th;
+      Queue.push th t.ready;
+      try_dispatch t)
+
+let create ?processors cm =
+  let t = create ?processors cm in
+  bind_fns t;
+  t

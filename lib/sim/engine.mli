@@ -209,6 +209,11 @@ val set_tracer : t -> Trace.t option -> unit
     thread deaths — and one {!Lrpc_obs.Event.Slice} per charged delay are
     emitted to it. Off by default; zero cost when detached. *)
 
+val tracing : t -> bool
+(** Whether a tracer is attached. Callers that build a non-trivial event
+    payload should guard with this so detached tracing constructs
+    nothing: [if Engine.tracing e then Engine.emit e (Event.Copy ...)]. *)
+
 val emit : ?tid:int -> ?cpu:int -> t -> Lrpc_obs.Event.t -> unit
 (** Emit a typed event to the attached tracer (no-op when detached) at
     the current simulated time. [tid]/[cpu] default to the currently

@@ -30,19 +30,21 @@ let create ?(name = "lock") ?(overhead = Time.zero) ?(category = Category.Lock)
 let acquire t =
   let me = Engine.self t.engine in
   Metrics.Counter.incr t.c_acquires;
+  let traced = Engine.tracing t.engine in
   (match t.holder with
   | None ->
       t.holder <- Some me;
-      Engine.emit t.engine (Event.Lock_acquire { lock = t.name })
+      if traced then Engine.emit t.engine (Event.Lock_acquire { lock = t.name })
   | Some _ ->
       Metrics.Counter.incr t.c_contended;
-      Engine.emit t.engine (Event.Lock_contend { lock = t.name });
+      if traced then Engine.emit t.engine (Event.Lock_contend { lock = t.name });
       Queue.push me t.waiters;
       (* Spin until a releaser hands us the lock: when [spin_suspend]
          returns, [release] has already made us the holder. *)
       Engine.spin_suspend t.engine;
       assert (match t.holder with Some th -> th == me | None -> false);
-      Engine.emit t.engine (Event.Lock_acquire { lock = t.name }));
+      if Engine.tracing t.engine then
+        Engine.emit t.engine (Event.Lock_acquire { lock = t.name }));
   if t.overhead <> Time.zero then
     Engine.delay ~category:t.category t.engine t.overhead
 

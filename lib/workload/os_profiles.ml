@@ -78,10 +78,27 @@ let expected_percent m =
 
 let run rng m ~operations =
   assert (operations > 0);
-  let weights = List.map (fun c -> (c.weight, c)) m.classes in
+  (* Hot loop: millions of operations per model. Precompute the
+     cumulative weights once so each operation is two PRNG draws and an
+     array scan instead of a list fold plus walk. The draw sequence and
+     the float comparisons match [Prng.choose] exactly (same sequential
+     accumulation, same strict [>] test), so results are bit-identical. *)
+  let classes = Array.of_list m.classes in
+  let n = Array.length classes in
+  let cumulative = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. classes.(i).weight;
+    cumulative.(i) <- !acc
+  done;
+  let total = cumulative.(n - 1) in
+  assert (total > 0.);
   let remote = ref 0 in
   for _ = 1 to operations do
-    let c = Prng.choose rng ~weights in
+    let u = Prng.float rng total in
+    let i = ref 0 in
+    while !i < n - 1 && cumulative.(!i) <= u do incr i done;
+    let c = classes.(!i) in
     if Prng.bernoulli rng ~p:c.remote_probability then incr remote
   done;
   {

@@ -57,6 +57,97 @@ let prop_heap_sorted =
       drain ();
       !ok)
 
+let test_heap_take_top_time () =
+  let h = Heap.create () in
+  Heap.push h ~time:7 "b";
+  Heap.push h ~time:3 "a";
+  check_time "top_time" 3 (Heap.top_time h);
+  Alcotest.(check string) "take min" "a" (Heap.take h);
+  check_time "top after take" 7 (Heap.top_time h);
+  Alcotest.(check string) "take next" "b" (Heap.take h);
+  Alcotest.check_raises "take on empty"
+    (Invalid_argument "Heap.take: empty heap") (fun () ->
+      ignore (Heap.take h))
+
+(* Random push/pop interleavings against a sorted-list reference model:
+   pops must come back in nondecreasing time order with FIFO on equal
+   timestamps, exactly as a stable insertion sort would produce. *)
+let prop_heap_model =
+  QCheck.Test.make ~name:"heap matches sorted-list reference model" ~count:300
+    QCheck.(list (option (int_bound 100)))
+    (fun ops ->
+      let h = Heap.create () in
+      let model = ref [] in
+      let next_id = ref 0 in
+      let ok = ref true in
+      let pop_and_check () =
+        match (Heap.pop h, !model) with
+        | None, [] -> ()
+        | Some (t, i), (t', i') :: rest when t = t' && i = i' -> model := rest
+        | _ -> ok := false
+      in
+      List.iter
+        (function
+          | Some time ->
+              let id = !next_id in
+              incr next_id;
+              Heap.push h ~time id;
+              (* Stable insert: after every entry with time <= this one. *)
+              let rec ins = function
+                | (t', i') :: rest when t' <= time -> (t', i') :: ins rest
+                | rest -> (time, id) :: rest
+              in
+              model := ins !model
+          | None -> pop_and_check ())
+        ops;
+      while not (Heap.is_empty h) || !model <> [] do
+        pop_and_check ();
+        if not !ok then model := [] (* break out of a wedged run *)
+      done;
+      !ok)
+
+(* Regression for the space leak where [pop] left the vacated slot
+   holding its payload: a popped payload must be collectable once the
+   caller drops it. A couple of slots are allowed to survive in
+   registers/stack of this frame; before the fix, all of them did. *)
+let test_heap_pop_releases_payloads () =
+  let h = Heap.create () in
+  let w = Weak.create 8 in
+  for i = 0 to 7 do
+    let payload = Bytes.make 64 'x' in
+    Weak.set w i (Some payload);
+    Heap.push h ~time:i payload
+  done;
+  for _ = 0 to 7 do
+    ignore (Heap.pop h)
+  done;
+  Gc.full_major ();
+  let live = ref 0 in
+  for i = 0 to 7 do
+    if Weak.check w i then incr live
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "popped payloads collectable (%d still live)" !live)
+    true (!live <= 2)
+
+let test_heap_clear_releases_payloads () =
+  let h = Heap.create () in
+  let w = Weak.create 8 in
+  for i = 0 to 7 do
+    let payload = Bytes.make 64 'y' in
+    Weak.set w i (Some payload);
+    Heap.push h ~time:i payload
+  done;
+  Heap.clear h;
+  Gc.full_major ();
+  let live = ref 0 in
+  for i = 0 to 7 do
+    if Weak.check w i then incr live
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "cleared payloads collectable (%d still live)" !live)
+    true (!live <= 2)
+
 (* --- Cost model -------------------------------------------------------- *)
 
 let test_null_minimum_cvax () =
@@ -585,7 +676,7 @@ let prop_engine_deterministic =
 let () =
   let qsuite =
     List.map QCheck_alcotest.to_alcotest
-      [ prop_heap_sorted; prop_engine_deterministic ]
+      [ prop_heap_sorted; prop_heap_model; prop_engine_deterministic ]
   in
   Alcotest.run "lrpc_sim"
     [
@@ -594,6 +685,11 @@ let () =
         [
           Alcotest.test_case "order" `Quick test_heap_order;
           Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "take/top_time" `Quick test_heap_take_top_time;
+          Alcotest.test_case "pop releases payloads" `Quick
+            test_heap_pop_releases_payloads;
+          Alcotest.test_case "clear releases payloads" `Quick
+            test_heap_clear_releases_payloads;
         ] );
       ( "cost model",
         [
