@@ -2,11 +2,12 @@ SMOKE_JSON := /tmp/lrpc_trace_smoke.json
 PIPELINE_JSON := /tmp/lrpc_pipeline_smoke.json
 FAULT_JSON := /tmp/lrpc_fault_smoke.json
 HOST_JSON := /tmp/lrpc_bench_host_smoke.json
+SCALE_JSON := /tmp/lrpc_fig2_scale_smoke.json
 
 .PHONY: check build test smoke pipeline-smoke fault-smoke fault-stress \
-  bench-pipeline bench-host bench-host-full clean
+  fig2-scale-smoke bench-pipeline bench-host bench-host-full clean
 
-check: build test smoke pipeline-smoke fault-smoke bench-host
+check: build test smoke pipeline-smoke fault-smoke fig2-scale-smoke bench-host
 
 build:
 	dune build
@@ -50,7 +51,32 @@ fault-smoke: build
 	  assert all(inv.values()); \
 	  assert sum(out.values()) == d['calls']; \
 	  assert d['digest']"
+	@dune exec bin/lrpc_chaos.exe -- --seed not-a-number > /dev/null 2>&1; \
+	  test $$? -eq 2 || { echo "FAIL: bad --seed must exit 2"; exit 1; }
+	@dune exec bin/lrpc_chaos.exe -- --no-such-flag > /dev/null 2>&1; \
+	  test $$? -eq 2 || { echo "FAIL: unknown flag must exit 2"; exit 1; }
 	@echo "fault smoke OK"
+
+# End-to-end: the multiprocessor scaling study's JSON rendering must
+# have the expected shape on the quick 8-CPU ladder, LRPC throughput
+# must grow monotonically with processors, and SRC RPC must stay below
+# its ~4000 calls/s global-lock ceiling.
+fig2-scale-smoke: build
+	dune exec bin/lrpc_experiments.exe -- f2s --quick --json > $(SCALE_JSON)
+	@python3 -c "import json; d = json.load(open('$(SCALE_JSON)')); \
+	  ps = d['points']; \
+	  assert d['experiment'] == 'fig2_scale'; \
+	  assert [p['cpus'] for p in ps] == [1, 2, 4, 8]; \
+	  keys = {'cpus', 'lrpc_cps', 'lrpc_speedup', 'src_cps', 'src_speedup', \
+	          'unbal_cps', 'unbal_steals', 'steals', 'steals_tagged', \
+	          'shard_contended', 'lrpc_spin_us', 'src_steals', 'src_spin_us', \
+	          'src_lock_contended'}; \
+	  assert all(keys <= set(p) for p in ps), 'missing point keys'; \
+	  ls = [p['lrpc_cps'] for p in ps]; \
+	  assert all(a < b for a, b in zip(ls, ls[1:])), 'LRPC must scale'; \
+	  assert all(p['src_cps'] < 4100 for p in ps), 'SRC past its lock ceiling'; \
+	  assert ps[-1]['unbal_steals'] == ps[-1]['cpus'] - 1"
+	@echo "fig2-scale smoke OK"
 
 # The chaos soak at its stress tier: ~10x the smoke call count, same
 # invariants and replay check. Not part of `check` (takes a while).
@@ -68,13 +94,15 @@ bench-host: build
 	dune exec bench/host.exe -- --quick --out $(HOST_JSON) > /dev/null
 	@python3 -c "import json, numbers; d = json.load(open('$(HOST_JSON)')); \
 	  keys = ['engine_events_per_sec', 'fig1_synthesis_calls_per_sec', \
-	          'fig2_wallclock_sec', 'chaos_calls_per_sec', \
-	          'suite_serial_sec', 'suite_jobs_sec', 'suite_speedup', 'jobs']; \
+	          'fig2_wallclock_sec', 'fig2_scale_wallclock_sec', \
+	          'chaos_calls_per_sec', 'suite_serial_sec', 'suite_jobs_sec', \
+	          'suite_speedup', 'jobs', 'host_cores']; \
 	  missing = [k for k in keys if k not in d]; \
 	  assert not missing, 'missing keys: %s' % missing; \
 	  bad = [k for k in keys if not isinstance(d[k], numbers.Number)]; \
 	  assert not bad, 'non-numeric keys: %s' % bad; \
 	  assert d['bench'] == 'host' and d['mode'] == 'quick'; \
+	  assert d['ocaml_version'], 'ocaml_version missing/empty'; \
 	  assert all(d[k] > 0 for k in keys)"
 	@echo "bench-host OK"
 

@@ -6,10 +6,15 @@
      engine_events_per_sec       raw event-loop rate, tight delay loop
      fig1_synthesis_calls_per_sec  Fig.1 traffic synthesis throughput
      fig2_wallclock_sec          the 4-CPU throughput experiment, wall
+     fig2_scale_wallclock_sec    the 1-32 CPU scaling study, wall
      chaos_calls_per_sec         chaos soak rate (stress call count)
-     suite_serial_sec            all 14 paper artifacts, --jobs 1
+     suite_serial_sec            every paper artifact, --jobs 1
      suite_jobs_sec              same artifacts fanned across domains
      suite_speedup               serial / jobs
+
+   The environment keys host_cores and ocaml_version pin down what
+   machine and toolchain produced the numbers, so cross-commit diffs of
+   BENCH_host.json are interpretable.
 
    `--quick` shrinks every sample size for the `make check` smoke run;
    the committed BENCH_host.json comes from the full mode. The suite is
@@ -75,6 +80,16 @@ let fig2_wallclock_sec () =
   let _, dt = wall (fun () -> Lrpc_experiments.Fig2.run ~horizon ()) in
   dt
 
+let fig2_scale_wallclock_sec () =
+  let _, dt =
+    wall (fun () ->
+        Lrpc_experiments.Fig2_scale.run
+          ~max_cpus:(if quick then 8 else 32)
+          ~horizon:(Time.ms (if quick then 100 else 250))
+          ())
+  in
+  dt
+
 (* The soak at its stress tier: the headroom reclaimed by the hot-path
    work pays for a call count well past the smoke configuration. *)
 let chaos_calls_per_sec () =
@@ -96,6 +111,7 @@ let () =
   let events = engine_events_per_sec () in
   let fig1 = fig1_synthesis_calls_per_sec () in
   let fig2 = fig2_wallclock_sec () in
+  let fig2_scale = fig2_scale_wallclock_sec () in
   let chaos = chaos_calls_per_sec () in
   let suite_serial, suite_jobs = suite_times () in
   let buf = Buffer.create 512 in
@@ -103,9 +119,12 @@ let () =
   Printf.bprintf buf "  \"bench\": \"host\",\n";
   Printf.bprintf buf "  \"mode\": \"%s\",\n" (if quick then "quick" else "full");
   Printf.bprintf buf "  \"jobs\": %d,\n" jobs;
+  Printf.bprintf buf "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ());
+  Printf.bprintf buf "  \"ocaml_version\": \"%s\",\n" Sys.ocaml_version;
   Printf.bprintf buf "  \"engine_events_per_sec\": %.0f,\n" events;
   Printf.bprintf buf "  \"fig1_synthesis_calls_per_sec\": %.0f,\n" fig1;
   Printf.bprintf buf "  \"fig2_wallclock_sec\": %.3f,\n" fig2;
+  Printf.bprintf buf "  \"fig2_scale_wallclock_sec\": %.3f,\n" fig2_scale;
   Printf.bprintf buf "  \"chaos_calls_per_sec\": %.0f,\n" chaos;
   Printf.bprintf buf "  \"suite_serial_sec\": %.3f,\n" suite_serial;
   Printf.bprintf buf "  \"suite_jobs_sec\": %.3f,\n" suite_jobs;

@@ -7,8 +7,9 @@
      lrpc_chaos --out report.json     # also write the report to a file
      lrpc_chaos --replay              # run twice, assert equal digests
 
-   Exits nonzero when any quiescence invariant is violated (or the
-   replay digests differ) — the `make fault-smoke` gate. *)
+   Exits 1 when any quiescence invariant is violated or the replay
+   digests differ — the `make fault-smoke` gate — and 2 on CLI misuse
+   (unknown flags, non-integer --seed). *)
 
 module Plan = Lrpc_fault.Plan
 module Soak = Lrpc_fault.Soak
@@ -49,7 +50,7 @@ let run seed calls clients out replay =
   if not replay_ok then begin
     Format.eprintf "lrpc_chaos: same-seed replay diverged (seed %Ld)@."
       cfg.Soak.seed;
-    exit 2
+    exit 1
   end
 
 open Cmdliner
@@ -90,4 +91,11 @@ let cmd =
        ~doc:"Chaos-soak the LRPC call path under a deterministic fault plan.")
     Term.(const run $ seed_arg $ calls_arg $ clients_arg $ out_arg $ replay_arg)
 
-let () = exit (Cmd.eval cmd)
+(* Exit 2 on CLI misuse (non-integer --seed, unknown flags) with
+   cmdliner's usage line on stderr — distinct from exit 1, which means
+   the soak itself failed an invariant. *)
+let () =
+  match Cmd.eval_value cmd with
+  | Ok (`Ok ()) | Ok `Help | Ok `Version -> exit 0
+  | Error `Parse | Error `Term -> exit 2
+  | Error `Exn -> exit 1

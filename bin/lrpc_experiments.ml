@@ -6,7 +6,7 @@
 module Suite = Lrpc_experiments.Suite
 module Parallel = Lrpc_harness.Parallel
 
-let run names seed quick jobs =
+let run names seed quick jobs json =
   let names = if names = [] || names = [ "all" ] then Suite.names else names in
   (match List.filter (fun n -> not (Suite.mem n)) names with
   | [] -> ()
@@ -16,11 +16,21 @@ let run names seed quick jobs =
         (String.concat ", " (List.map (Printf.sprintf "%S") unknown))
         (String.concat ", " Suite.names);
       exit 2);
-  let outputs = Parallel.map ~jobs (fun n -> Suite.run ~seed ~quick n) names in
+  (if json then
+     match List.filter (fun n -> not (List.mem n Suite.json_names)) names with
+     | [] -> ()
+     | no_json ->
+         Printf.eprintf
+           "lrpc_experiments: no JSON rendering for %s (--json supports: %s)\n"
+           (String.concat ", " (List.map (Printf.sprintf "%S") no_json))
+           (String.concat ", " Suite.json_names);
+         exit 2);
+  let render = if json then Suite.json else Suite.run in
+  let outputs = Parallel.map ~jobs (fun n -> render ~seed ~quick n) names in
   List.iter
     (fun out ->
       print_endline out;
-      print_newline ())
+      if not json then print_newline ())
     outputs
 
 open Cmdliner
@@ -28,8 +38,9 @@ open Cmdliner
 let names_arg =
   let doc =
     "Experiments to run: t1 f1 t2 t3 t4 t5 f2 (paper tables/figures), a1-a6 \
-     (ablations incl. a6 register passing), lat (supplementary latency), or \
-     'all'. Unknown names are an error (exit code 2)."
+     (ablations incl. a6 register passing), lat (supplementary latency), f2s \
+     (multiprocessor scaling beyond Fig.2), or 'all'. Unknown names are an \
+     error (exit code 2)."
   in
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
 
@@ -55,6 +66,14 @@ let jobs_arg =
     & opt int (Parallel.default_jobs ())
     & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+let json_arg =
+  let doc =
+    "Emit the machine-checkable JSON rendering instead of the text one. \
+     Only some experiments have one (currently f2s); anything else is an \
+     error (exit code 2)."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
 let cmd =
   let doc =
     "Regenerate the tables and figures of 'Lightweight Remote Procedure \
@@ -62,6 +81,6 @@ let cmd =
   in
   Cmd.v
     (Cmd.info "lrpc_experiments" ~version:"1.0" ~doc)
-    Term.(const run $ names_arg $ seed_arg $ quick_arg $ jobs_arg)
+    Term.(const run $ names_arg $ seed_arg $ quick_arg $ jobs_arg $ json_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -29,26 +29,61 @@ let allocate_batch rt ~client ~server ~proc ~size ~count ~primary =
             l_return_domain = None;
           };
         a_primary = primary;
+        a_shard = 0;
         a_estack = None;
         a_last_used = Time.zero;
       })
+
+(* One shard per processor, capped by the A-stack count (no point in
+   empty shards); exactly one shard on a uniprocessor, which makes the
+   sharded pool behave — cost-for-cost — like the old single-lock one. *)
+let shard_count rt count =
+  max 1 (min (Array.length (Engine.cpus (engine rt))) count)
 
 let make_pool rt ~client ~server ~proc ~size ~count =
   let astacks =
     allocate_batch rt ~client ~server ~proc ~size ~count ~primary:true
   in
-  {
-    ap_bytes = size;
-    ap_lock =
-      Spinlock.create
-        ~name:(Printf.sprintf "astack-q-%s" proc.I.proc_name)
-        (engine rt);
-    ap_waiters = Queue.create ();
-    ap_queue = astacks;
-    ap_all = astacks;
-  }
+  let nsh = shard_count rt count in
+  List.iteri (fun i a -> a.a_shard <- i mod nsh) astacks;
+  let shards =
+    Array.init nsh (fun si ->
+        {
+          ash_lock =
+            Spinlock.create
+              ~name:(Printf.sprintf "astack-q-%s" proc.I.proc_name)
+              (engine rt);
+          ash_free = List.filter (fun a -> a.a_shard = si) astacks;
+        })
+  in
+  { ap_bytes = size; ap_shards = shards; ap_waiters = Queue.create (); ap_all = astacks }
 
 let lock_hold rt = (cost_model rt).Lrpc_sim.Cost_model.astack_lock
+
+(* Engine-level free-list access (timers, revocation, invariant checks):
+   the sharded lists are ordinary state — spinlocks only model cost and
+   contention for in-thread users. *)
+
+let push_free pool a =
+  let sh = pool.ap_shards.(a.a_shard) in
+  sh.ash_free <- a :: sh.ash_free
+
+let pop_free_any pool =
+  let n = Array.length pool.ap_shards in
+  let rec go i =
+    if i >= n then None
+    else
+      let sh = pool.ap_shards.(i) in
+      match sh.ash_free with
+      | a :: rest ->
+          sh.ash_free <- rest;
+          Some a
+      | [] -> go (i + 1)
+  in
+  go 0
+
+let free_count pool =
+  Array.fold_left (fun acc sh -> acc + List.length sh.ash_free) 0 pool.ap_shards
 
 (* Hand [a] to the longest-waiting live waiter, returning the thread to
    wake, or [None] when nobody (live) is waiting. The grant is written
@@ -77,7 +112,7 @@ let rec grant_waiter pool a =
 let relinquish rt pool a =
   match grant_waiter pool a with
   | Some th -> Engine.wake (engine rt) th
-  | None -> pool.ap_queue <- a :: pool.ap_queue
+  | None -> push_free pool a
 
 (* Exhaustion back-pressure (paper §5.2's `Wait policy). The blocked
    caller enqueues a FIFO waiter cell and sleeps; the granting check-in
@@ -112,15 +147,15 @@ let wait_for_grant rt pool =
   Queue.push cell pool.ap_waiters;
   wait_in_cell rt pool cell
 
-(* Injected transient starvation (fault plan): the caller joins the FIFO
-   waiter queue even though the free list may be non-empty, exercising
-   the direct-grant path; a timer re-grants from the free list when the
-   starvation window closes, unless an interleaved check-in got there
-   first. *)
-let starve rt pool d =
+(* Join the FIFO waiter queue with a safety timer that re-grants from the
+   free lists after [d], unless an interleaved check-in got there first.
+   Used by injected starvation and by the contended-checkout fallback —
+   in the latter the interfering lock holder may already have consumed
+   the last free A-stack, in which case only a future check-in can grant,
+   so the timer alone (no polling, no spinning) keeps the path
+   deadlock-free. *)
+let timed_grant_wait rt pool d =
   let e = engine rt in
-  Metrics.Counter.incr
-    (Metrics.counter (Engine.metrics e) "fault.astack_starvations");
   let cell = { aw_th = Engine.self e; aw_grant = None; aw_active = true } in
   Queue.push cell pool.ap_waiters;
   let tmr =
@@ -128,16 +163,23 @@ let starve rt pool d =
       (Time.add (Engine.now e) d)
       (fun () ->
         if cell.aw_active && cell.aw_grant = None then
-          match pool.ap_queue with
-          | a :: rest ->
-              pool.ap_queue <- rest;
+          match pop_free_any pool with
+          | Some a ->
               cell.aw_grant <- Some a;
               Engine.wake e cell.aw_th
-          | [] -> () (* genuinely dry: a future check-in grants FIFO *))
+          | None -> () (* genuinely dry: a future check-in grants FIFO *))
   in
   Fun.protect
     ~finally:(fun () -> Engine.cancel_timer e tmr)
     (fun () -> wait_in_cell rt pool cell)
+
+(* Injected transient starvation (fault plan): the caller joins the FIFO
+   waiter queue even though the free lists may be non-empty, exercising
+   the direct-grant path until the starvation window closes. *)
+let starve rt pool d =
+  Metrics.Counter.incr
+    (Metrics.counter (Engine.metrics (engine rt)) "fault.astack_starvations");
+  timed_grant_wait rt pool d
 
 (* Unlink every queued waiter and deliver [exn] into it instead of a
    grant — a binding being revoked must not hand A-stacks of a dead
@@ -152,7 +194,7 @@ let fail_waiters rt pool exn =
         | Some a ->
             (* Granted but not yet resumed: take the A-stack back. *)
             cell.aw_grant <- None;
-            pool.ap_queue <- a :: pool.ap_queue
+            push_free pool a
         | None -> ());
         Engine.interrupt e cell.aw_th exn
       end)
@@ -173,23 +215,55 @@ let checkout rt pb ~client ~server =
       a.a_last_used <- Engine.now (engine rt);
       a
   | None -> (
+  let e = engine rt in
+  let nsh = Array.length pool.ap_shards in
+  (* Home shard follows the calling processor, so steady-state checkouts
+     on different processors touch different locks and free lists. *)
+  let preferred = if nsh = 1 then 0 else (Engine.current_cpu e).Engine.idx mod nsh in
   let taken = ref None in
-  Spinlock.with_lock pool.ap_lock ~hold:(lock_hold rt) (fun () ->
-      match pool.ap_queue with
-      | a :: rest ->
-          pool.ap_queue <- rest;
-          taken := Some a
-      | [] -> ());
+  let contended = ref false in
+  (* Lock-free in the "never waits on a lock" sense: a shard whose lock
+     is held by someone else is skipped, not spun on. The claim happens
+     at acquire time — the hold models the critical section's cost, so
+     concurrent scanners must not see a claimed A-stack as still free. *)
+  (try
+     for k = 0 to nsh - 1 do
+       let sh = pool.ap_shards.((preferred + k) mod nsh) in
+       if Spinlock.holder sh.ash_lock <> None then begin
+         if sh.ash_free <> [] then contended := true
+       end
+       else if sh.ash_free <> [] then begin
+         Spinlock.acquire sh.ash_lock;
+         (match sh.ash_free with
+         | a :: rest ->
+             sh.ash_free <- rest;
+             taken := Some a
+         | [] -> () (* drained by a timer grant; no yield point, unlikely *));
+         Fun.protect
+           ~finally:(fun () -> Spinlock.release sh.ash_lock)
+           (fun () ->
+             Engine.delay ~category:Lrpc_sim.Category.Lock e (lock_hold rt));
+         if !taken <> None then raise_notrace Exit
+       end
+     done
+   with Exit -> ());
   match !taken with
   | Some a ->
-      a.a_last_used <- Engine.now (engine rt);
+      a.a_last_used <- Engine.now e;
+      a
+  | None when !contended ->
+      (* Every free A-stack (if any) sits behind a held shard lock: fall
+         back to the FIFO direct-grant path rather than spin. *)
+      Metrics.Counter.incr rt.c_shard_contended;
+      let a = timed_grant_wait rt pool (lock_hold rt) in
+      a.a_last_used <- Engine.now e;
       a
   | None -> (
       Metrics.Counter.incr rt.c_pool_exhausted;
       match rt.config.astack_exhaustion with
       | `Wait ->
           let a = wait_for_grant rt pool in
-          a.a_last_used <- Engine.now (engine rt);
+          a.a_last_used <- Engine.now e;
           a
       | `Allocate ->
           (* Space contiguous to the original A-stacks is unlikely to be
@@ -198,22 +272,35 @@ let checkout rt pb ~client ~server =
             allocate_batch rt ~client ~server ~proc:pb.pb_spec
               ~size:pool.ap_bytes ~count:1 ~primary:false
           in
+          List.iter (fun a -> a.a_shard <- preferred) extras;
           pool.ap_all <- pool.ap_all @ extras;
           let a = List.hd extras in
-          a.a_last_used <- Engine.now (engine rt);
+          a.a_last_used <- Engine.now e;
           a))
 
 let checkin rt pb a =
   let pool = pb.pb_pool in
-  let woken = ref None in
-  Spinlock.with_lock pool.ap_lock ~hold:(lock_hold rt) (fun () ->
-      match grant_waiter pool a with
-      | Some th -> woken := Some th
-      | None -> pool.ap_queue <- a :: pool.ap_queue);
+  let sh = pool.ap_shards.(a.a_shard) in
+  let e = engine rt in
+  Spinlock.acquire sh.ash_lock;
+  (* Grant-or-push at acquire time (see checkout): during the hold, a
+     scanner on another processor sees the returned A-stack behind this
+     held lock and takes the contended-fallback path rather than
+     mis-reading the shard as empty. *)
+  let woken =
+    match grant_waiter pool a with
+    | Some th -> Some th
+    | None ->
+        sh.ash_free <- a :: sh.ash_free;
+        None
+  in
+  Fun.protect
+    ~finally:(fun () -> Spinlock.release sh.ash_lock)
+    (fun () -> Engine.delay ~category:Lrpc_sim.Category.Lock e (lock_hold rt));
   (* The wake itself happens outside the lock: the waiter resumes with the
      grant in hand and never touches the spinlock. *)
-  match !woken with
-  | Some th -> Engine.wake (engine rt) th
+  match woken with
+  | Some th -> Engine.wake e th
   | None -> ()
 
 let waiting pool =

@@ -5,11 +5,17 @@
     descriptor, as many A-stacks as simultaneous calls permitted, mapped
     read-write into exactly the client and server domains, each with a
     kernel-private linkage record co-located so the linkage is found from
-    the A-stack address. The client stub manages the set as a LIFO queue
-    guarded by its own lock (under 2% of call time; no global locking on
-    the transfer path).
+    the A-stack address. The client stub manages the set as LIFO free
+    lists {e sharded per processor} (one shard per CPU, capped by the
+    A-stack count), each guarded by its own lock (under 2% of call time;
+    no global locking on the transfer path). A checkout prefers the
+    calling processor's shard and never spins: a shard whose lock is held
+    is skipped, and when every remaining free A-stack sits behind a held
+    lock the caller falls back to the FIFO direct-grant wait path
+    (counted in ["lrpc.astack_shard_contended"]), bounded by a timer that
+    re-grants from the free lists.
 
-    When the queue runs dry the caller either waits for an earlier call
+    When the shards run dry the caller either waits for an earlier call
     to finish or allocates extra A-stacks; extras live outside the
     primary contiguous region and take slightly longer to validate. *)
 
@@ -33,26 +39,35 @@ val make_pool :
   size:int ->
   count:int ->
   Rt.astack_pool
-(** An A-stack set with its own lock and wait queue — owned by one
-    procedure, or shared among same-sized procedures under A-stack
-    sharing (§3.1). *)
+(** An A-stack set with per-processor locked shards and a shared FIFO
+    wait queue — owned by one procedure, or shared among same-sized
+    procedures under A-stack sharing (§3.1). A-stacks are dealt to
+    shards round-robin at creation. *)
 
 val checkout : Rt.runtime -> Rt.proc_binding -> client:Lrpc_kernel.Pdomain.t ->
   server:Lrpc_kernel.Pdomain.t -> Rt.astack
-(** Pop an A-stack off the procedure's queue under its lock, applying the
-    configured exhaustion policy on an empty queue (counted in
+(** Pop an A-stack off a shard's free list under that shard's lock,
+    starting from the calling processor's preferred shard and skipping
+    (never spinning on) shards whose lock is held. When the only free
+    A-stacks are behind held locks, fall back to the FIFO direct-grant
+    wait (counted in ["lrpc.astack_shard_contended"]); on genuine
+    exhaustion apply the configured policy (counted in
     ["lrpc.astack_pool_exhausted"]): enqueue as a FIFO waiter and block
     until a check-in grants an A-stack directly — the caller resumes with
-    it in hand, without re-taking the pool spinlock — or allocate a
+    it in hand, without re-taking any shard spinlock — or allocate a
     non-primary batch. In-thread: charges one lock hold. *)
 
 val checkin : Rt.runtime -> Rt.proc_binding -> Rt.astack -> unit
 (** Hand the A-stack to the longest-waiting blocked caller (FIFO, granted
     before the wake so no lock is needed on the waiter's side), or push
-    it back on the free list (LIFO). In-thread: charges one lock hold. *)
+    it back on its home shard's free list (LIFO). In-thread: charges one
+    lock hold. *)
 
 val waiting : Rt.astack_pool -> int
 (** Callers currently blocked on pool exhaustion. *)
+
+val free_count : Rt.astack_pool -> int
+(** A-stacks currently free, summed across shards. Engine-level safe. *)
 
 val fail_waiters : Rt.runtime -> Rt.astack_pool -> exn -> unit
 (** Unlink every queued waiter and deliver [exn] into it instead of a

@@ -17,7 +17,7 @@ let transfer_to rt ~target =
   if Kernel.domain_caching_enabled rt.kernel then
     match Kernel.find_idle_processor_in_context rt.kernel target with
     | Some cpu ->
-        Kernel.note_context_hit rt.kernel target;
+        Kernel.note_context_hit ~cpu rt.kernel target;
         Engine.exchange_processors e ~target:cpu;
         (* The context is already loaded: retagging is free. *)
         Engine.switch_self_context e ~domain:target.Pdomain.id

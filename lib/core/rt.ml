@@ -153,6 +153,10 @@ and astack = {
   a_region : Vm.region;
   a_linkage : linkage;
   a_primary : bool;
+  mutable a_shard : int;
+      (** index of the pool shard whose free list this A-stack returns
+          to; assigned round-robin at pool creation (extras inherit the
+          shard of the checkout that allocated them) *)
   mutable a_estack : estack option;
   mutable a_last_used : Time.t;
 }
@@ -184,14 +188,25 @@ and export = {
   mutable ex_revoked : bool;
 }
 
+and astack_shard = {
+  ash_lock : Spinlock.t;
+      (** this shard's own lock — never spun on by checkouts (a checkout
+          finding it held falls back to the FIFO direct-grant path), so
+          the uncontended fast path is the only acquirer *)
+  mutable ash_free : astack list;  (** LIFO free list *)
+}
+
 and astack_pool = {
   ap_bytes : int;  (** A-stack size; the largest procedure in the group *)
-  ap_lock : Spinlock.t;  (** this queue's own lock — no global locking *)
+  ap_shards : astack_shard array;
+      (** the free list, sharded per processor (capped by the A-stack
+          count; exactly one shard on a uniprocessor): a checkout prefers
+          the shard indexed by its current processor, so concurrent
+          callers of one size class stop serializing on a single lock *)
   ap_waiters : astack_waiter Queue.t;
-      (** callers blocked on pool exhaustion, FIFO; a check-in grants the
-          A-stack directly to the head waiter so the transfer never takes
-          the spinlock on the waiter's side *)
-  mutable ap_queue : astack list;  (** LIFO free list *)
+      (** callers blocked on pool exhaustion or shard contention, FIFO; a
+          check-in grants the A-stack directly to the head waiter so the
+          transfer never takes a spinlock on the waiter's side *)
   mutable ap_all : astack list;
 }
 
@@ -342,6 +357,10 @@ and runtime = {
   c_pool_exhausted : Metrics.counter;
       (** ["lrpc.astack_pool_exhausted"]: checkouts that found the free
           list empty (paper §5.2's wait-or-allocate moment) *)
+  c_shard_contended : Metrics.counter;
+      (** ["lrpc.astack_shard_contended"]: checkouts that found every
+          reachable shard lock held and fell back to the FIFO
+          direct-grant path instead of spinning *)
   c_calls_failed : Metrics.counter;
       (** ["lrpc.calls_failed"]: calls that landed with an error *)
   mutable faults : faults option;
@@ -396,6 +415,9 @@ let create ?(config = default_config) kernel =
     c_pool_exhausted =
       Metrics.counter (Engine.metrics (Kernel.engine kernel))
         "lrpc.astack_pool_exhausted";
+    c_shard_contended =
+      Metrics.counter (Engine.metrics (Kernel.engine kernel))
+        "lrpc.astack_shard_contended";
     c_calls_failed =
       Metrics.counter (Engine.metrics (Kernel.engine kernel))
         "lrpc.calls_failed";

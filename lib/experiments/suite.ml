@@ -9,10 +9,25 @@
 
 let paper = [ "t1"; "f1"; "t2"; "t3"; "t4"; "t5"; "f2" ]
 let ablations = [ "a1"; "a2"; "a3"; "a4"; "a5"; "a6" ]
-let supplementary = [ "lat" ]
+let supplementary = [ "lat"; "f2s" ]
 let names = paper @ ablations @ supplementary
 
 let mem name = List.mem name names
+
+(* Its own ladder-dependent horizon: 32 simulated CPUs at the full
+   500 ms would dominate the suite's wall-clock. *)
+let fig2_scale_result ~quick =
+  Fig2_scale.run
+    ~max_cpus:(if quick then 8 else 32)
+    ~horizon:(Lrpc_sim.Time.ms (if quick then 100 else 250))
+    ()
+
+let json_names = [ "f2s" ]
+
+let json ?seed:_ ?(quick = false) name =
+  match name with
+  | "f2s" -> Fig2_scale.to_json (fig2_scale_result ~quick)
+  | other -> invalid_arg ("Suite.json: no JSON rendering for " ^ other)
 
 let run ?(seed = 1989L) ?(quick = false) name =
   let ops = if quick then 100_000 else 1_000_000 in
@@ -33,4 +48,5 @@ let run ?(seed = 1989L) ?(quick = false) name =
   | "a5" -> Ablations.render_a5 (Ablations.run_a5 ())
   | "a6" -> Ablations.render_a6 (Ablations.run_a6 ())
   | "lat" -> Latency.render (Latency.run ~horizon ())
+  | "f2s" -> Fig2_scale.render (fig2_scale_result ~quick)
   | other -> invalid_arg ("Suite.run: unknown artifact " ^ other)

@@ -8,13 +8,23 @@ val ablations : string list
 (** ["a1"] … ["a6"] — the DESIGN.md ablations. *)
 
 val supplementary : string list
-(** ["lat"] — supplementary measurements. *)
+(** ["lat"; "f2s"] — supplementary measurements (latency distribution
+    and the beyond-Figure-2 multiprocessor scaling study). *)
 
 val names : string list
 (** [paper @ ablations @ supplementary]. *)
 
 val mem : string -> bool
 (** Whether a name is a known artifact. *)
+
+val json_names : string list
+(** Artifacts that also have a machine-checkable JSON rendering
+    (currently ["f2s"]). *)
+
+val json : ?seed:int64 -> ?quick:bool -> string -> string
+(** The JSON rendering of an artifact in {!json_names} — same
+    simulation as {!run}, different serialization. Raises
+    [Invalid_argument] for artifacts without one. *)
 
 val run : ?seed:int64 -> ?quick:bool -> string -> string
 (** Render one artifact. A pure function of [(seed, quick, name)] —

@@ -259,7 +259,7 @@ let run cfg =
              let p = pb.Rt.pb_pool in
              Printf.eprintf "POOL b%d %s: free=%d all=%d waiters=%d\n%!"
                b.Rt.bid pn
-               (List.length p.Rt.ap_queue)
+               (Lrpc_core.Astack.free_count p)
                (List.length p.Rt.ap_all)
                (Queue.fold
                   (fun acc c -> if c.Rt.aw_active then acc + 1 else acc)
@@ -280,7 +280,7 @@ let run cfg =
   let pool_balanced =
     List.for_all
       (fun p ->
-        List.length p.Rt.ap_queue = List.length p.Rt.ap_all
+        Lrpc_core.Astack.free_count p = List.length p.Rt.ap_all
         && Queue.fold (fun acc c -> acc && not c.Rt.aw_active) true p.Rt.ap_waiters)
       pools
   in

@@ -4,9 +4,18 @@ module Category = Lrpc_sim.Category
 module Event = Lrpc_obs.Event
 module Metrics = Lrpc_obs.Metrics
 
+module Time = Lrpc_sim.Time
+
 exception Domain_terminated of string
 
 type hook_handle = int
+
+(* Decaying per-domain context-miss average: [ms_ewma] is the value as of
+   [ms_at]; reads decay it forward to the current instant. A miss adds 1
+   and the whole thing halves every [ewma_half_life_us] of quiet, so the
+   prod policy chases domains that are missing *now*, not domains that
+   were busy long ago (raw counters never forget). *)
+type miss_stat = { mutable ms_ewma : float; mutable ms_at : Time.t }
 
 type hook = {
   hk_id : hook_handle;
@@ -25,6 +34,14 @@ type t = {
   mutable caching : bool;
   misses : (Pdomain.id, Metrics.counter) Hashtbl.t;
   hits : (Pdomain.id, Metrics.counter) Hashtbl.t;
+  ewmas : (Pdomain.id, miss_stat) Hashtbl.t;
+  ewma_gauges : (Pdomain.id, Metrics.gauge) Hashtbl.t;
+  prodded : (int, Time.t * Pdomain.id) Hashtbl.t;
+      (* cpu index -> (when, domain) of the last prod retag, pending its
+         first exchange hit; feeds the prod-to-hit latency histogram *)
+  c_prods : Metrics.counter;
+  c_idle_retags : Metrics.counter;
+  h_prod_hit : Metrics.histogram;
   mutable hooks : hook list; (* reversed *)
   mutable next_hook : int;
   linkages : (int, int) Hashtbl.t; (* tid -> outstanding linkage records *)
@@ -56,6 +73,13 @@ let boot engine =
     caching = false;
     misses = Hashtbl.create 16;
     hits = Hashtbl.create 16;
+    ewmas = Hashtbl.create 16;
+    ewma_gauges = Hashtbl.create 16;
+    prodded = Hashtbl.create 8;
+    c_prods = Metrics.counter (Engine.metrics engine) "kernel.context_prods";
+    c_idle_retags =
+      Metrics.counter (Engine.metrics engine) "kernel.idle_retags";
+    h_prod_hit = Metrics.histogram (Engine.metrics engine) "kernel.prod_to_hit_us";
     hooks = [];
     next_hook = 1;
     linkages = Hashtbl.create 64;
@@ -211,44 +235,158 @@ let hit_counter t d = domain_counter t t.hits "kernel.context_hits" d
 let context_misses t d = Metrics.Counter.value (miss_counter t d)
 let context_hits t d = Metrics.Counter.value (hit_counter t d)
 
-let note_context_hit t d = Metrics.Counter.incr (hit_counter t d)
+let note_context_hit ?cpu t d =
+  Metrics.Counter.incr (hit_counter t d);
+  (* A hit on a processor that was prod-retagged closes the loop: record
+     how long the prefetched context sat idle before paying off. *)
+  match cpu with
+  | None -> ()
+  | Some c -> (
+      match Hashtbl.find_opt t.prodded c.Engine.idx with
+      | Some (t0, id) ->
+          Hashtbl.remove t.prodded c.Engine.idx;
+          if id = d.Pdomain.id then
+            Metrics.Histo.observe_us t.h_prod_hit
+              (Time.sub (Engine.now t.engine) t0)
+      | None -> ())
 
-(* Prod policy: when a miss is recorded, claim one idle processor whose
-   loaded context belongs to no domain that out-misses this one, and
-   re-tag it to the missed domain. This stands in for the paper's idle
-   threads noticing the counters and spinning in busy domains. *)
+(* --- the prod policy ----------------------------------------------------
+
+   When a call misses (no idle processor holding the target context), the
+   kernel claims one idle processor and re-tags it to the missed domain,
+   so the *next* call finds its context prefetched. Stands in for the
+   paper's idle threads noticing per-domain counters and spinning in busy
+   domains (§3.4). Candidate ranking uses the decaying miss EWMA rather
+   than raw counters: a domain that was hot an hour ago no longer shields
+   its stale context from eviction.
+
+   The engine additionally consults the policy whenever a processor goes
+   fully idle ([on_cpu_idle], installed at boot): the idle processor may
+   preload the hottest domain's context before any miss occurs — but only
+   past a clear hysteresis margin, so the steady-state exchange ping-pong
+   (both contexts equally warm, every call a hit) is never perturbed. *)
+
+let ewma_half_life_us = 1000.0 (* a miss stops counting for much ~ms later *)
+let prod_margin = 0.5 (* required EWMA gap before any retag *)
+let idle_retag_factor = 2.0 (* idle-consult hysteresis: must out-miss 2x *)
+
+let decayed ~now st =
+  if st.ms_ewma = 0.0 then 0.0
+  else
+    let dt = Time.to_us (Time.sub now st.ms_at) in
+    if dt <= 0.0 then st.ms_ewma
+    else st.ms_ewma *. (0.5 ** (dt /. ewma_half_life_us))
+
+let miss_stat t d =
+  match Hashtbl.find_opt t.ewmas d.Pdomain.id with
+  | Some st -> st
+  | None ->
+      let st = { ms_ewma = 0.0; ms_at = Time.zero } in
+      Hashtbl.replace t.ewmas d.Pdomain.id st;
+      st
+
+let ewma_gauge t d =
+  match Hashtbl.find_opt t.ewma_gauges d.Pdomain.id with
+  | Some g -> g
+  | None ->
+      let g =
+        Metrics.gauge (Engine.metrics t.engine)
+          ~labels:[ ("domain", string_of_int d.Pdomain.id) ]
+          "kernel.miss_ewma"
+      in
+      Hashtbl.replace t.ewma_gauges d.Pdomain.id g;
+      g
+
+let ewma_of_id t ~now id =
+  match Hashtbl.find_opt t.ewmas id with
+  | Some st -> decayed ~now st
+  | None -> 0.0
+
+let context_miss_ewma t d = ewma_of_id t ~now:(Engine.now t.engine) d.Pdomain.id
+
+let prods t = Metrics.Counter.value t.c_prods
+let idle_retags t = Metrics.Counter.value t.c_idle_retags
+
+(* Re-tag the idle processor [c] to [d]: the idle processor loads the
+   domain's context off the critical path; nobody is charged. *)
+let prod t ~now c d =
+  Lrpc_sim.Tlb.invalidate c.Engine.tlb;
+  c.Engine.context <- Some d.Pdomain.id;
+  Metrics.Counter.incr t.c_prods;
+  Hashtbl.replace t.prodded c.Engine.idx (now, d.Pdomain.id)
+
 let note_context_miss t d =
-  let r = miss_counter t d in
-  Metrics.Counter.incr r;
+  Metrics.Counter.incr (miss_counter t d);
+  let now = Engine.now t.engine in
+  let st = miss_stat t d in
+  st.ms_ewma <- decayed ~now st +. 1.0;
+  st.ms_at <- now;
+  Metrics.Gauge.set (ewma_gauge t d) st.ms_ewma;
   if t.caching then begin
-    let my_misses = Metrics.Counter.value r in
+    let mine = st.ms_ewma in
     let cpus = Engine.cpus t.engine in
-    let candidate = ref None in
+    let candidate = ref None and candidate_ewma = ref infinity in
     Array.iter
       (fun c ->
         if c.Engine.running = None then begin
-          let ctx_misses =
+          let ctx =
             match c.Engine.context with
-            | Some id when id = d.Pdomain.id -> max_int (* already ours *)
-            | Some id -> (
-                match Hashtbl.find_opt t.misses id with
-                | Some m -> Metrics.Counter.value m
-                | None -> 0)
-            | None -> -1
+            | Some id when id = d.Pdomain.id -> infinity (* already ours *)
+            | Some id -> ewma_of_id t ~now id
+            | None -> neg_infinity (* untagged: always the best victim *)
           in
-          match !candidate with
-          | Some (_, best) when best <= ctx_misses -> ()
-          | _ -> if ctx_misses < my_misses then candidate := Some (c, ctx_misses)
+          if ctx +. prod_margin < mine && ctx < !candidate_ewma then begin
+            candidate := Some c;
+            candidate_ewma := ctx
+          end
         end)
       cpus;
-    match !candidate with
-    | Some (c, _) ->
-        (* The idle processor loads the missed domain's context off the
-           critical path; nobody is charged. *)
-        Lrpc_sim.Tlb.invalidate c.Engine.tlb;
-        c.Engine.context <- Some d.Pdomain.id
-    | None -> ()
+    match !candidate with Some c -> prod t ~now c d | None -> ()
   end
+
+(* Engine idle consult (installed on the engine at [boot]): a processor
+   with nothing to run — own queue empty, nothing stealable — preloads
+   the context of the domain whose miss EWMA is hottest, provided it
+   clearly out-misses whatever the processor already holds. *)
+let on_cpu_idle t (c : Engine.cpu) =
+  if t.caching && c.Engine.running = None then begin
+    let now = Engine.now t.engine in
+    let best_id = ref (-1) and best_e = ref 0.0 in
+    Hashtbl.iter
+      (fun id st ->
+        let e = decayed ~now st in
+        if e > !best_e || (e = !best_e && !best_id >= 0 && id < !best_id) then begin
+          best_id := id;
+          best_e := e
+        end)
+      t.ewmas;
+    if !best_id >= 0 then begin
+      let already =
+        match c.Engine.context with Some id -> id = !best_id | None -> false
+      in
+      if not already then begin
+        let cur =
+          match c.Engine.context with
+          | Some id -> ewma_of_id t ~now id
+          | None -> 0.0
+        in
+        if !best_e > (idle_retag_factor *. cur) +. prod_margin then
+          match find_domain t !best_id with
+          | Some d when Pdomain.active d ->
+              Metrics.Counter.incr t.c_idle_retags;
+              prod t ~now c d
+          | Some _ | None -> ()
+      end
+    end
+  end
+
+(* Rebind [boot] to install the engine's idle consult (the hook closes
+   over the policy functions above, so it cannot be set where [boot] is
+   first defined). *)
+let boot engine =
+  let t = boot engine in
+  Engine.set_idle_hook engine (fun c -> on_cpu_idle t c);
+  t
 
 (* --- termination ---------------------------------------------------------- *)
 

@@ -89,20 +89,41 @@ val find_idle_processor_in_context :
 
 val note_context_miss : t -> Pdomain.t -> unit
 (** Record that a call wanted an idle processor in this domain's context
-    and found none. The kernel uses these counters to prod idle
-    processors to spin in the domains showing the most LRPC activity:
-    the idle processor with the stalest context is re-tagged to the
-    most-missed domain. *)
+    and found none. Feeds both the raw per-domain counter and a decaying
+    miss EWMA (half-life ~1 ms of simulated quiet); when domain caching
+    is on, the kernel prods one idle processor — the one whose loaded
+    context's EWMA is lowest and at least 0.5 below this domain's — and
+    re-tags it to the missed domain (counted in ["kernel.context_prods"]).
+    The engine additionally consults the same policy whenever a processor
+    runs out of work entirely (see {!Lrpc_sim.Engine.set_idle_hook},
+    installed at {!boot}): the idle processor preloads the hottest
+    domain's context, but only when it out-misses the held context by a
+    2x hysteresis margin, so a warm steady state is never perturbed
+    (those retags are counted in ["kernel.idle_retags"]). *)
 
 val context_misses : t -> Pdomain.t -> int
 (** Reads ["kernel.context_misses{domain=<id>}"] from the engine's
     metrics registry — the counters' single home. *)
 
-val note_context_hit : t -> Pdomain.t -> unit
+val context_miss_ewma : t -> Pdomain.t -> float
+(** The domain's decaying miss EWMA, decayed to the current simulated
+    instant (also exported as the ["kernel.miss_ewma{domain=<id>}"]
+    gauge, which holds the value as of the last miss). *)
+
+val note_context_hit : ?cpu:Lrpc_sim.Engine.cpu -> t -> Pdomain.t -> unit
 (** Record that a call found an idle processor already holding this
-    domain's context (a successful processor exchange). *)
+    domain's context (a successful processor exchange). When [cpu] — the
+    processor found — is given and its context got there via a prod, the
+    prod-to-hit latency is recorded in the ["kernel.prod_to_hit_us"]
+    histogram. *)
 
 val context_hits : t -> Pdomain.t -> int
+
+val prods : t -> int
+(** Miss-driven prod retags performed (["kernel.context_prods"]). *)
+
+val idle_retags : t -> int
+(** Idle-consult retags performed (["kernel.idle_retags"]). *)
 
 (** {1 Termination (paper §5.3)} *)
 

@@ -21,6 +21,10 @@ type thread = {
   mutable pending_exn : exn option;
   mutable spin_start : Time.t;
   mutable ever_placed : bool;
+  mutable rq_seq : int;
+      (* enqueue stamp of this thread's live run-queue entry, -1 when it
+         has none; a queue cell whose stamp disagrees is a ghost left by
+         a steal and is skipped *)
   run_ev : event; (* preallocated [Run self]: scheduling never allocates *)
 }
 
@@ -36,13 +40,18 @@ type cpu = {
   mutable context : int option;
   tlb : Tlb.t;
   mutable busy : Time.t;
+  rq : (int * thread) Queue.t;
+  mutable steals : int;
+  mutable steals_tagged : int;
+  mutable lock_spin : Time.t;
 }
 
 type t = {
   cm : Cost_model.t;
   cpus_ : cpu array;
   q : event Heap.t;
-  ready : thread Queue.t;
+  mutable ready_seq : int; (* global enqueue stamp: cross-queue FIFO age *)
+  mutable rr_next : int; (* round-robin target for unpinned enqueues *)
   mutable now_ : Time.t;
   mutable next_tid : int;
   mutable current : thread option;
@@ -58,6 +67,13 @@ type t = {
   mutable fn_block : thread -> unit;
   mutable fn_yield : thread -> unit;
   mutable fn_spin : thread -> unit;
+  mutable on_idle : cpu -> unit;
+      (* consulted when a processor finds no runnable thread anywhere
+         (own queue and steal scan both empty); the kernel hangs its
+         idle-processor prod policy here. Runs at engine level: it may
+         retag contexts but must not perform effects. *)
+  c_steals : Metrics.counter;
+  c_steals_tagged : Metrics.counter;
 }
 
 type _ Effect.t +=
@@ -85,6 +101,10 @@ let create ?(processors = 1) cm =
           context = None;
           tlb = Tlb.create ~capacity:cm.Cost_model.tlb_capacity ~tagged:cm.Cost_model.tlb_tagged;
           busy = Time.zero;
+          rq = Queue.create ();
+          steals = 0;
+          steals_tagged = 0;
+          lock_spin = Time.zero;
         })
   in
   let metrics_ = Metrics.create () in
@@ -103,7 +123,8 @@ let create ?(processors = 1) cm =
       cm;
       cpus_;
       q = Heap.create ();
-      ready = Queue.create ();
+      ready_seq = 0;
+      rr_next = 0;
       now_ = Time.zero;
       next_tid = 0;
       current = None;
@@ -117,6 +138,11 @@ let create ?(processors = 1) cm =
       fn_block = ignore;
       fn_yield = ignore;
       fn_spin = ignore;
+      on_idle = ignore;
+      c_steals =
+        Metrics.counter metrics_ ~labels:[ ("kind", "retag") ] "sim.steals";
+      c_steals_tagged =
+        Metrics.counter metrics_ ~labels:[ ("kind", "tagged") ] "sim.steals";
     }
   in
   t.fn_spin <-
@@ -246,22 +272,109 @@ let pick_cpu_idx t th =
     !found
   end
 
-let rec try_dispatch t =
-  if not (Queue.is_empty t.ready) then begin
-    let th = Queue.peek t.ready in
-    match th.state with
-    | Embryo | Ready ->
-        let i = pick_cpu_idx t th in
-        if i >= 0 then begin
-          ignore (Queue.pop t.ready);
-          place t th t.cpus_.(i);
-          try_dispatch t
-        end
-    | Running | Blocked | Spinning | Done | Failed ->
-        (* Stale queue entry (the thread was killed or woken elsewhere). *)
-        ignore (Queue.pop t.ready);
-        try_dispatch t
-  end
+(* --- per-CPU run queues and work stealing -------------------------------
+
+   Each processor owns a FIFO run queue; a runnable thread is enqueued on
+   its home processor's queue (falling back to the processor it last ran
+   on, then round-robin for never-placed unpinned threads). Every enqueue
+   carries a globally increasing stamp so cross-queue age is comparable.
+   A free processor drains its own queue first; only when that is empty —
+   i.e. its tagged domain (and everyone else homed here) has no runnable
+   thread — does it steal, preferring the oldest queued thread whose
+   domain matches its loaded context (no retag, preserving the §3.4
+   domain-caching semantics) and otherwise taking the oldest thread
+   anywhere. Stolen threads are invalidated in place via the stamp; the
+   ghost queue cell is skipped when reached. *)
+
+let[@inline] entry_runnable th =
+  match th.state with Embryo | Ready -> true | _ -> false
+
+let ready_push t th =
+  let n = Array.length t.cpus_ in
+  let i =
+    if th.home >= 0 && th.home < n then th.home
+    else if th.last_cpu >= 0 && th.last_cpu < n then th.last_cpu
+    else begin
+      let r = t.rr_next in
+      t.rr_next <- (if r + 1 >= n then 0 else r + 1);
+      r
+    end
+  in
+  let seq = t.ready_seq in
+  t.ready_seq <- seq + 1;
+  th.rq_seq <- seq;
+  Queue.push (seq, th) t.cpus_.(i).rq
+
+(* Oldest live entry of a processor's own queue, discarding ghosts and
+   stale entries as they surface at the head. *)
+let rec pop_own q =
+  match Queue.take_opt q with
+  | None -> None
+  | Some (seq, th) ->
+      if th.rq_seq = seq && entry_runnable th then begin
+        th.rq_seq <- -1;
+        Some th
+      end
+      else pop_own q
+
+(* Steal for the free processor [c]: scan every other queue for the
+   oldest live entry, tracking separately the oldest whose domain matches
+   [c]'s loaded context. Preference order: tagged-domain match first
+   (placement then charges no context switch), else oldest overall. The
+   chosen thread is invalidated in place (its queue keeps a ghost cell). *)
+let steal t c =
+  let n = Array.length t.cpus_ in
+  let best = ref None and best_seq = ref max_int in
+  let best_tag = ref None and best_tag_seq = ref max_int in
+  let tag = match c.context with Some d -> d | None -> -1 in
+  for i = 0 to n - 1 do
+    (* Queues whose owner is itself free are off-limits: that processor
+       drains its own queue in the same dispatch pass, and stealing from
+       it would defeat the home-processor preference. *)
+    if i <> c.idx && not (cpu_free t.cpus_.(i)) then
+      Queue.iter
+        (fun (seq, th) ->
+          if th.rq_seq = seq && entry_runnable th then begin
+            if seq < !best_seq then begin
+              best_seq := seq;
+              best := Some th
+            end;
+            if th.domain = tag && seq < !best_tag_seq then begin
+              best_tag_seq := seq;
+              best_tag := Some th
+            end
+          end)
+        t.cpus_.(i).rq
+  done;
+  match !best_tag with
+  | Some th ->
+      th.rq_seq <- -1;
+      c.steals_tagged <- c.steals_tagged + 1;
+      Metrics.Counter.incr t.c_steals_tagged;
+      Some th
+  | None -> (
+      match !best with
+      | Some th ->
+          th.rq_seq <- -1;
+          c.steals <- c.steals + 1;
+          Metrics.Counter.incr t.c_steals;
+          Some th
+      | None -> None)
+
+let dispatch_cpu t c =
+  match pop_own c.rq with
+  | Some th -> place t th c
+  | None -> (
+      match steal t c with
+      | Some th -> place t th c
+      | None -> t.on_idle c)
+
+let try_dispatch t =
+  let cpus = t.cpus_ in
+  for i = 0 to Array.length cpus - 1 do
+    let c = cpus.(i) in
+    if cpu_free c then dispatch_cpu t c
+  done
 
 let spawn ?(name = "thread") ?(home = -1) t ~domain body =
   let rec th =
@@ -278,12 +391,13 @@ let spawn ?(name = "thread") ?(home = -1) t ~domain body =
       pending_exn = None;
       spin_start = Time.zero;
       ever_placed = false;
+      rq_seq = -1;
       run_ev = Run th;
     }
   in
   t.next_tid <- t.next_tid + 1;
   t.threads <- th :: t.threads;
-  Queue.push th t.ready;
+  ready_push t th;
   try_dispatch t;
   th
 
@@ -456,7 +570,7 @@ let yield_to t ~to_ =
       me.state <- Ready;
       let c = t.cpus_.(me.cpu) in
       free_cpu_of t me;
-      Queue.push me t.ready;
+      ready_push t me;
       place t to_ c)
 
 let touch_pages t ~pages =
@@ -511,7 +625,7 @@ let wake t th =
       if i >= 0 then place t th t.cpus_.(i)
       else begin
         th.state <- Ready;
-        Queue.push th t.ready
+        ready_push t th
       end
   | Spinning ->
       if tracing t then
@@ -520,6 +634,7 @@ let wake t th =
       let c = t.cpus_.(th.cpu) in
       let spun = Time.sub t.now_ th.spin_start in
       c.busy <- Time.add c.busy spun;
+      c.lock_spin <- Time.add c.lock_spin spun;
       charge t Category.Lock spun;
       if spun <> Time.zero && tracing t then
         emit_at t ~tid:th.tid ~cpu:th.cpu
@@ -535,9 +650,14 @@ let ready_enqueue t th =
   match th.state with
   | Blocked ->
       th.state <- Ready;
-      Queue.push th t.ready;
+      ready_push t th;
       try_dispatch t
   | Embryo | Ready | Running | Spinning | Done | Failed -> ()
+
+let set_idle_hook t f = t.on_idle <- f
+
+let total_steals t =
+  Array.fold_left (fun acc c -> acc + c.steals + c.steals_tagged) 0 t.cpus_
 
 let interrupt t th e =
   match th.state with
@@ -575,7 +695,7 @@ let bind_fns t =
     (fun th ->
       th.state <- Ready;
       free_cpu_of t th;
-      Queue.push th t.ready;
+      ready_push t th;
       try_dispatch t)
 
 let create ?processors cm =

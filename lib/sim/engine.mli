@@ -31,6 +31,15 @@ type cpu = {
   mutable context : int option;  (** domain whose VM context is loaded *)
   tlb : Tlb.t;
   mutable busy : Time.t;  (** cumulative busy time, for utilization *)
+  rq : (int * thread) Queue.t;
+      (** this processor's own run queue: (enqueue stamp, thread) in FIFO
+          order; stamps are globally increasing so cross-queue age is
+          comparable, and a cell whose stamp disagrees with the thread is
+          a ghost left behind by a steal *)
+  mutable steals : int;  (** threads stolen from other queues, retagging *)
+  mutable steals_tagged : int;
+      (** steals of threads already in this processor's loaded context *)
+  mutable lock_spin : Time.t;  (** cumulative spin-wait time on this CPU *)
 }
 
 exception Thread_killed
@@ -154,6 +163,18 @@ val place_on : t -> thread -> cpu -> unit
 val ready_enqueue : t -> thread -> unit
 (** Make a blocked thread runnable via the general ready queue only,
     without immediate dispatch (models the slow scheduling path). *)
+
+val set_idle_hook : t -> (cpu -> unit) -> unit
+(** Install the callback run when a processor looks for work and finds
+    none — its own run queue is empty and no other queue holds a
+    runnable thread (so there is nothing to steal). The kernel hangs its
+    idle-processor prod policy (§3.4 domain caching) here: the hook may
+    retag the processor's context but runs at engine level and must not
+    perform effects. Default: ignore. *)
+
+val total_steals : t -> int
+(** Threads taken from another processor's run queue since creation
+    (tagged-context steals included); per-CPU counts live on {!cpu}. *)
 
 val interrupt : t -> thread -> exn -> unit
 (** Arrange for [exn] to be raised inside the thread at its next

@@ -1,4 +1,5 @@
 module Engine = Lrpc_sim.Engine
+module Metrics = Lrpc_obs.Metrics
 module Time = Lrpc_sim.Time
 module Cost_model = Lrpc_sim.Cost_model
 module Kernel = Lrpc_kernel.Kernel
@@ -110,8 +111,39 @@ let lrpc_latency ?(warmup = 5) ?(calls = 200) w ~proc ~args =
   run_all w.lw_engine;
   !out
 
-let lrpc_throughput ?(cost_model = Cost_model.cvax_firefly)
-    ?(domain_caching = false) ~processors ~clients ~horizon () =
+type scale_stats = {
+  ss_cps : float;
+  ss_steals : int array;
+  ss_steals_tagged : int array;
+  ss_spin_us : float array;
+  ss_lock_contended : int;
+  ss_shard_contended : int;
+}
+
+(* Post-run reads only: collecting the stats perturbs nothing, so the
+   plain throughput entry points below share the same simulations. *)
+let scale_stats_of engine ~count ~horizon =
+  let cpus = Engine.cpus engine in
+  let snap = Metrics.snapshot (Engine.metrics engine) in
+  let summed prefix =
+    List.fold_left
+      (fun acc (k, v) -> if String.starts_with ~prefix k then acc + v else acc)
+      0 snap.Metrics.counters
+  in
+  {
+    ss_cps = float_of_int count /. Time.to_s horizon;
+    ss_steals = Array.map (fun c -> c.Engine.steals) cpus;
+    ss_steals_tagged = Array.map (fun c -> c.Engine.steals_tagged) cpus;
+    ss_spin_us = Array.map (fun c -> Time.to_us c.Engine.lock_spin) cpus;
+    ss_lock_contended = summed "sim.lock_contended";
+    ss_shard_contended = summed "lrpc.astack_shard_contended";
+  }
+
+let lrpc_scale ?(cost_model = Cost_model.cvax_firefly)
+    ?(domain_caching = false) ?home ~processors ~clients ~horizon () =
+  let home_of =
+    match home with Some f -> f | None -> fun i -> i mod processors
+  in
   let engine = Engine.create ~processors cost_model in
   let kernel = Kernel.boot engine in
   Kernel.set_domain_caching kernel domain_caching;
@@ -124,7 +156,7 @@ let lrpc_throughput ?(cost_model = Cost_model.cvax_firefly)
       Kernel.create_domain kernel ~name:(Printf.sprintf "client%d" i)
     in
     ignore
-      (Kernel.spawn kernel client ~home:(i mod processors)
+      (Kernel.spawn kernel client ~home:(home_of i)
          ~name:(Printf.sprintf "caller%d" i) (fun () ->
            let b = Api.import rt ~domain:client ~interface:"Bench" in
            while true do
@@ -139,7 +171,12 @@ let lrpc_throughput ?(cost_model = Cost_model.cvax_firefly)
       failwith
         (Printf.sprintf "caller %s died: %s" (Engine.thread_name th)
            (Printexc.to_string exn)));
-  float_of_int !count /. Time.to_s horizon
+  scale_stats_of engine ~count:!count ~horizon
+
+let lrpc_throughput ?cost_model ?domain_caching ~processors ~clients ~horizon
+    () =
+  (lrpc_scale ?cost_model ?domain_caching ~processors ~clients ~horizon ())
+    .ss_cps
 
 let mpass_latency ?(warmup = 5) ?(calls = 200) profile ~proc ~args =
   let engine = Engine.create ~processors:1 profile.Profile.hw in
@@ -165,7 +202,7 @@ let mpass_latency ?(warmup = 5) ?(calls = 200) profile ~proc ~args =
   run_all engine;
   !out
 
-let mpass_throughput profile ~processors ~clients ~horizon =
+let mpass_scale profile ~processors ~clients ~horizon =
   let profile = { profile with Profile.receivers = max clients profile.Profile.receivers } in
   let engine = Engine.create ~processors profile.Profile.hw in
   let kernel = Kernel.boot engine in
@@ -195,4 +232,7 @@ let mpass_throughput profile ~processors ~clients ~horizon =
       failwith
         (Printf.sprintf "caller %s died: %s" (Engine.thread_name th)
            (Printexc.to_string exn)));
-  float_of_int !count /. Time.to_s horizon
+  scale_stats_of engine ~count:!count ~horizon
+
+let mpass_throughput profile ~processors ~clients ~horizon =
+  (mpass_scale profile ~processors ~clients ~horizon).ss_cps

@@ -57,6 +57,48 @@ val lrpc_throughput :
     domain each, pinned one per processor). Domain caching defaults to
     off, matching Figure 2's setup where every call context-switches. *)
 
+(** {1 Scaling statistics}
+
+    The same closed-loop throughput runs, also reporting the scheduler
+    and locking behaviour the scaling study (fig2_scale) breaks down:
+    per-processor steal counts and spin-wait time, contended spinlock
+    acquires, and contended A-stack shard checkouts. Collected after the
+    run from the engine's counters — the simulations are exactly the
+    [lrpc_throughput]/[mpass_throughput] ones. *)
+
+type scale_stats = {
+  ss_cps : float;  (** completed null calls per simulated second *)
+  ss_steals : int array;  (** per CPU: runnable threads stolen, retagging *)
+  ss_steals_tagged : int array;
+      (** per CPU: steals that matched the thief's loaded context *)
+  ss_spin_us : float array;  (** per CPU: spin-wait (lock busy-wait) us *)
+  ss_lock_contended : int;  (** contended spinlock acquires, all locks *)
+  ss_shard_contended : int;
+      (** A-stack checkouts that fell back to the direct-grant path
+          because every free A-stack sat behind a held shard lock *)
+}
+
+val lrpc_scale :
+  ?cost_model:Lrpc_sim.Cost_model.t ->
+  ?domain_caching:bool ->
+  ?home:(int -> int) ->
+  processors:int ->
+  clients:int ->
+  horizon:Lrpc_sim.Time.t ->
+  unit ->
+  scale_stats
+(** [home] maps caller index to the processor the caller is submitted on
+    (default [i mod processors], Figure 2's balanced pinning). The
+    scaling study uses [fun _ -> 0] to submit every caller on processor
+    0 and let the per-CPU run queues redistribute by stealing. *)
+
+val mpass_scale :
+  Lrpc_msgrpc.Profile.t ->
+  processors:int ->
+  clients:int ->
+  horizon:Lrpc_sim.Time.t ->
+  scale_stats
+
 (** {1 Message-passing baselines} *)
 
 val mpass_latency :

@@ -91,7 +91,7 @@ let ctr w name =
 let pool_balanced b proc =
   let pb = List.assoc proc b.Rt.b_procs in
   let pool = pb.Rt.pb_pool in
-  List.length pool.Rt.ap_queue = List.length pool.Rt.ap_all
+  Astack.free_count pool = List.length pool.Rt.ap_all
   && Astack.waiting pool = 0
 
 let check_quiescent w =

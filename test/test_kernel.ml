@@ -257,6 +257,118 @@ let test_note_miss_respects_hotter_domain () =
   Alcotest.(check (option int)) "cold out-misses hot" (Some cold.Pdomain.id)
     (Engine.cpus e).(0).Engine.context
 
+let test_miss_counting_and_ewma () =
+  let _, k = boot () in
+  let d = Kernel.create_domain k ~name:"d" in
+  Alcotest.(check int) "no misses" 0 (Kernel.context_misses k d);
+  Alcotest.(check (float 0.0)) "zero ewma" 0.0 (Kernel.context_miss_ewma k d);
+  for _ = 1 to 3 do
+    Kernel.note_context_miss k d
+  done;
+  Alcotest.(check int) "raw count" 3 (Kernel.context_misses k d);
+  (* with no simulated time between misses there is nothing to decay *)
+  Alcotest.(check (float 0.001)) "undecayed ewma" 3.0
+    (Kernel.context_miss_ewma k d)
+
+let test_miss_ewma_decays () =
+  let e, k = boot () in
+  let d = Kernel.create_domain k ~name:"d" in
+  for _ = 1 to 4 do
+    Kernel.note_context_miss k d
+  done;
+  (* advance simulated time by one half-life: the EWMA halves while the
+     raw counter stands still *)
+  ignore (Kernel.spawn k d (fun () -> Engine.delay e (Time.us 1000)));
+  Engine.run e;
+  Alcotest.(check int) "raw count unchanged" 4 (Kernel.context_misses k d);
+  Alcotest.(check (float 0.01)) "halved" 2.0 (Kernel.context_miss_ewma k d)
+
+let test_miss_prod_needs_margin () =
+  let e, k = boot ~processors:1 () in
+  Kernel.set_domain_caching k true;
+  let hot = Kernel.create_domain k ~name:"hot" in
+  let cold = Kernel.create_domain k ~name:"cold" in
+  Kernel.note_context_miss k hot;
+  Kernel.note_context_miss k hot;
+  Alcotest.(check (option int)) "hot claims the idle cpu"
+    (Some hot.Pdomain.id)
+    (Engine.cpus e).(0).Engine.context;
+  (* pulling even (EWMA 2 vs 2) is not enough: the eviction needs a 0.5
+     margin over the held context *)
+  Kernel.note_context_miss k cold;
+  Kernel.note_context_miss k cold;
+  Alcotest.(check (option int)) "tie does not evict" (Some hot.Pdomain.id)
+    (Engine.cpus e).(0).Engine.context;
+  Kernel.note_context_miss k cold;
+  Alcotest.(check (option int)) "a clear gap does" (Some cold.Pdomain.id)
+    (Engine.cpus e).(0).Engine.context;
+  Alcotest.(check bool) "prods counted" true (Kernel.prods k >= 2)
+
+let test_idle_consult_retags_hottest () =
+  let e, k = boot ~processors:1 () in
+  let hot = Kernel.create_domain k ~name:"hot" in
+  let cold = Kernel.create_domain k ~name:"cold" in
+  (* record the miss history with caching off so no miss-time prod fires;
+     only the engine's idle consult may retag below *)
+  for _ = 1 to 5 do
+    Kernel.note_context_miss k hot
+  done;
+  Kernel.note_context_miss k cold;
+  Kernel.set_domain_caching k true;
+  (* a thread of the cold domain runs and finishes: the processor goes
+     idle holding cold's context, and the idle consult preloads hot,
+     which out-misses it past the 2x hysteresis (5 > 2*1 + 0.5) *)
+  ignore (Kernel.spawn k cold (fun () -> ()));
+  Engine.run e;
+  Alcotest.(check (option int)) "retagged to hot" (Some hot.Pdomain.id)
+    (Engine.cpus e).(0).Engine.context;
+  Alcotest.(check int) "idle retag counted" 1 (Kernel.idle_retags k)
+
+let test_idle_consult_hysteresis_holds () =
+  let e, k = boot ~processors:1 () in
+  let hot = Kernel.create_domain k ~name:"hot" in
+  let cold = Kernel.create_domain k ~name:"cold" in
+  for _ = 1 to 4 do
+    Kernel.note_context_miss k hot
+  done;
+  Kernel.note_context_miss k cold;
+  Kernel.note_context_miss k cold;
+  Kernel.set_domain_caching k true;
+  (* 4 vs 2 is under the 2x + 0.5 bar: a warm context is not perturbed *)
+  ignore (Kernel.spawn k cold (fun () -> ()));
+  Engine.run e;
+  Alcotest.(check (option int)) "cold keeps the processor"
+    (Some cold.Pdomain.id)
+    (Engine.cpus e).(0).Engine.context;
+  Alcotest.(check int) "no idle retag" 0 (Kernel.idle_retags k)
+
+let test_exchange_hit_accounting () =
+  let e, k = boot ~processors:2 () in
+  Kernel.set_domain_caching k true;
+  let d = Kernel.create_domain k ~name:"d" in
+  Kernel.note_context_miss k d;
+  Alcotest.(check int) "one prod" 1 (Kernel.prods k);
+  let prodded =
+    Array.to_list (Engine.cpus e)
+    |> List.find_opt (fun c -> c.Engine.context = Some d.Pdomain.id)
+  in
+  let cpu = Option.get prodded in
+  Alcotest.(check int) "no hits yet" 0 (Kernel.context_hits k d);
+  Kernel.note_context_hit ~cpu k d;
+  Alcotest.(check int) "hit counted" 1 (Kernel.context_hits k d);
+  let snap = Lrpc_obs.Metrics.snapshot (Engine.metrics e) in
+  (match Lrpc_obs.Metrics.get_histogram snap "kernel.prod_to_hit_us" with
+  | Some h -> Alcotest.(check int) "prod-to-hit sample" 1 h.Lrpc_obs.Metrics.hs_count
+  | None -> Alcotest.fail "prod_to_hit_us histogram missing");
+  (* the prod is consumed: a second hit on the same processor is an
+     ordinary exchange, not another prod-to-hit sample *)
+  Kernel.note_context_hit ~cpu k d;
+  Alcotest.(check int) "second hit counted" 2 (Kernel.context_hits k d);
+  let snap = Lrpc_obs.Metrics.snapshot (Engine.metrics e) in
+  match Lrpc_obs.Metrics.get_histogram snap "kernel.prod_to_hit_us" with
+  | Some h -> Alcotest.(check int) "still one sample" 1 h.Lrpc_obs.Metrics.hs_count
+  | None -> Alcotest.fail "prod_to_hit_us histogram missing"
+
 let () =
   Alcotest.run "lrpc_kernel"
     [
@@ -294,5 +406,11 @@ let () =
           Alcotest.test_case "find idle" `Quick test_find_idle_in_context;
           Alcotest.test_case "prodding" `Quick test_note_miss_prods_idle;
           Alcotest.test_case "hotter wins" `Quick test_note_miss_respects_hotter_domain;
+          Alcotest.test_case "miss counting" `Quick test_miss_counting_and_ewma;
+          Alcotest.test_case "ewma decay" `Quick test_miss_ewma_decays;
+          Alcotest.test_case "prod margin" `Quick test_miss_prod_needs_margin;
+          Alcotest.test_case "idle retag" `Quick test_idle_consult_retags_hottest;
+          Alcotest.test_case "idle hysteresis" `Quick test_idle_consult_hysteresis_holds;
+          Alcotest.test_case "exchange hits" `Quick test_exchange_hit_accounting;
         ] );
     ]
