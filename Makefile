@@ -3,11 +3,15 @@ PIPELINE_JSON := /tmp/lrpc_pipeline_smoke.json
 FAULT_JSON := /tmp/lrpc_fault_smoke.json
 HOST_JSON := /tmp/lrpc_bench_host_smoke.json
 SCALE_JSON := /tmp/lrpc_fig2_scale_smoke.json
+ENGINE_D1_JSON := /tmp/lrpc_engine_d1_smoke.json
+ENGINE_D2_JSON := /tmp/lrpc_engine_d2_smoke.json
 
 .PHONY: check build test smoke pipeline-smoke fault-smoke fault-stress \
-  fig2-scale-smoke bench-pipeline bench-host bench-host-full clean
+  fig2-scale-smoke engine-parallel-smoke bench-pipeline bench-host \
+  bench-host-full clean
 
-check: build test smoke pipeline-smoke fault-smoke fig2-scale-smoke bench-host
+check: build test smoke pipeline-smoke fault-smoke fig2-scale-smoke \
+  engine-parallel-smoke bench-host
 
 build:
 	dune build
@@ -78,6 +82,32 @@ fig2-scale-smoke: build
 	  assert ps[-1]['unbal_steals'] == ps[-1]['cpus'] - 1"
 	@echo "fig2-scale smoke OK"
 
+# End-to-end: sharding one simulated machine across host domains must
+# not change a byte of simulated output. Two probes: the chaos soak via
+# the CLI (--engine-domains is clamped to the host's cores, so on a
+# small machine this checks the flag plumbing and the clamp warning),
+# and the unclamped 1-vs-2-vs-4-domain digest suite in test_harness,
+# which always spawns real domains. Also pins the exit-2 contract for a
+# non-positive --engine-domains.
+engine-parallel-smoke: build
+	dune exec bin/lrpc_chaos.exe -- --calls 1500 --engine-domains 1 \
+	  --out $(ENGINE_D1_JSON) > /dev/null
+	dune exec bin/lrpc_chaos.exe -- --calls 1500 --engine-domains 2 \
+	  --out $(ENGINE_D2_JSON) > /dev/null 2>&1
+	@python3 -c "import json; \
+	  d1 = json.load(open('$(ENGINE_D1_JSON)')); \
+	  d2 = json.load(open('$(ENGINE_D2_JSON)')); \
+	  assert d1['digest'] == d2['digest'], \
+	    'digest differs: %s vs %s' % (d1['digest'], d2['digest'])"
+	@dune exec bin/lrpc_chaos.exe -- --engine-domains 0 > /dev/null 2>&1; \
+	  test $$? -eq 2 || { echo "FAIL: --engine-domains 0 must exit 2"; exit 1; }
+	@dune exec bin/lrpc_experiments.exe -- t1 --quick --engine-domains=-1 \
+	  > /dev/null 2>&1; \
+	  test $$? -eq 2 || { echo "FAIL: negative --engine-domains must exit 2"; exit 1; }
+	dune exec test/test_harness.exe -- test 'engine domains' > /dev/null
+	dune exec test/test_sim.exe -- test 'partitioned engine' > /dev/null
+	@echo "engine-parallel smoke OK"
+
 # The chaos soak at its stress tier: ~10x the smoke call count, same
 # invariants and replay check. Not part of `check` (takes a while).
 fault-stress: build
@@ -96,7 +126,9 @@ bench-host: build
 	  keys = ['engine_events_per_sec', 'fig1_synthesis_calls_per_sec', \
 	          'fig2_wallclock_sec', 'fig2_scale_wallclock_sec', \
 	          'chaos_calls_per_sec', 'suite_serial_sec', 'suite_jobs_sec', \
-	          'suite_speedup', 'jobs', 'host_cores']; \
+	          'suite_speedup', 'suite_efficiency', 'jobs', 'host_cores', \
+	          'engine_domains', 'engine_serial_sec', 'engine_domains_sec', \
+	          'engine_domains_speedup', 'engine_domains_efficiency']; \
 	  missing = [k for k in keys if k not in d]; \
 	  assert not missing, 'missing keys: %s' % missing; \
 	  bad = [k for k in keys if not isinstance(d[k], numbers.Number)]; \

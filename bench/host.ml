@@ -6,15 +6,23 @@
      engine_events_per_sec       raw event-loop rate, tight delay loop
      fig1_synthesis_calls_per_sec  Fig.1 traffic synthesis throughput
      fig2_wallclock_sec          the 4-CPU throughput experiment, wall
-     fig2_scale_wallclock_sec    the 1-32 CPU scaling study, wall
+     fig2_scale_wallclock_sec    the 1-256 CPU scaling study, wall
      chaos_calls_per_sec         chaos soak rate (stress call count)
      suite_serial_sec            every paper artifact, --jobs 1
      suite_jobs_sec              same artifacts fanned across domains
      suite_speedup               serial / jobs
+     suite_efficiency            speedup / usable cores (min jobs cores)
+     engine_serial_sec           partitioned-engine workload, 1 domain
+     engine_domains_sec          same workload, engine_domains domains
+     engine_domains_speedup      serial / domains
+     engine_domains_efficiency   speedup / usable cores
 
    The environment keys host_cores and ocaml_version pin down what
    machine and toolchain produced the numbers, so cross-commit diffs of
-   BENCH_host.json are interpretable.
+   BENCH_host.json are interpretable — a speedup below 1.0 on a 1-core
+   host is the expected domain-scheduling overhead, which is why the
+   efficiency keys normalize by usable cores rather than by the domain
+   count requested.
 
    `--quick` shrinks every sample size for the `make check` smoke run;
    the committed BENCH_host.json comes from the full mode. The suite is
@@ -48,6 +56,12 @@ let jobs = arg_value "--jobs" (Parallel.default_jobs ()) (fun s ->
     match int_of_string_opt s with Some n when n >= 1 -> Some n | _ -> None)
 
 let out_path = arg_value "--out" "BENCH_host.json" (fun s -> Some s)
+
+let engine_domains =
+  arg_value "--engine-domains"
+    (max 2 (min 4 (Domain.recommended_domain_count ())))
+    (fun s ->
+      match int_of_string_opt s with Some n when n >= 1 -> Some n | _ -> None)
 
 let wall f =
   let t0 = Unix.gettimeofday () in
@@ -84,11 +98,42 @@ let fig2_scale_wallclock_sec () =
   let _, dt =
     wall (fun () ->
         Lrpc_experiments.Fig2_scale.run
-          ~max_cpus:(if quick then 8 else 32)
+          ~max_cpus:(if quick then 8 else 256)
           ~horizon:(Time.ms (if quick then 100 else 250))
           ())
   in
   dt
+
+(* Partitioned-engine benchmark: an isolated-model workload (positive
+   lookahead, no shared bus) on one engine sharded over 1 vs
+   [engine_domains] host domains. One pinned thread per simulated CPU in
+   a tight delay loop keeps every event partition-local, so the parallel
+   windows genuinely run concurrently when cores allow; the simulated
+   end time must be identical in both runs (the engine's determinism
+   contract), which is asserted. *)
+let engine_domains_times () =
+  let procs = 8 in
+  let n = if quick then 25_000 else 250_000 in
+  let model =
+    Cost_model.isolated ~name:"bench-isolated" Cost_model.cvax_firefly
+  in
+  let run_with domains =
+    let e = Engine.create ~processors:procs ~domains model in
+    for c = 0 to procs - 1 do
+      ignore
+        (Engine.spawn e ~home:c ~domain:0 (fun () ->
+             for _ = 1 to n do
+               Engine.delay e (Time.ns 10)
+             done))
+    done;
+    let (), dt = wall (fun () -> Engine.run e) in
+    (Engine.now e, dt)
+  in
+  let end_serial, serial_dt = run_with 1 in
+  let end_fanned, fanned_dt = run_with engine_domains in
+  if end_serial <> end_fanned then
+    failwith "engine end time differs across domain counts";
+  (serial_dt, fanned_dt)
 
 (* The soak at its stress tier: the headroom reclaimed by the hot-path
    work pays for a call count well past the smoke configuration. *)
@@ -113,22 +158,38 @@ let () =
   let fig2 = fig2_wallclock_sec () in
   let fig2_scale = fig2_scale_wallclock_sec () in
   let chaos = chaos_calls_per_sec () in
+  let engine_serial, engine_fanned = engine_domains_times () in
   let suite_serial, suite_jobs = suite_times () in
+  let host_cores = Domain.recommended_domain_count () in
+  (* Speedup can't exceed the cores actually available to the fan-out;
+     efficiency divides by that, so 1.0 means "perfect use of this
+     host" on any machine, including a 1-core CI container. *)
+  let efficiency ~ways speedup = speedup /. float_of_int (min ways host_cores) in
+  let suite_speedup = suite_serial /. suite_jobs in
+  let engine_speedup = engine_serial /. engine_fanned in
   let buf = Buffer.create 512 in
   Buffer.add_string buf "{\n";
   Printf.bprintf buf "  \"bench\": \"host\",\n";
   Printf.bprintf buf "  \"mode\": \"%s\",\n" (if quick then "quick" else "full");
   Printf.bprintf buf "  \"jobs\": %d,\n" jobs;
-  Printf.bprintf buf "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ());
+  Printf.bprintf buf "  \"host_cores\": %d,\n" host_cores;
   Printf.bprintf buf "  \"ocaml_version\": \"%s\",\n" Sys.ocaml_version;
   Printf.bprintf buf "  \"engine_events_per_sec\": %.0f,\n" events;
   Printf.bprintf buf "  \"fig1_synthesis_calls_per_sec\": %.0f,\n" fig1;
   Printf.bprintf buf "  \"fig2_wallclock_sec\": %.3f,\n" fig2;
   Printf.bprintf buf "  \"fig2_scale_wallclock_sec\": %.3f,\n" fig2_scale;
   Printf.bprintf buf "  \"chaos_calls_per_sec\": %.0f,\n" chaos;
+  Printf.bprintf buf "  \"engine_domains\": %d,\n" engine_domains;
+  Printf.bprintf buf "  \"engine_serial_sec\": %.3f,\n" engine_serial;
+  Printf.bprintf buf "  \"engine_domains_sec\": %.3f,\n" engine_fanned;
+  Printf.bprintf buf "  \"engine_domains_speedup\": %.2f,\n" engine_speedup;
+  Printf.bprintf buf "  \"engine_domains_efficiency\": %.2f,\n"
+    (efficiency ~ways:engine_domains engine_speedup);
   Printf.bprintf buf "  \"suite_serial_sec\": %.3f,\n" suite_serial;
   Printf.bprintf buf "  \"suite_jobs_sec\": %.3f,\n" suite_jobs;
-  Printf.bprintf buf "  \"suite_speedup\": %.2f\n" (suite_serial /. suite_jobs);
+  Printf.bprintf buf "  \"suite_speedup\": %.2f,\n" suite_speedup;
+  Printf.bprintf buf "  \"suite_efficiency\": %.2f\n"
+    (efficiency ~ways:jobs suite_speedup);
   Buffer.add_string buf "}\n";
   let oc = open_out out_path in
   output_string oc (Buffer.contents buf);

@@ -3,7 +3,7 @@
 
     The paper stops at the Firefly's four usable processors; this
     artifact runs the same closed-loop Null-call workload on simulated
-    machines of 1–32 processors, LRPC against the SRC RPC global-lock
+    machines of 1–256 processors, LRPC against the SRC RPC global-lock
     baseline, and breaks down the scheduler and locking behaviour that
     shapes the curves: per-processor work-steal dispatches (tagged
     steals reuse the thief's loaded context, §3.4), spin-wait time, and
@@ -44,7 +44,8 @@ type cpu_row = {
 }
 
 type result = {
-  points : point list;  (** one per ladder rung {1,2,4,8,16,32} <= max *)
+  points : point list;
+      (** one per ladder rung {1,2,4,8,16,32,64,128,256} <= max *)
   per_cpu : cpu_row array;
       (** steal and spin-wait breakdown per CPU at the largest rung, for
           the unbalanced-LRPC run (where stealing happens) and the SRC
@@ -52,9 +53,16 @@ type result = {
   horizon : Lrpc_sim.Time.t;
 }
 
-val run : ?max_cpus:int -> ?horizon:Lrpc_sim.Time.t -> unit -> result
+val run :
+  ?max_cpus:int -> ?horizon:Lrpc_sim.Time.t -> ?engine_domains:int -> unit ->
+  result
 (** Defaults: 32 CPUs, 250 ms horizon. The ladder is
-    [{1,2,4,8,16,32}] truncated to [max_cpus]. *)
+    [{1,2,4,8,16,32,64,128,256}] truncated to [max_cpus]; rungs above 32
+    taper the measurement window inversely with the rung (calls/s is a
+    rate, so points stay comparable) to keep host cost bounded.
+    [engine_domains] shards each simulated machine across that many host
+    domains (see {!Lrpc_sim.Engine.create}); simulated results are
+    bit-identical for any value. *)
 
 val speedup_at : result -> int -> float option
 (** LRPC speedup at exactly [n] CPUs, when that rung was measured. *)

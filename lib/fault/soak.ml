@@ -16,6 +16,7 @@ type config = {
   calls : int;
   clients : int;
   processors : int;
+  engine_domains : int;
   spec : Plan.spec;
   remote_share : float;
   async_share : float;
@@ -29,6 +30,7 @@ let default =
     calls = 6_000;
     clients = 8;
     processors = 4;
+    engine_domains = 1;
     spec =
       {
         Plan.none with
@@ -116,7 +118,10 @@ let remote_impls =
   ]
 
 let run cfg =
-  let engine = Engine.create ~processors:cfg.processors Cost_model.cvax_firefly in
+  let engine =
+    Engine.create ~processors:cfg.processors ~domains:cfg.engine_domains
+      Cost_model.cvax_firefly
+  in
   let tracer = Trace.create ~capacity:cfg.trace_capacity () in
   Engine.set_tracer engine (Some tracer);
   let kernel = Kernel.boot engine in

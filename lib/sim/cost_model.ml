@@ -20,6 +20,7 @@ type t = {
   coherency_per_byte : Time.t;
   bus_alpha : float;
   spin_quantum : Time.t;
+  parallel_lookahead : Time.t;
 }
 
 (* Miss-count derivation: the VAX page is 512 bytes and the C-VAX TLB is
@@ -57,6 +58,7 @@ let cvax_firefly =
     coherency_per_byte = Time.ns 62;
     bus_alpha = 0.027;
     spin_quantum = Time.ns 500;
+    parallel_lookahead = Time.zero;
   }
 
 let scaled t ~factor ~name =
@@ -112,6 +114,7 @@ let m68020 =
     coherency_per_byte = Time.ns 80;
     bus_alpha = 0.03;
     spin_quantum = Time.ns 500;
+    parallel_lookahead = Time.zero;
   }
 
 let perq_accent =
@@ -137,7 +140,40 @@ let perq_accent =
     coherency_per_byte = Time.ns 150;
     bus_alpha = 0.03;
     spin_quantum = Time.ns 500;
+    parallel_lookahead = Time.zero;
   }
+
+(* --- conservative-parallelism lookahead ---------------------------------
+
+   The partitioned engine may only execute two processors' events on
+   different host domains when no interaction can connect them within the
+   current time window. The soonest one simulated CPU can affect another
+   is bounded below by the cheapest cross-processor mechanism the model
+   prices: re-dispatching a thread elsewhere costs at least a VM reload,
+   and the idle-processor optimization costs a processor exchange. That
+   minimum is the derived lookahead.
+
+   The paper machines additionally couple *every* concurrently executing
+   processor through the shared-bus dilation factor, which is read at the
+   moment a delay is issued — an interaction with zero latency. Their
+   effective lookahead is therefore zero and their multi-domain runs are
+   merged serially (see Engine). A model declares itself free of that
+   coupling by setting [bus_alpha = 0] and a positive
+   [parallel_lookahead], which then overrides the derivation. *)
+
+let min_cross_cpu_latency t = min t.vm_reload t.processor_exchange
+
+let lookahead t =
+  if t.parallel_lookahead > Time.zero then t.parallel_lookahead
+  else min_cross_cpu_latency t
+
+let isolated ?lookahead ~name base =
+  let parallel_lookahead =
+    match lookahead with Some l -> l | None -> min_cross_cpu_latency base
+  in
+  if parallel_lookahead <= Time.zero then
+    invalid_arg "Cost_model.isolated: lookahead must be positive";
+  { base with name; bus_alpha = 0.0; parallel_lookahead }
 
 let null_minimum t =
   let open Time in

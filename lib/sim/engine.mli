@@ -19,7 +19,21 @@
     A crude shared-memory-bus model dilates every delay by
     [1 + bus_alpha * (executing_processors - 1)]; with the fitted alpha
     this reproduces Figure 2's sub-linear 3.7x speedup at four C-VAX
-    processors. *)
+    processors.
+
+    {b Partitioned execution.} The simulated processors are sharded into
+    [domains] contiguous partitions, each owning its own event heap;
+    every event carries an engine-assigned (time, key) pair forming one
+    global total order across partitions, so the merged execution order
+    — and therefore every output byte — is independent of the domain
+    count. Models whose bus dilation couples all processors (every paper
+    machine) have zero effective lookahead and are executed by a single
+    merging executor whatever the domain count; models constructed with
+    {!Cost_model.isolated} declare a positive lookahead, and their
+    partitions execute genuinely in parallel on separate host domains
+    inside conservative time windows of that width, exchanging cross-
+    partition effects as timestamped mailbox messages applied in exact
+    global order. See DESIGN.md "Partitioned engine". *)
 
 type t
 
@@ -40,6 +54,12 @@ type cpu = {
   mutable steals_tagged : int;
       (** steals of threads already in this processor's loaded context *)
   mutable lock_spin : Time.t;  (** cumulative spin-wait time on this CPU *)
+  mutable key_seq : int;
+      (** isolated models: per-CPU event-key counter, invariant under the
+          partition layout (internal) *)
+  mutable rq_stamp : int;
+      (** isolated models: per-queue enqueue stamp (internal; stealing is
+          disabled, so stamps never compare across queues) *)
 }
 
 exception Thread_killed
@@ -48,11 +68,37 @@ exception Thread_killed
 exception Not_in_thread
 (** Raised by in-thread operations invoked outside any simulated thread. *)
 
+exception Cross_partition_interaction of string
+(** Raised when an operation would couple two partitions with zero
+    simulated latency under an isolated (genuinely parallel) model —
+    direct handoffs, spawning inside a parallel window, or (via the
+    {!Spinlock}/{!Waitq} ownership checks) two partitions touching one
+    synchronization object within the same window. Loud failure instead
+    of a silent host-level race. *)
+
 (** {1 Construction and execution} *)
 
-val create : ?processors:int -> Cost_model.t -> t
+val create : ?processors:int -> ?domains:int -> Cost_model.t -> t
 (** [create cm] builds a machine with [processors] (default 1) CPUs, each
-    with a cold TLB per [cm]. *)
+    with a cold TLB per [cm], sharded across [domains] partitions
+    (default {!default_domains}, clamped to [processors]). The simulated
+    output is bit-identical for every [domains] value; only host
+    wall-clock may differ. @raise Invalid_argument on [domains < 1] or
+    an isolated model with nonzero [bus_alpha]. *)
+
+val set_default_domains : int -> unit
+(** Process-wide default for {!create}'s [domains] (initially 1) — the
+    [--engine-domains] CLI knob sets it once before constructing any
+    machine, so every experiment inherits it without plumbing. Not
+    synchronized: set it before fanning work across host domains. *)
+
+val default_domains : unit -> int
+
+val domains : t -> int
+(** Number of partitions actually in use ([min domains processors]). *)
+
+val lookahead : t -> Time.t
+(** Synchronization-window width: {!Cost_model.lookahead} of the model. *)
 
 val cost_model : t -> Cost_model.t
 val now : t -> Time.t
@@ -63,7 +109,8 @@ val spawn : ?name:string -> ?home:int -> t -> domain:int -> (unit -> unit) -> th
     dispatched to a free processor ([home] is preferred when free) or
     queued. The body runs as a coroutine; any exception it does not catch
     marks the thread failed (see {!failures}) without aborting the
-    simulation. *)
+    simulation. Isolated models require [home] pinning (placement is
+    partition-local) and forbid spawning inside a parallel window. *)
 
 val run : ?until:Time.t -> t -> unit
 (** Process events until the queue empties or the next event would be
@@ -240,4 +287,24 @@ val emit : ?tid:int -> ?cpu:int -> t -> Lrpc_obs.Event.t -> unit
     the current simulated time. [tid]/[cpu] default to the currently
     executing thread's, or -1 outside any thread. Used by the kernel and
     runtime layers for traps, copies, binding, termination and network
-    events. *)
+    events. Inside a parallel window the event is staged on the
+    executing partition and merged into the tracer in deterministic
+    (time, event key, emission ordinal) order at the barrier, so trace
+    digests are domain-count-invariant. *)
+
+(** {1 Parallel-window introspection}
+
+    Used by {!Spinlock}/{!Waitq} to detect two partitions touching one
+    synchronization object inside the same window — an interaction the
+    isolated-model contract forbids — and by tests. *)
+
+val parallel_phase : t -> bool
+(** True while a parallel window is executing (isolated models, several
+    domains); engine-global state must not be assumed coherent. *)
+
+val executing_partition : t -> int
+(** Partition index the calling host domain is executing, or -1 outside
+    a parallel window. *)
+
+val window_id : t -> int
+(** Monotonic counter of synchronization windows started. *)

@@ -1,0 +1,29 @@
+(* Cross-partition messages produced inside a parallel window.
+
+   During a parallel window each partition executes on its own host
+   domain and may only touch its own heap; an effect aimed at another
+   partition (a wake of a thread homed elsewhere, a deferred interrupt,
+   a packet) is recorded here as a timestamped message instead. The
+   owning partition is the only writer during the window; the
+   coordinator drains every outbox at the barrier — under the mutual
+   exclusion the barrier already provides — and pushes each message
+   into the target partition's heap. Delivery order between mailboxes
+   is irrelevant: each message carries the (time, key) pair assigned at
+   post time, and the heaps restore the global order. *)
+
+type 'a msg = { target : int; time : Time.t; key : int; payload : 'a }
+
+type 'a t = 'a msg Queue.t
+
+let create () : 'a t = Queue.create ()
+
+let post (t : 'a t) ~target ~time ~key payload =
+  Queue.push { target; time; key; payload } t
+
+let is_empty (t : 'a t) = Queue.is_empty t
+
+let drain (t : 'a t) f =
+  while not (Queue.is_empty t) do
+    let m = Queue.pop t in
+    f ~target:m.target ~time:m.time ~key:m.key m.payload
+  done

@@ -1,0 +1,19 @@
+(** Timestamped cross-partition message queue.
+
+    One outbox per engine partition. Posted while the owning partition
+    executes a parallel window (single writer); drained by the barrier
+    into the target partitions' heaps. Messages carry the (time, key)
+    assigned at post time, so the receiving heap merges them into the
+    global deterministic order regardless of drain order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val post : 'a t -> target:int -> time:Time.t -> key:int -> 'a -> unit
+
+val is_empty : 'a t -> bool
+
+val drain :
+  'a t -> (target:int -> time:Time.t -> key:int -> 'a -> unit) -> unit
+(** Remove every message, calling [f] on each in post order. *)

@@ -1,0 +1,22 @@
+(** Deterministic merge order over per-partition event heaps.
+
+    Pure selection helpers for the partitioned engine's conservative
+    time-window synchronization. Keys are assigned globally by the
+    engine, so picking the heap with the least (time, key) head yields
+    the same total order as one heap holding every event — sharding is
+    invisible in the output. *)
+
+val select : 'a Heap.t array -> int
+(** Index of the heap whose head has the smallest (time, key), or -1
+    when every heap is empty. Popping the selected head repeatedly
+    drains the union in global (time, key) order. *)
+
+val min_time : 'a Heap.t array -> Time.t option
+(** Earliest head time across all heaps — the base of the next
+    synchronization window. *)
+
+val window_end : start:Time.t -> lookahead:Time.t -> limit:Time.t -> Time.t
+(** Exclusive upper bound of the window opening at [start]: events with
+    [time < window_end] belong to the window. Clamped so no event after
+    [limit] is admitted; a degenerate non-positive lookahead still
+    yields a one-tick window so the simulation always progresses. *)

@@ -71,9 +71,9 @@ type lrpc_world = {
   lw_client : Lrpc_kernel.Pdomain.t;
 }
 
-let make_lrpc ?(cost_model = Cost_model.cvax_firefly) ?(processors = 1) ?config
-    ?(defensive = false) ?(domain_caching = false) () =
-  let lw_engine = Engine.create ~processors cost_model in
+let make_lrpc ?(cost_model = Cost_model.cvax_firefly) ?(processors = 1)
+    ?engine_domains ?config ?(defensive = false) ?(domain_caching = false) () =
+  let lw_engine = Engine.create ~processors ?domains:engine_domains cost_model in
   let lw_kernel = Kernel.boot lw_engine in
   Kernel.set_domain_caching lw_kernel domain_caching;
   let lw_rt = Api.init ?config lw_kernel in
@@ -140,11 +140,12 @@ let scale_stats_of engine ~count ~horizon =
   }
 
 let lrpc_scale ?(cost_model = Cost_model.cvax_firefly)
-    ?(domain_caching = false) ?home ~processors ~clients ~horizon () =
+    ?(domain_caching = false) ?engine_domains ?home ~processors ~clients
+    ~horizon () =
   let home_of =
     match home with Some f -> f | None -> fun i -> i mod processors
   in
-  let engine = Engine.create ~processors cost_model in
+  let engine = Engine.create ~processors ?domains:engine_domains cost_model in
   let kernel = Kernel.boot engine in
   Kernel.set_domain_caching kernel domain_caching;
   let rt = Api.init kernel in
@@ -173,9 +174,10 @@ let lrpc_scale ?(cost_model = Cost_model.cvax_firefly)
            (Printexc.to_string exn)));
   scale_stats_of engine ~count:!count ~horizon
 
-let lrpc_throughput ?cost_model ?domain_caching ~processors ~clients ~horizon
-    () =
-  (lrpc_scale ?cost_model ?domain_caching ~processors ~clients ~horizon ())
+let lrpc_throughput ?cost_model ?domain_caching ?engine_domains ~processors
+    ~clients ~horizon () =
+  (lrpc_scale ?cost_model ?domain_caching ?engine_domains ~processors ~clients
+     ~horizon ())
     .ss_cps
 
 let mpass_latency ?(warmup = 5) ?(calls = 200) profile ~proc ~args =
@@ -202,9 +204,11 @@ let mpass_latency ?(warmup = 5) ?(calls = 200) profile ~proc ~args =
   run_all engine;
   !out
 
-let mpass_scale profile ~processors ~clients ~horizon =
+let mpass_scale ?engine_domains profile ~processors ~clients ~horizon =
   let profile = { profile with Profile.receivers = max clients profile.Profile.receivers } in
-  let engine = Engine.create ~processors profile.Profile.hw in
+  let engine =
+    Engine.create ~processors ?domains:engine_domains profile.Profile.hw
+  in
   let kernel = Kernel.boot engine in
   let sd = Kernel.create_domain kernel ~name:"server" in
   let server =
@@ -234,5 +238,5 @@ let mpass_scale profile ~processors ~clients ~horizon =
            (Printexc.to_string exn)));
   scale_stats_of engine ~count:!count ~horizon
 
-let mpass_throughput profile ~processors ~clients ~horizon =
-  (mpass_scale profile ~processors ~clients ~horizon).ss_cps
+let mpass_throughput ?engine_domains profile ~processors ~clients ~horizon =
+  (mpass_scale ?engine_domains profile ~processors ~clients ~horizon).ss_cps

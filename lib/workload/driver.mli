@@ -30,11 +30,15 @@ type lrpc_world = {
 val make_lrpc :
   ?cost_model:Lrpc_sim.Cost_model.t ->
   ?processors:int ->
+  ?engine_domains:int ->
   ?config:Lrpc_core.Rt.config ->
   ?defensive:bool ->
   ?domain_caching:bool ->
   unit ->
   lrpc_world
+(** [engine_domains] is forwarded to {!Lrpc_sim.Engine.create}'s
+    [domains]: how many host domains the simulated machine's processors
+    shard across. Simulated results are bit-identical for any value. *)
 
 val run_all : Lrpc_sim.Engine.t -> unit
 (** Run the engine to quiescence; raise [Failure] if any simulated
@@ -48,6 +52,7 @@ val lrpc_latency :
 val lrpc_throughput :
   ?cost_model:Lrpc_sim.Cost_model.t ->
   ?domain_caching:bool ->
+  ?engine_domains:int ->
   processors:int ->
   clients:int ->
   horizon:Lrpc_sim.Time.t ->
@@ -81,6 +86,7 @@ type scale_stats = {
 val lrpc_scale :
   ?cost_model:Lrpc_sim.Cost_model.t ->
   ?domain_caching:bool ->
+  ?engine_domains:int ->
   ?home:(int -> int) ->
   processors:int ->
   clients:int ->
@@ -93,6 +99,7 @@ val lrpc_scale :
     0 and let the per-CPU run queues redistribute by stealing. *)
 
 val mpass_scale :
+  ?engine_domains:int ->
   Lrpc_msgrpc.Profile.t ->
   processors:int ->
   clients:int ->
@@ -106,6 +113,7 @@ val mpass_latency :
   args:Lrpc_idl.Value.t list -> float
 
 val mpass_throughput :
+  ?engine_domains:int ->
   Lrpc_msgrpc.Profile.t ->
   processors:int ->
   clients:int ->
