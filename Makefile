@@ -3,15 +3,16 @@ PIPELINE_JSON := /tmp/lrpc_pipeline_smoke.json
 FAULT_JSON := /tmp/lrpc_fault_smoke.json
 HOST_JSON := /tmp/lrpc_bench_host_smoke.json
 SCALE_JSON := /tmp/lrpc_fig2_scale_smoke.json
+OPENLOOP_JSON := /tmp/lrpc_openloop_smoke.json
 ENGINE_D1_JSON := /tmp/lrpc_engine_d1_smoke.json
 ENGINE_D2_JSON := /tmp/lrpc_engine_d2_smoke.json
 
 .PHONY: check build test smoke pipeline-smoke fault-smoke fault-stress \
-  fig2-scale-smoke engine-parallel-smoke bench-pipeline bench-host \
-  bench-host-full clean
+  fig2-scale-smoke openloop-smoke engine-parallel-smoke bench-pipeline \
+  bench-host bench-host-full clean
 
 check: build test smoke pipeline-smoke fault-smoke fig2-scale-smoke \
-  engine-parallel-smoke bench-host
+  openloop-smoke engine-parallel-smoke bench-host
 
 build:
 	dune build
@@ -82,6 +83,28 @@ fig2-scale-smoke: build
 	  assert ps[-1]['unbal_steals'] == ps[-1]['cpus'] - 1"
 	@echo "fig2-scale smoke OK"
 
+# End-to-end: the open-loop load study's JSON must cover all three
+# systems with a monotone offered-load sweep, ordered quantiles at
+# every point, and a detected saturation knee per system (the quick
+# sweep deliberately runs past capacity).
+openloop-smoke: build
+	dune exec bin/lrpc_experiments.exe -- openloop --quick --json > $(OPENLOOP_JSON)
+	@python3 -c "import json; d = json.load(open('$(OPENLOOP_JSON)')); \
+	  systems = d['systems']; \
+	  assert d['experiment'] == 'openloop'; \
+	  assert {'lrpc', 'src_rpc', 'netrpc'} <= {s['system'] for s in systems}; \
+	  loads = {s['system']: [p['offered_cps'] for p in s['points']] for s in systems}; \
+	  assert all(all(a < b for a, b in zip(l, l[1:])) for l in loads.values()), \
+	    'offered load not strictly increasing: %s' % loads; \
+	  assert all(p['p50_us'] <= p['p99_us'] <= p['p999_us'] \
+	             for s in systems for p in s['points']), 'quantiles unordered'; \
+	  assert all(p['measured'] <= p['completed'] <= p['issued'] \
+	             for s in systems for p in s['points']); \
+	  knees = {s['system']: s['knee_cps'] for s in systems}; \
+	  assert all(k is not None and k > 0 for k in knees.values()), \
+	    'missing saturation knee: %s' % knees"
+	@echo "openloop smoke OK"
+
 # End-to-end: sharding one simulated machine across host domains must
 # not change a byte of simulated output. Two probes: the chaos soak via
 # the CLI (--engine-domains is clamped to the host's cores, so on a
@@ -125,6 +148,7 @@ bench-host: build
 	@python3 -c "import json, numbers; d = json.load(open('$(HOST_JSON)')); \
 	  keys = ['engine_events_per_sec', 'fig1_synthesis_calls_per_sec', \
 	          'fig2_wallclock_sec', 'fig2_scale_wallclock_sec', \
+	          'openloop_sweep_wallclock_sec', \
 	          'chaos_calls_per_sec', 'suite_serial_sec', 'suite_jobs_sec', \
 	          'suite_speedup', 'suite_efficiency', 'jobs', 'host_cores', \
 	          'engine_domains', 'engine_serial_sec', 'engine_domains_sec', \

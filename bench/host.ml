@@ -7,6 +7,7 @@
      fig1_synthesis_calls_per_sec  Fig.1 traffic synthesis throughput
      fig2_wallclock_sec          the 4-CPU throughput experiment, wall
      fig2_scale_wallclock_sec    the 1-256 CPU scaling study, wall
+     openloop_sweep_wallclock_sec  the open-loop latency-vs-load sweep, wall
      chaos_calls_per_sec         chaos soak rate (stress call count)
      suite_serial_sec            every paper artifact, --jobs 1
      suite_jobs_sec              same artifacts fanned across domains
@@ -104,6 +105,14 @@ let fig2_scale_wallclock_sec () =
   in
   dt
 
+(* The open-loop study is the heaviest per-point simulation in the
+   suite (thousands of sessions, four systems, a sweep past
+   saturation); its wall-clock is tracked so a hot-path regression in
+   the engine's timer/wake machinery shows up here first. *)
+let openloop_sweep_wallclock_sec () =
+  let _, dt = wall (fun () -> Lrpc_experiments.Openloop.run ~quick ()) in
+  dt
+
 (* Partitioned-engine benchmark: an isolated-model workload (positive
    lookahead, no shared bus) on one engine sharded over 1 vs
    [engine_domains] host domains. One pinned thread per simulated CPU in
@@ -145,7 +154,13 @@ let chaos_calls_per_sec () =
   float_of_int calls /. dt
 
 let suite_times () =
-  let render js = Parallel.map ~jobs:js (Suite.run ~quick) Suite.names in
+  (* The open-loop sweep dwarfs every other artifact at full settings
+     (~30 s vs ~5 s for the rest combined) and is already tracked by
+     its own wall-clock key above, so it is excluded here — otherwise
+     suite_serial_sec stops being comparable across commits and the
+     serial-vs-jobs delta measures heap warm-up, not fan-out. *)
+  let names = List.filter (( <> ) "openloop") Suite.names in
+  let render js = Parallel.map ~jobs:js (Suite.run ~quick) names in
   let serial, serial_dt = wall (fun () -> render 1) in
   let fanned, jobs_dt = wall (fun () -> render jobs) in
   if serial <> fanned then
@@ -157,6 +172,7 @@ let () =
   let fig1 = fig1_synthesis_calls_per_sec () in
   let fig2 = fig2_wallclock_sec () in
   let fig2_scale = fig2_scale_wallclock_sec () in
+  let openloop = openloop_sweep_wallclock_sec () in
   let chaos = chaos_calls_per_sec () in
   let engine_serial, engine_fanned = engine_domains_times () in
   let suite_serial, suite_jobs = suite_times () in
@@ -178,6 +194,7 @@ let () =
   Printf.bprintf buf "  \"fig1_synthesis_calls_per_sec\": %.0f,\n" fig1;
   Printf.bprintf buf "  \"fig2_wallclock_sec\": %.3f,\n" fig2;
   Printf.bprintf buf "  \"fig2_scale_wallclock_sec\": %.3f,\n" fig2_scale;
+  Printf.bprintf buf "  \"openloop_sweep_wallclock_sec\": %.3f,\n" openloop;
   Printf.bprintf buf "  \"chaos_calls_per_sec\": %.0f,\n" chaos;
   Printf.bprintf buf "  \"engine_domains\": %d,\n" engine_domains;
   Printf.bprintf buf "  \"engine_serial_sec\": %.3f,\n" engine_serial;

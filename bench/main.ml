@@ -76,7 +76,12 @@ let bench_lrpc_serial () =
   ignore (Driver.lrpc_latency ~warmup:1 ~calls:100 w ~proc:"null" ~args:[])
 
 let bench_lrpc_mp () =
-  let w = Driver.make_lrpc ~processors:2 ~domain_caching:true () in
+  let w =
+    Driver.make_lrpc
+      ~config:
+        { Driver.Config.default with Driver.Config.processors = 2; domain_caching = true }
+      ()
+  in
   ignore (Driver.lrpc_latency ~warmup:1 ~calls:100 w ~proc:"null" ~args:[])
 
 let bench_src () =

@@ -52,8 +52,9 @@ let names_arg =
   let doc =
     "Experiments to run: t1 f1 t2 t3 t4 t5 f2 (paper tables/figures), a1-a6 \
      (ablations incl. a6 register passing), lat (supplementary latency), f2s \
-     (multiprocessor scaling beyond Fig.2), or 'all'. Unknown names are an \
-     error (exit code 2)."
+     (multiprocessor scaling beyond Fig.2), openloop (open-loop \
+     latency-vs-load curves), or 'all'. Unknown names are an error (exit \
+     code 2)."
   in
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
 
@@ -92,8 +93,8 @@ let engine_domains_arg =
 let json_arg =
   let doc =
     "Emit the machine-checkable JSON rendering instead of the text one. \
-     Only some experiments have one (currently f2s); anything else is an \
-     error (exit code 2)."
+     Only some experiments have one (currently f2s and openloop); anything \
+     else is an error (exit code 2)."
   in
   Arg.(value & flag & info [ "json" ] ~doc)
 

@@ -20,8 +20,13 @@ module Driver = Lrpc_workload.Driver
 let run mp calls chrome metrics =
   let w =
     Driver.make_lrpc
-      ~processors:(if mp then 2 else 1)
-      ~domain_caching:mp ()
+      ~config:
+        {
+          Driver.Config.default with
+          Driver.Config.processors = (if mp then 2 else 1);
+          domain_caching = mp;
+        }
+      ()
   in
   let tracer = Trace.create () in
   Engine.set_tracer w.Driver.lw_engine (Some tracer);

@@ -104,7 +104,9 @@ let () =
            let t0 = Engine.now engine in
            let size =
              match
-               Api.call ~audit rt binding ~proc:"write"
+               Api.call
+                 ~options:{ Api.Options.default with audit = Some audit }
+                 rt binding ~proc:"write"
                  [ V.bytes (pad_path path); V.bytes (Bytes.of_string data) ]
              with
              | [ V.Card n ] -> n

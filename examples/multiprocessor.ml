@@ -9,21 +9,30 @@
 
 open Lrpc
 
+let procs n = { Driver.Config.default with Driver.Config.processors = n }
+
 let () =
   Format.printf "Null latency, one caller:@.";
-  let serial = Driver.make_lrpc ~processors:1 () in
+  let serial = Driver.make_lrpc ~config:(procs 1) () in
   Format.printf "  serial (context switch each way)  %.1f us@."
     (Driver.lrpc_latency serial ~proc:"null" ~args:[]);
-  let cached = Driver.make_lrpc ~processors:2 ~domain_caching:true () in
+  let cached =
+    Driver.make_lrpc
+      ~config:{ (procs 2) with Driver.Config.domain_caching = true }
+      ()
+  in
   Format.printf "  domain caching (processor exchange) %.1f us@."
     (Driver.lrpc_latency cached ~proc:"null" ~args:[]);
   Format.printf "@.Throughput, one closed-loop caller per processor:@.";
   Format.printf "  %4s  %14s  %14s@." "CPUs" "LRPC calls/s" "SRC RPC calls/s";
   let horizon = Time.ms 200 in
   for n = 1 to 4 do
-    let lrpc = Driver.lrpc_throughput ~processors:n ~clients:n ~horizon () in
+    let lrpc =
+      Driver.lrpc_throughput ~config:(procs n) ~clients:n ~horizon ()
+    in
     let src =
-      Driver.mpass_throughput Profile.src_rpc ~processors:n ~clients:n ~horizon
+      Driver.mpass_throughput ~config:(procs n) Profile.src_rpc ~clients:n
+        ~horizon
     in
     Format.printf "  %4d  %14.0f  %14.0f@." n lrpc src
   done;

@@ -44,46 +44,33 @@ let require_thread rt fn =
   | Some _ -> ()
   | None -> raise (Not_in_thread fn)
 
-(* Deprecated per-call optional arguments win over [?options], so legacy
-   call sites behave exactly as before the record existed. *)
-let opt_audit options audit =
-  match audit with
-  | Some _ -> audit
-  | None -> ( match options with Some o -> o.Options.audit | None -> None)
+let opt_audit options =
+  match options with Some o -> o.Options.audit | None -> None
 
 let opt_deadline options =
   match options with Some o -> o.Options.deadline | None -> None
 
-let export rt ~domain ?options ?defensive_copies iface ~impls =
+let export rt ~domain ?options iface ~impls =
   let defensive_copies =
-    match defensive_copies with
-    | Some b -> b
-    | None -> (
-        match options with
-        | Some o -> o.Options.defensive_copies
-        | None -> false)
+    match options with Some o -> o.Options.defensive_copies | None -> false
   in
   Binding.export rt ~domain ~defensive_copies iface ~impls
 
-let import ?options ?wait rt ~domain ~interface =
+let import ?options rt ~domain ~interface =
   let wait =
-    match wait with
-    | Some b -> b
-    | None -> ( match options with Some o -> o.Options.wait | None -> false)
+    match options with Some o -> o.Options.wait | None -> false
   in
   Binding.import ~wait rt ~domain ~interface
 
-let call ?options ?audit rt b ~proc args =
+let call ?options rt b ~proc args =
   require_thread rt "Api.call";
-  Call.call
-    ?audit:(opt_audit options audit)
-    ?deadline:(opt_deadline options) rt b ~proc args
+  Call.call ?audit:(opt_audit options) ?deadline:(opt_deadline options) rt b
+    ~proc args
 
-let call_async ?options ?audit rt b ~proc args =
+let call_async ?options rt b ~proc args =
   require_thread rt "Api.call_async";
-  Call.call_async
-    ?audit:(opt_audit options audit)
-    ?deadline:(opt_deadline options) rt b ~proc args
+  Call.call_async ?audit:(opt_audit options) ?deadline:(opt_deadline options)
+    rt b ~proc args
 
 let await ?timeout rt h =
   require_thread rt "Api.await";
@@ -127,8 +114,8 @@ let await_result ?timeout rt h =
 let await_all_results ?timeout rt hs =
   List.map (fun h -> await_result ?timeout rt h) hs
 
-let call1 ?options ?audit rt b ~proc args =
-  match call ?options ?audit rt b ~proc args with
+let call1 ?options rt b ~proc args =
+  match call ?options rt b ~proc args with
   | [ v ] -> v
   | outputs ->
       invalid_arg

@@ -104,26 +104,23 @@ val export :
   t ->
   domain:Lrpc_kernel.Pdomain.t ->
   ?options:Options.t ->
-  ?defensive_copies:bool ->
   Lrpc_idl.Types.interface ->
   impls:(string * Rt.impl) list ->
   Rt.export
-(** See {!Binding.export}. [?defensive_copies] is deprecated — use
-    [?options]; when both are given the deprecated argument wins. *)
+(** See {!Binding.export}. [options.defensive_copies] selects the §3.5
+    defensive-stub variant. *)
 
 val import :
   ?options:Options.t ->
-  ?wait:bool ->
   t ->
   domain:Lrpc_kernel.Pdomain.t ->
   interface:string ->
   Rt.binding
-(** See {!Binding.import}. [?wait] is deprecated — use [?options];
-    when both are given the deprecated argument wins. *)
+(** See {!Binding.import}. [options.wait] blocks until the interface is
+    exported instead of raising [Rt.Not_exported]. *)
 
 val call :
   ?options:Options.t ->
-  ?audit:Lrpc_kernel.Vm.audit ->
   t ->
   Rt.binding ->
   proc:string ->
@@ -133,12 +130,11 @@ val call :
     {!call_async}+{!await} pair over an inline handle (the awaiting
     thread itself crosses into the server, so the cost is exactly the
     paper's synchronous path). Must run inside a simulated thread —
-    raises {!Not_in_thread} otherwise. [?audit] is deprecated — use
+    raises {!Not_in_thread} otherwise. Auditing and deadlines come from
     [?options]. *)
 
 val call_async :
   ?options:Options.t ->
-  ?audit:Lrpc_kernel.Vm.audit ->
   t ->
   Rt.binding ->
   proc:string ->
@@ -198,7 +194,6 @@ val await_all_results :
 
 val call1 :
   ?options:Options.t ->
-  ?audit:Lrpc_kernel.Vm.audit ->
   t ->
   Rt.binding ->
   proc:string ->

@@ -20,11 +20,20 @@ let run_a1 () =
   let untagged = Driver.make_lrpc () in
   let tagged =
     Driver.make_lrpc
-      ~cost_model:
-        { Cost_model.cvax_firefly with Cost_model.tlb_tagged = true; name = "C-VAX + tagged TLB" }
+      ~config:
+        {
+          Driver.Config.default with
+          Driver.Config.cost_model =
+            { Cost_model.cvax_firefly with Cost_model.tlb_tagged = true; name = "C-VAX + tagged TLB" };
+        }
       ()
   in
-  let cached = Driver.make_lrpc ~processors:2 ~domain_caching:true () in
+  let cached =
+    Driver.make_lrpc
+      ~config:
+        { Driver.Config.default with Driver.Config.processors = 2; domain_caching = true }
+      ()
+  in
   {
     untagged_null_us = Driver.lrpc_latency untagged ~proc:"null" ~args:[];
     tagged_null_us = Driver.lrpc_latency tagged ~proc:"null" ~args:[];
@@ -62,7 +71,9 @@ let a2_latency ~defensive n =
   let server = Kernel.create_domain kernel ~name:"server" in
   let client = Kernel.create_domain kernel ~name:"client" in
   ignore
-    (Api.export rt ~domain:server ~defensive_copies:defensive (probe_iface n)
+    (Api.export rt ~domain:server
+       ~options:{ Api.Options.default with defensive_copies = defensive }
+       (probe_iface n)
        ~impls:[ ("take", fun _ -> []) ]);
   let out = ref 0.0 in
   ignore
@@ -222,8 +233,12 @@ type a5 = {
 }
 
 let a5_measure policy =
-  let config = { Rt.default_config with Rt.estack_policy = policy } in
-  let w = Driver.make_lrpc ~config () in
+  let runtime = { Rt.default_config with Rt.estack_policy = policy } in
+  let w =
+    Driver.make_lrpc
+      ~config:{ Driver.Config.default with Driver.Config.runtime = Some runtime }
+      ()
+  in
   let b =
     Api.import w.Driver.lw_rt ~domain:w.Driver.lw_client ~interface:"Bench"
   in

@@ -14,14 +14,16 @@ type result = {
 }
 
 let run ?(max_cpus = 4) ?(horizon = Time.ms 500) () =
+  let procs n = { Driver.Config.default with Driver.Config.processors = n } in
   let lrpc_at n =
-    Driver.lrpc_throughput ~processors:n ~clients:n ~horizon ()
+    Driver.lrpc_throughput ~config:(procs n) ~clients:n ~horizon ()
   in
   let src_at n =
     (* SRC needs processors for its receiver threads as well; the paper's
        measurement dedicates the machine, so give the server domain the
        same processors the callers run on. *)
-    Driver.mpass_throughput Profile.src_rpc ~processors:n ~clients:n ~horizon
+    Driver.mpass_throughput ~config:(procs n) Profile.src_rpc ~clients:n
+      ~horizon
   in
   let single = lrpc_at 1 in
   let points =
@@ -39,13 +41,17 @@ let run ?(max_cpus = 4) ?(horizon = Time.ms 500) () =
     | Some p -> p.lrpc /. single
     | None -> 1.0
   in
+  let microvax n =
+    {
+      (procs n) with
+      Driver.Config.cost_model = Cost_model.microvax2_firefly;
+    }
+  in
   let mv1 =
-    Driver.lrpc_throughput ~cost_model:Cost_model.microvax2_firefly
-      ~processors:1 ~clients:1 ~horizon ()
+    Driver.lrpc_throughput ~config:(microvax 1) ~clients:1 ~horizon ()
   in
   let mv5 =
-    Driver.lrpc_throughput ~cost_model:Cost_model.microvax2_firefly
-      ~processors:5 ~clients:5 ~horizon ()
+    Driver.lrpc_throughput ~config:(microvax 5) ~clients:5 ~horizon ()
   in
   { points; lrpc_speedup_at_4 = at4; microvax_speedup_at_5 = mv5 /. mv1 }
 

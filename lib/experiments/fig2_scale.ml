@@ -50,20 +50,16 @@ let run ?(max_cpus = 32) ?(horizon = Time.ms 250) ?engine_domains () =
     List.map
       (fun n ->
         let horizon = rung_horizon ~horizon n in
-        let l =
-          Driver.lrpc_scale ?engine_domains ~processors:n ~clients:n ~horizon ()
+        let config =
+          { Driver.Config.default with Driver.Config.processors = n; engine_domains }
         in
+        let l = Driver.lrpc_scale ~config ~clients:n ~horizon () in
         (* Same workload, pathological submission: every caller enters on
            processor 0 and only work stealing can spread the load. *)
         let u =
-          Driver.lrpc_scale ?engine_domains
-            ~home:(fun _ -> 0)
-            ~processors:n ~clients:n ~horizon ()
+          Driver.lrpc_scale ~home:(fun _ -> 0) ~config ~clients:n ~horizon ()
         in
-        let s =
-          Driver.mpass_scale ?engine_domains Profile.src_rpc ~processors:n
-            ~clients:n ~horizon
-        in
+        let s = Driver.mpass_scale ~config Profile.src_rpc ~clients:n ~horizon in
         (n, l, u, s))
       (ladder max_cpus)
   in

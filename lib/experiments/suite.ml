@@ -9,7 +9,7 @@
 
 let paper = [ "t1"; "f1"; "t2"; "t3"; "t4"; "t5"; "f2" ]
 let ablations = [ "a1"; "a2"; "a3"; "a4"; "a5"; "a6" ]
-let supplementary = [ "lat"; "f2s" ]
+let supplementary = [ "lat"; "f2s"; "openloop" ]
 let names = paper @ ablations @ supplementary
 
 let mem name = List.mem name names
@@ -23,11 +23,12 @@ let fig2_scale_result ~quick =
     ~horizon:(Lrpc_sim.Time.ms (if quick then 100 else 250))
     ()
 
-let json_names = [ "f2s" ]
+let json_names = [ "f2s"; "openloop" ]
 
-let json ?seed:_ ?(quick = false) name =
+let json ?(seed = 1989L) ?(quick = false) name =
   match name with
   | "f2s" -> Fig2_scale.to_json (fig2_scale_result ~quick)
+  | "openloop" -> Openloop.to_json (Openloop.run ~seed ~quick ())
   | other -> invalid_arg ("Suite.json: no JSON rendering for " ^ other)
 
 let run ?(seed = 1989L) ?(quick = false) name =
@@ -50,4 +51,5 @@ let run ?(seed = 1989L) ?(quick = false) name =
   | "a6" -> Ablations.render_a6 (Ablations.run_a6 ())
   | "lat" -> Latency.render (Latency.run ~horizon ())
   | "f2s" -> Fig2_scale.render (fig2_scale_result ~quick)
+  | "openloop" -> Openloop.render (Openloop.run ~seed ~quick ())
   | other -> invalid_arg ("Suite.run: unknown artifact " ^ other)

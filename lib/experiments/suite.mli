@@ -8,8 +8,9 @@ val ablations : string list
 (** ["a1"] … ["a6"] — the DESIGN.md ablations. *)
 
 val supplementary : string list
-(** ["lat"; "f2s"] — supplementary measurements (latency distribution
-    and the beyond-Figure-2 multiprocessor scaling study). *)
+(** ["lat"; "f2s"; "openloop"] — supplementary measurements (latency
+    distribution, the beyond-Figure-2 multiprocessor scaling study, and
+    the open-loop latency-vs-load study). *)
 
 val names : string list
 (** [paper @ ablations @ supplementary]. *)
@@ -19,7 +20,7 @@ val mem : string -> bool
 
 val json_names : string list
 (** Artifacts that also have a machine-checkable JSON rendering
-    (currently ["f2s"]). *)
+    (currently ["f2s"] and ["openloop"]). *)
 
 val json : ?seed:int64 -> ?quick:bool -> string -> string
 (** The JSON rendering of an artifact in {!json_names} — same

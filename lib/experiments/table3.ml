@@ -39,7 +39,9 @@ let lrpc_cell ~defensive =
   let audit = Vm.audit_create () in
   let split = ref 0 in
   ignore
-    (Api.export rt ~domain:server ~defensive_copies:defensive iface
+    (Api.export rt ~domain:server
+       ~options:{ Api.Options.default with defensive_copies = defensive }
+       iface
        ~impls:
          [
            ( "echo",
@@ -52,7 +54,10 @@ let lrpc_cell ~defensive =
   ignore
     (Kernel.spawn kernel client (fun () ->
          let b = Api.import rt ~domain:client ~interface:"Probe" in
-         ignore (Api.call ~audit rt b ~proc:"echo" [ V.int 7 ])));
+         ignore
+           (Api.call
+              ~options:{ Api.Options.default with audit = Some audit }
+              rt b ~proc:"echo" [ V.int 7 ])));
   Engine.run engine;
   (match Engine.failures engine with
   | [] -> ()

@@ -34,7 +34,14 @@ let run ?(calls = 1000) () =
     List.map
       (fun t ->
         let mp_world =
-          Driver.make_lrpc ~processors:2 ~domain_caching:true ()
+          Driver.make_lrpc
+            ~config:
+              {
+                Driver.Config.default with
+                Driver.Config.processors = 2;
+                domain_caching = true;
+              }
+            ()
         in
         let lrpc_mp_us =
           Driver.lrpc_latency ~calls mp_world ~proc:t.Driver.proc

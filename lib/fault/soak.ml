@@ -1,10 +1,10 @@
 module Prng = Lrpc_util.Prng
 module Engine = Lrpc_sim.Engine
 module Time = Lrpc_sim.Time
-module Cost_model = Lrpc_sim.Cost_model
 module Metrics = Lrpc_obs.Metrics
 module Trace = Lrpc_obs.Trace
 module Kernel = Lrpc_kernel.Kernel
+module Driver = Lrpc_workload.Driver
 module Rt = Lrpc_core.Rt
 module Api = Lrpc_core.Api
 module Server_ctx = Lrpc_core.Server_ctx
@@ -118,14 +118,27 @@ let remote_impls =
   ]
 
 let run cfg =
-  let engine =
-    Engine.create ~processors:cfg.processors ~domains:cfg.engine_domains
-      Cost_model.cvax_firefly
+  (* One Driver.Config instead of hand-built engine/tracer/kernel/rt.
+     The fault plan installs from the boot hook — before any domain
+     exists — which is safe because crash timers resolve their victim
+     domains by name only when they fire. *)
+  let boot =
+    Driver.boot
+      {
+        Driver.Config.default with
+        Driver.Config.processors = cfg.processors;
+        engine_domains = Some cfg.engine_domains;
+        trace_capacity = Some cfg.trace_capacity;
+        install_faults =
+          Some (Plan.install (Plan.make { cfg.spec with Plan.seed = cfg.seed }));
+      }
   in
-  let tracer = Trace.create ~capacity:cfg.trace_capacity () in
-  Engine.set_tracer engine (Some tracer);
-  let kernel = Kernel.boot engine in
-  let rt = Api.init kernel in
+  let engine = boot.Driver.bt_engine in
+  let kernel = boot.Driver.bt_kernel in
+  let rt = boot.Driver.bt_rt in
+  let tracer =
+    match boot.Driver.bt_tracer with Some t -> t | None -> assert false
+  in
   let srv_a = Kernel.create_domain kernel ~name:"srv-a" in
   let srv_b = Kernel.create_domain kernel ~name:"srv-b" in
   let srv_net = Kernel.create_domain kernel ~machine:1 ~name:"srv-net" in
@@ -142,8 +155,6 @@ let run cfg =
     Lrpc_net.Netrpc.import_remote rt ~client:app ~server:srv_net remote_iface
       ~impls:remote_impls
   in
-  let plan = Plan.make { cfg.spec with Plan.seed = cfg.seed } in
-  Plan.install plan rt;
   (* The workload streams must not collide with the plan's (both are
      split off the seed), so the workload root is perturbed first. *)
   let master = Prng.create ~seed:(Int64.logxor cfg.seed 0x9E3779B97F4A7C15L) in

@@ -173,11 +173,14 @@ let to_json s =
   Buffer.add_string buf
     (entries (fun v -> Printf.sprintf "%.6g" v) s.gauges);
   Buffer.add_string buf "},\"histograms\":{";
+  (* An empty histogram has no quantiles worth serializing — its p50/p90/
+     p99 would all read as the meaningless 0 default — so it is omitted
+     entirely rather than emitting garbage. *)
   Buffer.add_string buf
     (entries
        (fun h ->
          Printf.sprintf "{\"count\":%d,\"p50\":%d,\"p90\":%d,\"p99\":%d}"
            h.hs_count h.hs_p50 h.hs_p90 h.hs_p99)
-       s.histograms);
+       (List.filter (fun (_, h) -> h.hs_count > 0) s.histograms));
   Buffer.add_string buf "}}";
   Buffer.contents buf

@@ -61,7 +61,11 @@ module Histo : sig
   (** Record a simulated duration, in microseconds rounded to nearest. *)
 
   val count : histogram -> int
+
   val percentile : histogram -> float -> int
+  (** [percentile h p] for [p] in [0..100]. An empty histogram has no
+      order statistics; every percentile of one is defined as 0. *)
+
   val underlying : histogram -> Lrpc_util.Histogram.t
   val name : histogram -> string
 end
@@ -70,7 +74,7 @@ end
 
 type histogram_summary = {
   hs_count : int;
-  hs_p50 : int;
+  hs_p50 : int;  (** 0 when [hs_count = 0] (see {!Histo.percentile}) *)
   hs_p90 : int;
   hs_p99 : int;
 }
@@ -93,7 +97,10 @@ val render : snapshot -> string
 (** Aligned human-readable text, one instrument per line. *)
 
 val to_json : snapshot -> string
-(** A single JSON object: [{"counters":{...},"gauges":{...},"histograms":{...}}]. *)
+(** A single JSON object:
+    [{"counters":{...},"gauges":{...},"histograms":{...}}]. Histograms
+    with zero samples are omitted — their quantiles would be the
+    meaningless empty-histogram 0s, not data. *)
 
 val json_escape : string -> string
 (** JSON string-body escaping (shared with {!Chrome_trace}). *)

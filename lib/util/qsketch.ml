@@ -1,0 +1,85 @@
+(* Layout: indices [0, m) are exact one-unit buckets for values below
+   m = 2^sub_bits. Above that, the values with most-significant bit k
+   form group g = k - sub_bits, covering [m * 2^g, 2m * 2^g) with m
+   sub-buckets of width 2^g each — so bucket width / bucket base never
+   exceeds 1/m, which is the advertised relative error. Group 0's
+   width-1 buckets continue the exact range seamlessly. *)
+
+type t = {
+  sb : int;
+  m : int; (* 2^sb sub-buckets per power-of-two group *)
+  buckets : int array;
+  mutable total : int;
+  mutable vsum : int;
+}
+
+let create ?(sub_bits = 5) () =
+  if sub_bits < 1 || sub_bits > 16 then
+    invalid_arg "Qsketch.create: sub_bits outside 1..16";
+  let m = 1 lsl sub_bits in
+  (* Groups 0 .. 62-sb cover every positive value up to max_int. *)
+  { sb = sub_bits; m; buckets = Array.make ((64 - sub_bits) * m) 0;
+    total = 0; vsum = 0 }
+
+let sub_bits t = t.sb
+let relative_error t = 1.0 /. float_of_int t.m
+
+let msb v =
+  let k = ref 0 and v = ref (v lsr 1) in
+  while !v > 0 do
+    incr k;
+    v := !v lsr 1
+  done;
+  !k
+
+let index_of t v =
+  if v < t.m then v
+  else
+    let g = msb v - t.sb in
+    t.m + (g * t.m) + ((v lsr g) - t.m)
+
+(* Inclusive upper bound of bucket [i] — the value quantiles report. *)
+let upper_of t i =
+  if i < t.m then i
+  else
+    let g = (i - t.m) / t.m and sub = (i - t.m) mod t.m in
+    ((t.m + sub + 1) lsl g) - 1
+
+let add t v =
+  if v < 0 then invalid_arg "Qsketch.add: negative sample";
+  let i = index_of t v in
+  t.buckets.(i) <- t.buckets.(i) + 1;
+  t.total <- t.total + 1;
+  t.vsum <- t.vsum + v
+
+let count t = t.total
+let sum t = t.vsum
+
+let mean t =
+  if t.total = 0 then 0.0 else float_of_int t.vsum /. float_of_int t.total
+
+let quantile t q =
+  if not (q >= 0.0 && q <= 1.0) then invalid_arg "Qsketch.quantile";
+  if t.total = 0 then 0
+  else begin
+    let target = max 1 (int_of_float (ceil (q *. float_of_int t.total))) in
+    let acc = ref 0 and i = ref 0 in
+    while !acc + t.buckets.(!i) < target do
+      acc := !acc + t.buckets.(!i);
+      incr i
+    done;
+    upper_of t !i
+  end
+
+let p50 t = quantile t 0.5
+let p99 t = quantile t 0.99
+let p999 t = quantile t 0.999
+
+let merge a b =
+  if a.sb <> b.sb then invalid_arg "Qsketch.merge: sub_bits differ";
+  {
+    a with
+    buckets = Array.mapi (fun i c -> c + b.buckets.(i)) a.buckets;
+    total = a.total + b.total;
+    vsum = a.vsum + b.vsum;
+  }

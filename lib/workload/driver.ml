@@ -1,5 +1,6 @@
 module Engine = Lrpc_sim.Engine
 module Metrics = Lrpc_obs.Metrics
+module Trace = Lrpc_obs.Trace
 module Time = Lrpc_sim.Time
 module Cost_model = Lrpc_sim.Cost_model
 module Kernel = Lrpc_kernel.Kernel
@@ -9,6 +10,7 @@ module Api = Lrpc_core.Api
 module Server_ctx = Lrpc_core.Server_ctx
 module Mpass = Lrpc_msgrpc.Mpass
 module Profile = Lrpc_msgrpc.Profile
+module Netrpc = Lrpc_net.Netrpc
 
 type test = { test_name : string; proc : string; args : V.t list }
 
@@ -63,26 +65,96 @@ let mpass_bench_impls =
         match args with [ V.Bytes b ] -> [ V.bytes b ] | _ -> invalid_arg "big_in_out" );
   ]
 
+(* --- unified construction ----------------------------------------------- *)
+
+module Config = struct
+  type t = {
+    cost_model : Cost_model.t;
+    processors : int;
+    engine_domains : int option;
+    runtime : Lrpc_core.Rt.config option;
+    domain_caching : bool;
+    defensive_copies : bool;
+    install_faults : (Api.t -> unit) option;
+    trace_capacity : int option;
+    net_window : int option;
+    net_rto : Time.t option;
+    net_max_attempts : int option;
+  }
+
+  let default =
+    {
+      cost_model = Cost_model.cvax_firefly;
+      processors = 1;
+      engine_domains = None;
+      runtime = None;
+      domain_caching = false;
+      defensive_copies = false;
+      install_faults = None;
+      trace_capacity = None;
+      net_window = None;
+      net_rto = None;
+      net_max_attempts = None;
+    }
+end
+
+type boot = {
+  bt_engine : Engine.t;
+  bt_kernel : Kernel.t;
+  bt_rt : Api.t;
+  bt_tracer : Trace.t option;
+}
+
+let boot (c : Config.t) =
+  let bt_engine =
+    Engine.create ~processors:c.Config.processors
+      ?domains:c.Config.engine_domains c.Config.cost_model
+  in
+  let bt_tracer =
+    Option.map
+      (fun capacity -> Trace.create ~capacity ())
+      c.Config.trace_capacity
+  in
+  (match bt_tracer with
+  | None -> ()
+  | Some tracer -> Engine.set_tracer bt_engine (Some tracer));
+  let bt_kernel = Kernel.boot bt_engine in
+  Kernel.set_domain_caching bt_kernel c.Config.domain_caching;
+  let bt_rt = Api.init ?config:c.Config.runtime bt_kernel in
+  (match c.Config.install_faults with
+  | None -> ()
+  | Some install -> install bt_rt);
+  { bt_engine; bt_kernel; bt_rt; bt_tracer }
+
+let export_options (c : Config.t) =
+  { Api.Options.default with defensive_copies = c.Config.defensive_copies }
+
+(* --- LRPC world ---------------------------------------------------------- *)
+
 type lrpc_world = {
   lw_engine : Engine.t;
   lw_kernel : Kernel.t;
   lw_rt : Api.t;
   lw_server : Lrpc_kernel.Pdomain.t;
   lw_client : Lrpc_kernel.Pdomain.t;
+  lw_tracer : Trace.t option;
 }
 
-let make_lrpc ?(cost_model = Cost_model.cvax_firefly) ?(processors = 1)
-    ?engine_domains ?config ?(defensive = false) ?(domain_caching = false) () =
-  let lw_engine = Engine.create ~processors ?domains:engine_domains cost_model in
-  let lw_kernel = Kernel.boot lw_engine in
-  Kernel.set_domain_caching lw_kernel domain_caching;
-  let lw_rt = Api.init ?config lw_kernel in
-  let lw_server = Kernel.create_domain lw_kernel ~name:"bench-server" in
-  let lw_client = Kernel.create_domain lw_kernel ~name:"bench-client" in
+let make_lrpc ?(config = Config.default) () =
+  let b = boot config in
+  let lw_server = Kernel.create_domain b.bt_kernel ~name:"bench-server" in
+  let lw_client = Kernel.create_domain b.bt_kernel ~name:"bench-client" in
   ignore
-    (Api.export lw_rt ~domain:lw_server ~defensive_copies:defensive
+    (Api.export b.bt_rt ~domain:lw_server ~options:(export_options config)
        bench_interface ~impls:bench_impls);
-  { lw_engine; lw_kernel; lw_rt; lw_server; lw_client }
+  {
+    lw_engine = b.bt_engine;
+    lw_kernel = b.bt_kernel;
+    lw_rt = b.bt_rt;
+    lw_server;
+    lw_client;
+    lw_tracer = b.bt_tracer;
+  }
 
 let run_all engine =
   Engine.run engine;
@@ -139,18 +211,17 @@ let scale_stats_of engine ~count ~horizon =
     ss_shard_contended = summed "lrpc.astack_shard_contended";
   }
 
-let lrpc_scale ?(cost_model = Cost_model.cvax_firefly)
-    ?(domain_caching = false) ?engine_domains ?home ~processors ~clients
-    ~horizon () =
+let lrpc_scale ?home ?(config = Config.default) ~clients ~horizon () =
+  let processors = config.Config.processors in
   let home_of =
     match home with Some f -> f | None -> fun i -> i mod processors
   in
-  let engine = Engine.create ~processors ?domains:engine_domains cost_model in
-  let kernel = Kernel.boot engine in
-  Kernel.set_domain_caching kernel domain_caching;
-  let rt = Api.init kernel in
+  let b = boot config in
+  let engine = b.bt_engine and kernel = b.bt_kernel and rt = b.bt_rt in
   let server = Kernel.create_domain kernel ~name:"server" in
-  ignore (Api.export rt ~domain:server bench_interface ~impls:bench_impls);
+  ignore
+    (Api.export rt ~domain:server ~options:(export_options config)
+       bench_interface ~impls:bench_impls);
   let count = ref 0 in
   for i = 0 to clients - 1 do
     let client =
@@ -174,47 +245,63 @@ let lrpc_scale ?(cost_model = Cost_model.cvax_firefly)
            (Printexc.to_string exn)));
   scale_stats_of engine ~count:!count ~horizon
 
-let lrpc_throughput ?cost_model ?domain_caching ?engine_domains ~processors
-    ~clients ~horizon () =
-  (lrpc_scale ?cost_model ?domain_caching ?engine_domains ~processors ~clients
-     ~horizon ())
-    .ss_cps
+let lrpc_throughput ?config ~clients ~horizon () =
+  (lrpc_scale ?config ~clients ~horizon ()).ss_cps
 
-let mpass_latency ?(warmup = 5) ?(calls = 200) profile ~proc ~args =
-  let engine = Engine.create ~processors:1 profile.Profile.hw in
-  let kernel = Kernel.boot engine in
-  let sd = Kernel.create_domain kernel ~name:"server" in
-  let client = Kernel.create_domain kernel ~name:"client" in
-  let server =
-    Mpass.create_server kernel profile ~domain:sd bench_interface
+(* --- message-passing baseline -------------------------------------------- *)
+
+type mpass_world = {
+  mw_engine : Engine.t;
+  mw_kernel : Kernel.t;
+  mw_server : Mpass.server;
+  mw_client : Lrpc_kernel.Pdomain.t;
+  mw_tracer : Trace.t option;
+}
+
+let make_mpass ?(config = Config.default) profile =
+  (* The profile carries the machine: its [hw] is the cost model. *)
+  let config = { config with Config.cost_model = profile.Profile.hw } in
+  let b = boot config in
+  let sd = Kernel.create_domain b.bt_kernel ~name:"server" in
+  let mw_client = Kernel.create_domain b.bt_kernel ~name:"client" in
+  let mw_server =
+    Mpass.create_server b.bt_kernel profile ~domain:sd bench_interface
       ~impls:mpass_bench_impls
   in
+  {
+    mw_engine = b.bt_engine;
+    mw_kernel = b.bt_kernel;
+    mw_server;
+    mw_client;
+    mw_tracer = b.bt_tracer;
+  }
+
+let mpass_latency ?(warmup = 5) ?(calls = 200) ?config profile ~proc ~args =
+  let w = make_mpass ?config profile in
   let out = ref 0.0 in
   ignore
-    (Kernel.spawn kernel client ~name:"latency-driver" (fun () ->
-         let conn = Mpass.connect server ~client in
+    (Kernel.spawn w.mw_kernel w.mw_client ~name:"latency-driver" (fun () ->
+         let conn = Mpass.connect w.mw_server ~client:w.mw_client in
          for _ = 1 to warmup do
            ignore (Mpass.call conn ~proc args)
          done;
-         let t0 = Engine.now engine in
+         let t0 = Engine.now w.mw_engine in
          for _ = 1 to calls do
            ignore (Mpass.call conn ~proc args)
          done;
-         out := Time.to_us (Time.sub (Engine.now engine) t0) /. float_of_int calls));
-  run_all engine;
+         out :=
+           Time.to_us (Time.sub (Engine.now w.mw_engine) t0)
+           /. float_of_int calls));
+  run_all w.mw_engine;
   !out
 
-let mpass_scale ?engine_domains profile ~processors ~clients ~horizon =
-  let profile = { profile with Profile.receivers = max clients profile.Profile.receivers } in
-  let engine =
-    Engine.create ~processors ?domains:engine_domains profile.Profile.hw
+let mpass_scale ?(config = Config.default) profile ~clients ~horizon =
+  let processors = config.Config.processors in
+  let profile =
+    { profile with Profile.receivers = max clients profile.Profile.receivers }
   in
-  let kernel = Kernel.boot engine in
-  let sd = Kernel.create_domain kernel ~name:"server" in
-  let server =
-    Mpass.create_server kernel profile ~domain:sd bench_interface
-      ~impls:mpass_bench_impls
-  in
+  let w = make_mpass ~config profile in
+  let engine = w.mw_engine and kernel = w.mw_kernel in
   let count = ref 0 in
   for i = 0 to clients - 1 do
     let client =
@@ -223,7 +310,7 @@ let mpass_scale ?engine_domains profile ~processors ~clients ~horizon =
     ignore
       (Kernel.spawn kernel client ~home:(i mod processors)
          ~name:(Printf.sprintf "caller%d" i) (fun () ->
-           let conn = Mpass.connect server ~client in
+           let conn = Mpass.connect w.mw_server ~client in
            while true do
              ignore (Mpass.call conn ~proc:"null" []);
              incr count
@@ -238,5 +325,101 @@ let mpass_scale ?engine_domains profile ~processors ~clients ~horizon =
            (Printexc.to_string exn)));
   scale_stats_of engine ~count:!count ~horizon
 
-let mpass_throughput ?engine_domains profile ~processors ~clients ~horizon =
-  (mpass_scale ?engine_domains profile ~processors ~clients ~horizon).ss_cps
+let mpass_throughput ?config profile ~clients ~horizon =
+  (mpass_scale ?config profile ~clients ~horizon).ss_cps
+
+(* --- cross-machine Netrpc world ------------------------------------------ *)
+
+type netrpc_world = {
+  nw_engine : Engine.t;
+  nw_kernel : Kernel.t;
+  nw_rt : Api.t;
+  nw_server : Lrpc_kernel.Pdomain.t;
+  nw_client : Lrpc_kernel.Pdomain.t;
+  nw_binding : Lrpc_core.Rt.binding;
+  nw_tracer : Trace.t option;
+}
+
+let make_netrpc ?(config = Config.default) () =
+  let b = boot config in
+  let nw_server =
+    Kernel.create_domain b.bt_kernel ~machine:1 ~name:"bench-server"
+  in
+  let nw_client = Kernel.create_domain b.bt_kernel ~name:"bench-client" in
+  let nw_binding =
+    Netrpc.import_remote ?window:config.Config.net_window
+      ?rto:config.Config.net_rto ?max_attempts:config.Config.net_max_attempts
+      b.bt_rt ~client:nw_client ~server:nw_server bench_interface
+      ~impls:mpass_bench_impls
+  in
+  {
+    nw_engine = b.bt_engine;
+    nw_kernel = b.bt_kernel;
+    nw_rt = b.bt_rt;
+    nw_server;
+    nw_client;
+    nw_binding;
+    nw_tracer = b.bt_tracer;
+  }
+
+let netrpc_latency ?(warmup = 5) ?(calls = 50) w ~proc ~args =
+  let out = ref 0.0 in
+  ignore
+    (Kernel.spawn w.nw_kernel w.nw_client ~name:"latency-driver" (fun () ->
+         for _ = 1 to warmup do
+           ignore (Api.call w.nw_rt w.nw_binding ~proc args)
+         done;
+         let t0 = Engine.now w.nw_engine in
+         for _ = 1 to calls do
+           ignore (Api.call w.nw_rt w.nw_binding ~proc args)
+         done;
+         out :=
+           Time.to_us (Time.sub (Engine.now w.nw_engine) t0)
+           /. float_of_int calls));
+  run_all w.nw_engine;
+  !out
+
+(* --- deprecated pre-Config constructors ---------------------------------- *)
+
+module Legacy = struct
+  let cfg ?(cost_model = Cost_model.cvax_firefly) ?(processors = 1)
+      ?engine_domains ?runtime ?(defensive = false) ?(domain_caching = false)
+      () =
+    {
+      Config.default with
+      Config.cost_model;
+      processors;
+      engine_domains;
+      runtime;
+      defensive_copies = defensive;
+      domain_caching;
+    }
+
+  let make_lrpc ?cost_model ?processors ?engine_domains ?config ?defensive
+      ?domain_caching () =
+    make_lrpc
+      ~config:
+        (cfg ?cost_model ?processors ?engine_domains ?runtime:config
+           ?defensive ?domain_caching ())
+      ()
+
+  let lrpc_scale ?cost_model ?domain_caching ?engine_domains ?home ~processors
+      ~clients ~horizon () =
+    lrpc_scale ?home
+      ~config:(cfg ?cost_model ~processors ?engine_domains ?domain_caching ())
+      ~clients ~horizon ()
+
+  let lrpc_throughput ?cost_model ?domain_caching ?engine_domains ~processors
+      ~clients ~horizon () =
+    (lrpc_scale ?cost_model ?domain_caching ?engine_domains ~processors
+       ~clients ~horizon ())
+      .ss_cps
+
+  let mpass_scale ?engine_domains profile ~processors ~clients ~horizon =
+    mpass_scale
+      ~config:(cfg ~processors ?engine_domains ())
+      profile ~clients ~horizon
+
+  let mpass_throughput ?engine_domains profile ~processors ~clients ~horizon =
+    (mpass_scale ?engine_domains profile ~processors ~clients ~horizon).ss_cps
+end

@@ -1,12 +1,26 @@
-(** Closed-loop measurement drivers shared by the experiment harness,
-    the benchmarks and the examples.
+(** Measurement world construction and closed-loop drivers shared by the
+    experiment harness, the benchmarks, the chaos soak and the examples.
 
     The canonical workload is the paper's four-test suite (Table 4):
     Null, Add (two 4-byte arguments, one 4-byte result), BigIn (one
     200-byte argument) and BigInOut (200 bytes in and out). Latency is
     measured exactly as the paper did — a tight loop of calls, elapsed
     (simulated) time divided by the count — and throughput as completed
-    calls per simulated second across concurrent callers. *)
+    calls per simulated second across concurrent callers.
+
+    {b Construction.} Every world — LRPC ({!make_lrpc}), message-pass
+    baseline ({!make_mpass}), cross-machine Netrpc ({!make_netrpc}) —
+    and every scale/throughput driver is parameterized by one
+    {!Config.t} record instead of per-function optional-argument
+    sprawl; build one with a record update on {!Config.default}:
+
+    {[
+      let w =
+        Driver.make_lrpc
+          ~config:
+            { Driver.Config.default with processors = 4; domain_caching = true }
+          ()
+    ]} *)
 
 type test = { test_name : string; proc : string; args : Lrpc_idl.Value.t list }
 
@@ -17,6 +31,63 @@ val bench_interface : Lrpc_idl.Types.interface
 val bench_impls : (string * Lrpc_core.Rt.impl) list
 val mpass_bench_impls : (string * Lrpc_msgrpc.Mpass.impl) list
 
+(** {1 Unified construction} *)
+
+(** Everything a measurement world is made of. One record shared by the
+    lrpc/mpass/netrpc constructors; fields irrelevant to a given
+    constructor (e.g. [net_window] for a local world) are ignored. *)
+module Config : sig
+  type t = {
+    cost_model : Lrpc_sim.Cost_model.t;
+        (** machine timing model (default C-VAX Firefly). {!make_mpass}
+            overrides it with the profile's [hw]. *)
+    processors : int;  (** simulated CPUs (default 1) *)
+    engine_domains : int option;
+        (** forwarded to {!Lrpc_sim.Engine.create}'s [domains]: how many
+            host domains the machine's processors shard across.
+            Simulated results are bit-identical for any value;
+            [None] uses {!Lrpc_sim.Engine.default_domains}. *)
+    runtime : Lrpc_core.Rt.config option;
+        (** LRPC runtime tuning (A-stack pool sizes, E-stack policy);
+            [None] is {!Lrpc_core.Rt.default_config}. *)
+    domain_caching : bool;
+        (** §3.4 idle-processor context caching (default off, Figure
+            2's setup where every call context-switches) *)
+    defensive_copies : bool;
+        (** exported server stubs copy interpreted arguments off the
+            A-stack (paper §3.5) *)
+    install_faults : (Lrpc_core.Api.t -> unit) option;
+        (** run against the freshly built runtime before any domains or
+            threads exist — the hook for
+            [Lrpc_fault.Plan.install (Plan.make spec)] *)
+    trace_capacity : int option;
+        (** attach a {!Lrpc_obs.Trace.t} ring of this capacity to the
+            engine (default: no tracer) *)
+    net_window : int option;
+        (** Netrpc in-flight window ({!make_netrpc} only) *)
+    net_rto : Lrpc_sim.Time.t option;  (** Netrpc retransmit timeout *)
+    net_max_attempts : int option;  (** Netrpc retry bound *)
+  }
+
+  val default : t
+  (** One C-VAX Firefly processor, default runtime, no caching, no
+      defensive copies, no faults, no tracer, Netrpc defaults. *)
+end
+
+(** The machine layers every world shares, built by {!boot}. *)
+type boot = {
+  bt_engine : Lrpc_sim.Engine.t;
+  bt_kernel : Lrpc_kernel.Kernel.t;
+  bt_rt : Lrpc_core.Api.t;
+  bt_tracer : Lrpc_obs.Trace.t option;
+}
+
+val boot : Config.t -> boot
+(** Engine, optional tracer, kernel, runtime, fault hooks — in that
+    order. The world constructors below add their domains and exports
+    on top; callers with bespoke topologies (the soak, the latency
+    breakdown) use [boot] directly. *)
+
 (** {1 LRPC} *)
 
 type lrpc_world = {
@@ -25,20 +96,13 @@ type lrpc_world = {
   lw_rt : Lrpc_core.Api.t;
   lw_server : Lrpc_kernel.Pdomain.t;
   lw_client : Lrpc_kernel.Pdomain.t;
+  lw_tracer : Lrpc_obs.Trace.t option;
 }
 
-val make_lrpc :
-  ?cost_model:Lrpc_sim.Cost_model.t ->
-  ?processors:int ->
-  ?engine_domains:int ->
-  ?config:Lrpc_core.Rt.config ->
-  ?defensive:bool ->
-  ?domain_caching:bool ->
-  unit ->
-  lrpc_world
-(** [engine_domains] is forwarded to {!Lrpc_sim.Engine.create}'s
-    [domains]: how many host domains the simulated machine's processors
-    shard across. Simulated results are bit-identical for any value. *)
+val make_lrpc : ?config:Config.t -> unit -> lrpc_world
+(** A booted machine with the Bench interface exported from a server
+    domain (honouring [config.defensive_copies]) and an unbound client
+    domain. *)
 
 val run_all : Lrpc_sim.Engine.t -> unit
 (** Run the engine to quiescence; raise [Failure] if any simulated
@@ -50,17 +114,9 @@ val lrpc_latency :
 (** Steady-state per-call latency in simulated microseconds. *)
 
 val lrpc_throughput :
-  ?cost_model:Lrpc_sim.Cost_model.t ->
-  ?domain_caching:bool ->
-  ?engine_domains:int ->
-  processors:int ->
-  clients:int ->
-  horizon:Lrpc_sim.Time.t ->
-  unit ->
-  float
+  ?config:Config.t -> clients:int -> horizon:Lrpc_sim.Time.t -> unit -> float
 (** Null calls per simulated second, [clients] closed-loop callers (one
-    domain each, pinned one per processor). Domain caching defaults to
-    off, matching Figure 2's setup where every call context-switches. *)
+    domain each, pinned one per [config.processors] processor). *)
 
 (** {1 Scaling statistics}
 
@@ -84,38 +140,136 @@ type scale_stats = {
 }
 
 val lrpc_scale :
-  ?cost_model:Lrpc_sim.Cost_model.t ->
-  ?domain_caching:bool ->
-  ?engine_domains:int ->
   ?home:(int -> int) ->
-  processors:int ->
+  ?config:Config.t ->
   clients:int ->
   horizon:Lrpc_sim.Time.t ->
   unit ->
   scale_stats
 (** [home] maps caller index to the processor the caller is submitted on
-    (default [i mod processors], Figure 2's balanced pinning). The
-    scaling study uses [fun _ -> 0] to submit every caller on processor
-    0 and let the per-CPU run queues redistribute by stealing. *)
+    (default [i mod config.processors], Figure 2's balanced pinning).
+    The scaling study uses [fun _ -> 0] to submit every caller on
+    processor 0 and let the per-CPU run queues redistribute by
+    stealing. *)
 
 val mpass_scale :
-  ?engine_domains:int ->
+  ?config:Config.t ->
   Lrpc_msgrpc.Profile.t ->
-  processors:int ->
   clients:int ->
   horizon:Lrpc_sim.Time.t ->
   scale_stats
+(** The profile's receiver pool is widened to [clients] so the baseline
+    is never starved of receivers; its [hw] replaces
+    [config.cost_model]. *)
 
-(** {1 Message-passing baselines} *)
+(** {1 Message-passing baseline} *)
+
+type mpass_world = {
+  mw_engine : Lrpc_sim.Engine.t;
+  mw_kernel : Lrpc_kernel.Kernel.t;
+  mw_server : Lrpc_msgrpc.Mpass.server;
+  mw_client : Lrpc_kernel.Pdomain.t;
+  mw_tracer : Lrpc_obs.Trace.t option;
+}
+
+val make_mpass : ?config:Config.t -> Lrpc_msgrpc.Profile.t -> mpass_world
+(** A machine running the profile's [hw] with the Bench interface
+    served by the profile's receiver pool, plus an unconnected client
+    domain ([Lrpc_msgrpc.Mpass.connect] from a simulated thread). *)
 
 val mpass_latency :
-  ?warmup:int -> ?calls:int -> Lrpc_msgrpc.Profile.t -> proc:string ->
-  args:Lrpc_idl.Value.t list -> float
+  ?warmup:int -> ?calls:int -> ?config:Config.t -> Lrpc_msgrpc.Profile.t ->
+  proc:string -> args:Lrpc_idl.Value.t list -> float
 
 val mpass_throughput :
-  ?engine_domains:int ->
+  ?config:Config.t ->
   Lrpc_msgrpc.Profile.t ->
-  processors:int ->
   clients:int ->
   horizon:Lrpc_sim.Time.t ->
   float
+
+(** {1 Cross-machine Netrpc} *)
+
+type netrpc_world = {
+  nw_engine : Lrpc_sim.Engine.t;
+  nw_kernel : Lrpc_kernel.Kernel.t;
+  nw_rt : Lrpc_core.Api.t;
+  nw_server : Lrpc_kernel.Pdomain.t;  (** lives on machine 1 *)
+  nw_client : Lrpc_kernel.Pdomain.t;  (** lives on machine 0 *)
+  nw_binding : Lrpc_core.Rt.binding;
+      (** remote Binding Object — calls through it take the network
+          path (honours [config.net_window]/[net_rto]/
+          [net_max_attempts]) *)
+  nw_tracer : Lrpc_obs.Trace.t option;
+}
+
+val make_netrpc : ?config:Config.t -> unit -> netrpc_world
+(** The Bench interface served across the simulated Ethernet: server
+    domain on machine 1, client domain (with the binding already
+    imported) on machine 0. *)
+
+val netrpc_latency :
+  ?warmup:int -> ?calls:int -> netrpc_world -> proc:string ->
+  args:Lrpc_idl.Value.t list -> float
+(** Steady-state per-call latency in simulated microseconds through the
+    remote binding (dominated by the ~2.66 ms Firefly wire time). *)
+
+(** {1 Deprecated}
+
+    The pre-{!Config} constructors, kept for one release as thin
+    forwards so external callers migrate on their own schedule. New
+    code should build a {!Config.t}. *)
+
+module Legacy : sig
+  val make_lrpc :
+    ?cost_model:Lrpc_sim.Cost_model.t ->
+    ?processors:int ->
+    ?engine_domains:int ->
+    ?config:Lrpc_core.Rt.config ->
+    ?defensive:bool ->
+    ?domain_caching:bool ->
+    unit ->
+    lrpc_world
+  (** @deprecated Use {!Driver.make_lrpc} with a {!Config.t}. *)
+
+  val lrpc_scale :
+    ?cost_model:Lrpc_sim.Cost_model.t ->
+    ?domain_caching:bool ->
+    ?engine_domains:int ->
+    ?home:(int -> int) ->
+    processors:int ->
+    clients:int ->
+    horizon:Lrpc_sim.Time.t ->
+    unit ->
+    scale_stats
+  (** @deprecated Use {!Driver.lrpc_scale}. *)
+
+  val lrpc_throughput :
+    ?cost_model:Lrpc_sim.Cost_model.t ->
+    ?domain_caching:bool ->
+    ?engine_domains:int ->
+    processors:int ->
+    clients:int ->
+    horizon:Lrpc_sim.Time.t ->
+    unit ->
+    float
+  (** @deprecated Use {!Driver.lrpc_throughput}. *)
+
+  val mpass_scale :
+    ?engine_domains:int ->
+    Lrpc_msgrpc.Profile.t ->
+    processors:int ->
+    clients:int ->
+    horizon:Lrpc_sim.Time.t ->
+    scale_stats
+  (** @deprecated Use {!Driver.mpass_scale}. *)
+
+  val mpass_throughput :
+    ?engine_domains:int ->
+    Lrpc_msgrpc.Profile.t ->
+    processors:int ->
+    clients:int ->
+    horizon:Lrpc_sim.Time.t ->
+    float
+  (** @deprecated Use {!Driver.mpass_throughput}. *)
+end

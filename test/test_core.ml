@@ -67,8 +67,9 @@ let make_world ?config ?(processors = 1) ?(defensive = false) () =
   let server = Kernel.create_domain kernel ~name:"arith" in
   let client = Kernel.create_domain kernel ~name:"app" in
   ignore
-    (Api.export rt ~domain:server ~defensive_copies:defensive arith_iface
-       ~impls:arith_impls);
+    (Api.export rt ~domain:server
+       ~options:{ Api.Options.default with defensive_copies = defensive }
+       arith_iface ~impls:arith_impls);
   { engine; kernel; rt; server; client }
 
 (* Run [body] in a client thread to completion; propagate test failures. *)
@@ -182,7 +183,11 @@ let test_import_waits_for_export () =
   let got = ref false in
   ignore
     (Kernel.spawn kernel client ~home:0 (fun () ->
-         let b = Api.import ~wait:true rt ~domain:client ~interface:"Late" in
+         let b =
+           Api.import
+             ~options:{ Api.Options.default with wait = true }
+             rt ~domain:client ~interface:"Late"
+         in
          (match Api.call rt b ~proc:"ping" [] with
          | [] -> got := true
          | _ -> ());
@@ -294,7 +299,9 @@ let test_by_ref_record_param () =
     (Kernel.spawn kernel client (fun () ->
          let b = Api.import rt ~domain:client ~interface:"DB" in
          match
-           Api.call1 ~audit rt b ~proc:"put"
+           Api.call1
+             ~options:{ Api.Options.default with audit = Some audit }
+             rt b ~proc:"put"
              [ V.struct_ [ V.int 9; V.card 500 ] ]
          with
          | V.Bool true -> ()
@@ -419,12 +426,16 @@ let test_mutation_hazard_without_defensive_copies () =
 
 let copy_labels audit = List.rev audit.Vm.labels
 
+let audited audit = { Api.Options.default with Api.Options.audit = Some audit }
+
 let test_copy_labels_trusting () =
   let w = make_world () in
   let audit = Vm.audit_create () in
   in_client w (fun () ->
       let b = Api.import w.rt ~domain:w.client ~interface:"Arith" in
-      ignore (Api.call ~audit w.rt b ~proc:"add" [ V.int 1; V.int 2 ]));
+      ignore
+        (Api.call ~options:(audited audit) w.rt b ~proc:"add"
+           [ V.int 1; V.int 2 ]));
   (* two A copies on call (two args), one F on return (result) *)
   Alcotest.(check (list string)) "labels" [ "A"; "A"; "F" ] (copy_labels audit)
 
@@ -433,7 +444,9 @@ let test_copy_labels_defensive () =
   let audit = Vm.audit_create () in
   in_client w (fun () ->
       let b = Api.import w.rt ~domain:w.client ~interface:"Arith" in
-      ignore (Api.call ~audit w.rt b ~proc:"add" [ V.int 1; V.int 2 ]));
+      ignore
+        (Api.call ~options:(audited audit) w.rt b ~proc:"add"
+           [ V.int 1; V.int 2 ]));
   Alcotest.(check (list string)) "labels"
     [ "A"; "A"; "E"; "E"; "F" ]
     (copy_labels audit)
@@ -444,7 +457,8 @@ let test_uninterpreted_skips_defensive_copy () =
   in_client w (fun () ->
       let b = Api.import w.rt ~domain:w.client ~interface:"Arith" in
       ignore
-        (Api.call ~audit w.rt b ~proc:"write" [ V.bytes (Bytes.make 64 'x') ]));
+        (Api.call ~options:(audited audit) w.rt b ~proc:"write"
+           [ V.bytes (Bytes.make 64 'x') ]));
   (* write's buffer is @uninterpreted: A on call, F for the card result,
      and crucially no E even under a defensive export. *)
   Alcotest.(check (list string)) "labels" [ "A"; "F" ] (copy_labels audit)
@@ -454,7 +468,7 @@ let test_null_copies_nothing () =
   let audit = Vm.audit_create () in
   in_client w (fun () ->
       let b = Api.import w.rt ~domain:w.client ~interface:"Arith" in
-      ignore (Api.call ~audit w.rt b ~proc:"null" []));
+      ignore (Api.call ~options:(audited audit) w.rt b ~proc:"null" []));
   Alcotest.(check int) "no copies" 0 audit.Vm.copy_ops
 
 (* --- latency (Table 4 & 5) ------------------------------------------------ *)

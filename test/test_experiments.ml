@@ -229,6 +229,84 @@ let test_latency_distribution () =
         && row.E.Latency.p90_us <= row.E.Latency.p99_us))
     r.E.Latency.rows
 
+(* --- open-loop load study -------------------------------------------------- *)
+
+let openloop_quick = lazy (E.Openloop.run ~quick:true ())
+
+let test_openloop_shape () =
+  let r = Lazy.force openloop_quick in
+  let systems = List.map (fun c -> c.E.Openloop.oc_system) r.E.Openloop.or_curves in
+  List.iter
+    (fun required ->
+      Alcotest.(check bool) (required ^ " curve present") true
+        (List.mem required systems))
+    [ "lrpc"; "src_rpc"; "netrpc" ];
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (c.E.Openloop.oc_system ^ " capacity positive")
+        true
+        (c.E.Openloop.oc_capacity_cps > 0.0);
+      let offered =
+        List.map (fun p -> p.E.Openloop.op_offered_cps) c.E.Openloop.oc_points
+      in
+      Alcotest.(check bool)
+        (c.E.Openloop.oc_system ^ " offered load strictly increasing")
+        true
+        (List.for_all2 (fun a b -> a < b)
+           (List.filteri (fun i _ -> i < List.length offered - 1) offered)
+           (List.tl offered));
+      List.iter
+        (fun p ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s@%.0f quantiles ordered" c.E.Openloop.oc_system
+               p.E.Openloop.op_offered_cps)
+            true
+            (p.E.Openloop.op_p50_us <= p.E.Openloop.op_p99_us
+            && p.E.Openloop.op_p99_us <= p.E.Openloop.op_p999_us);
+          Alcotest.(check bool) "measured <= completed <= issued" true
+            (p.E.Openloop.op_measured <= p.E.Openloop.op_completed
+            && p.E.Openloop.op_completed <= p.E.Openloop.op_issued))
+        c.E.Openloop.oc_points)
+    r.E.Openloop.or_curves
+
+let test_openloop_knee_detected () =
+  (* The sweep deliberately runs past capacity, so every system must
+     saturate — the study's whole point. *)
+  let r = Lazy.force openloop_quick in
+  List.iter
+    (fun c ->
+      match c.E.Openloop.oc_knee_cps with
+      | Some k ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s knee %.0f within sweep" c.E.Openloop.oc_system k)
+            true
+            (k > 0.0 && k <= 1.35 *. c.E.Openloop.oc_capacity_cps +. 1.0)
+      | None ->
+          Alcotest.fail (c.E.Openloop.oc_system ^ ": no saturation knee found"))
+    r.E.Openloop.or_curves
+
+let test_openloop_engine_domains_invariant () =
+  (* The acceptance bar for the partitioned engine: the whole study —
+     capacity anchors, arrival streams, quantile sketches — is
+     bit-identical however the simulated processors shard across host
+     domains. *)
+  let json d =
+    E.Openloop.to_json (E.Openloop.run ~quick:true ~engine_domains:d ())
+  in
+  let d1 = json 1 in
+  Alcotest.(check string) "1 = 2 engine domains" d1 (json 2);
+  Alcotest.(check string) "1 = 4 engine domains" d1 (json 4)
+
+let test_openloop_json_render () =
+  let r = Lazy.force openloop_quick in
+  let json = E.Openloop.to_json r in
+  Alcotest.(check bool) "json mentions experiment" true
+    (String.length json > 200
+    && String.sub json 0 25 = "{\"experiment\": \"openloop\"");
+  Alcotest.(check bool) "text render substantial" true
+    (String.length (E.Openloop.render r) > 200)
+
 (* renders should never raise and always mention the paper *)
 let test_renders () =
   let nonempty name s =
@@ -262,5 +340,13 @@ let () =
         ] );
       ( "supplementary",
         [ Alcotest.test_case "latency distribution" `Slow test_latency_distribution ] );
+      ( "openloop",
+        [
+          Alcotest.test_case "curve shape" `Slow test_openloop_shape;
+          Alcotest.test_case "knee detected" `Slow test_openloop_knee_detected;
+          Alcotest.test_case "engine-domains invariant" `Slow
+            test_openloop_engine_domains_invariant;
+          Alcotest.test_case "renders" `Slow test_openloop_json_render;
+        ] );
       ("rendering", [ Alcotest.test_case "renders" `Quick test_renders ]);
     ]

@@ -70,6 +70,33 @@ let test_metrics_kind_mismatch () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "same key registered as two instrument kinds"
 
+let test_metrics_empty_histogram () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "test.empty" in
+  (* No samples: every percentile is defined as 0, not an exception. *)
+  Alcotest.(check int) "p50 of empty" 0 (Metrics.Histo.percentile h 50.0);
+  Alcotest.(check int) "p99 of empty" 0 (Metrics.Histo.percentile h 99.0);
+  let full = Metrics.histogram m "test.full" in
+  Metrics.Histo.observe full 7;
+  let s = Metrics.snapshot m in
+  (match Metrics.get_histogram s "test.empty" with
+  | Some hs ->
+      Alcotest.(check int) "snapshot count" 0 hs.Metrics.hs_count;
+      Alcotest.(check int) "snapshot p50" 0 hs.Metrics.hs_p50
+  | None -> Alcotest.fail "empty histogram still appears in the snapshot");
+  (* ... but the JSON rendering omits it: its quantiles would be the
+     meaningless empty-histogram 0s, not data. *)
+  let json = Metrics.to_json s in
+  let contains needle =
+    let nl = String.length needle and jl = String.length json in
+    let rec go i = i + nl <= jl && (String.sub json i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "non-empty histogram serialized" true
+    (contains "\"test.full\"");
+  Alcotest.(check bool) "empty histogram omitted from JSON" false
+    (contains "\"test.empty\"")
+
 (* --- A fixed serial workload --------------------------------------------- *)
 
 let run_calls ?(tracer = false) n =
@@ -278,6 +305,8 @@ let () =
             test_metrics_roundtrip;
           Alcotest.test_case "kind mismatch rejected" `Quick
             test_metrics_kind_mismatch;
+          Alcotest.test_case "empty histogram" `Quick
+            test_metrics_empty_histogram;
         ] );
       ( "call path",
         [

@@ -306,6 +306,90 @@ let prop_prng_int_in_range =
       let v = Prng.int g bound in
       v >= 0 && v < bound)
 
+(* --- Qsketch ------------------------------------------------------------ *)
+
+let test_qsketch_empty () =
+  let s = Qsketch.create () in
+  Alcotest.(check int) "count" 0 (Qsketch.count s);
+  Alcotest.(check int) "p50" 0 (Qsketch.p50 s);
+  Alcotest.(check int) "p999" 0 (Qsketch.p999 s);
+  check_float "mean" 0.0 (Qsketch.mean s)
+
+let test_qsketch_small_values_exact () =
+  (* Values below 2^sub_bits land in one-unit buckets: quantiles are
+     exact order statistics there. *)
+  let s = Qsketch.create () in
+  List.iter (Qsketch.add s) [ 3; 1; 4; 1; 5; 9; 2; 6 ];
+  Alcotest.(check int) "count" 8 (Qsketch.count s);
+  Alcotest.(check int) "sum" 31 (Qsketch.sum s);
+  Alcotest.(check int) "p50 = 4th smallest" 3 (Qsketch.quantile s 0.5);
+  Alcotest.(check int) "max" 9 (Qsketch.quantile s 1.0)
+
+let test_qsketch_rejects () =
+  let s = Qsketch.create () in
+  Alcotest.check_raises "negative sample"
+    (Invalid_argument "Qsketch.add: negative sample") (fun () ->
+      Qsketch.add s (-1));
+  let t = Qsketch.create ~sub_bits:6 () in
+  (match Qsketch.merge s t with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "sub_bits mismatch must not merge");
+  match Qsketch.create ~sub_bits:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "sub_bits 0 must be rejected"
+
+let exact_quantile sorted q =
+  let n = Array.length sorted in
+  let rank = max 1 (int_of_float (ceil (q *. float_of_int n))) in
+  sorted.(rank - 1)
+
+let qsketch_samples =
+  (* Mix magnitudes so both the exact region and several power-of-two
+     ranges are exercised. *)
+  QCheck.(
+    list_of_size
+      Gen.(int_range 1 300)
+      (Gen.oneof
+         [ Gen.int_bound 30; Gen.int_bound 5_000; Gen.int_bound 10_000_000 ]
+       |> make))
+
+let prop_qsketch_quantile_bound =
+  QCheck.Test.make ~count:200
+    ~name:"qsketch quantile within relative-error bound of exact" qsketch_samples
+    (fun samples ->
+      let s = Qsketch.create () in
+      List.iter (Qsketch.add s) samples;
+      let sorted = Array.of_list (List.sort compare samples) in
+      let err = Qsketch.relative_error s in
+      List.for_all
+        (fun q ->
+          let exact = exact_quantile sorted q in
+          let approx = Qsketch.quantile s q in
+          approx >= exact
+          && float_of_int approx
+             <= (float_of_int exact *. (1.0 +. err)) +. 1.0)
+        [ 0.0; 0.5; 0.9; 0.99; 0.999; 1.0 ])
+
+let prop_qsketch_merge_is_concat =
+  QCheck.Test.make ~count:200
+    ~name:"qsketch merge(a,b) == sketch(a @ b) at every quantile"
+    QCheck.(pair qsketch_samples qsketch_samples)
+    (fun (xs, ys) ->
+      let sa = Qsketch.create () and sb = Qsketch.create () in
+      List.iter (Qsketch.add sa) xs;
+      List.iter (Qsketch.add sb) ys;
+      let merged = Qsketch.merge sa sb in
+      let concat = Qsketch.create () in
+      List.iter (Qsketch.add concat) (xs @ ys);
+      let ok = ref (Qsketch.count merged = Qsketch.count concat) in
+      ok := !ok && Qsketch.sum merged = Qsketch.sum concat;
+      for i = 0 to 100 do
+        let q = float_of_int i /. 100.0 in
+        if Qsketch.quantile merged q <> Qsketch.quantile concat q then
+          ok := false
+      done;
+      !ok)
+
 let () =
   let qsuite =
     List.map QCheck_alcotest.to_alcotest
@@ -315,6 +399,8 @@ let () =
         prop_stats_mean_bounded;
         prop_prng_matches_reference;
         prop_prng_int_in_range;
+        prop_qsketch_quantile_bound;
+        prop_qsketch_merge_is_concat;
       ]
   in
   Alcotest.run "lrpc_util"
@@ -357,6 +443,13 @@ let () =
           Alcotest.test_case "table render" `Quick test_table_render;
           Alcotest.test_case "table arity" `Quick test_table_wrong_arity;
           Alcotest.test_case "chart render" `Quick test_chart_render;
+        ] );
+      ( "qsketch",
+        [
+          Alcotest.test_case "empty" `Quick test_qsketch_empty;
+          Alcotest.test_case "small values exact" `Quick
+            test_qsketch_small_values_exact;
+          Alcotest.test_case "rejects" `Quick test_qsketch_rejects;
         ] );
       ("properties", qsuite);
     ]

@@ -155,7 +155,7 @@ let test_driver_lrpc_latency_sane () =
 
 let test_driver_throughput_matches_latency () =
   let tput =
-    Driver.lrpc_throughput ~processors:1 ~clients:1 ~horizon:(Time.ms 100) ()
+    Driver.lrpc_throughput ~clients:1 ~horizon:(Time.ms 100) ()
   in
   (* 1e6/157 = 6369 *)
   Alcotest.(check bool)
@@ -171,6 +171,126 @@ let test_driver_failure_propagates () =
   with
   | exception Failure _ -> ()
   | _ -> Alcotest.fail "type error should surface"
+
+(* --- Open-loop arrival streams ------------------------------------------- *)
+
+module Ol = Lrpc_workload.Openloop
+module Kernel = Lrpc_kernel.Kernel
+module Api = Lrpc_core.Api
+module Engine = Lrpc_sim.Engine
+
+let gaps cfg ~per_stream =
+  let ss = Ol.streams cfg in
+  Array.to_list ss
+  |> List.concat_map (fun s -> List.init per_stream (fun _ -> Ol.next_gap s))
+
+let poisson_cfg =
+  {
+    Ol.ol_seed = 7L;
+    ol_sessions = 16;
+    ol_offered_cps = 8_000.0;
+    ol_process = Ol.Poisson;
+    ol_horizon = Time.ms 100;
+    ol_warmup = Time.ms 10;
+  }
+
+let bursty_cfg =
+  {
+    poisson_cfg with
+    Ol.ol_process =
+      Ol.Bursty
+        { burst_mult = 4.0; mean_burst = Time.ms 5; mean_idle = Time.ms 15 };
+  }
+
+let test_openloop_streams_deterministic () =
+  List.iter
+    (fun cfg ->
+      let a = gaps cfg ~per_stream:200 and b = gaps cfg ~per_stream:200 in
+      Alcotest.(check (list (float 0.0))) "same gap sequence" a b)
+    [ poisson_cfg; bursty_cfg ];
+  let a = gaps poisson_cfg ~per_stream:10 in
+  let b = gaps { poisson_cfg with Ol.ol_seed = 8L } ~per_stream:10 in
+  Alcotest.(check bool) "seed changes the stream" false (a = b)
+
+let test_openloop_mean_rate () =
+  (* 16 sessions at 8000 cps total: 500/s each, mean gap 2000 us.
+     Holds for the MMPP too — its idle/burst rates are balanced to
+     preserve the session mean. *)
+  List.iter
+    (fun cfg ->
+      let g = gaps cfg ~per_stream:3000 in
+      let mean = List.fold_left ( +. ) 0.0 g /. float_of_int (List.length g) in
+      Alcotest.(check bool)
+        (Printf.sprintf "mean gap %.0f near 2000" mean)
+        true
+        (Float.abs (mean -. 2000.0) < 150.0))
+    [ poisson_cfg; bursty_cfg ]
+
+let test_openloop_run_tracks_offered () =
+  (* A real LRPC world at ~29% of its single-CPU capacity: achieved
+     throughput tracks offered, and latency stays near the closed-loop
+     157 us null time. *)
+  let w = Driver.make_lrpc () in
+  let binding =
+    Api.import w.Driver.lw_rt ~domain:w.Driver.lw_client ~interface:"Bench"
+  in
+  let cfg =
+    {
+      Ol.ol_seed = 11L;
+      ol_sessions = 8;
+      ol_offered_cps = 1_800.0;
+      ol_process = Ol.Poisson;
+      ol_horizon = Time.ms 200;
+      ol_warmup = Time.ms 40;
+    }
+  in
+  let r =
+    Ol.run cfg ~engine:w.Driver.lw_engine
+      ~spawn:(fun ~session body ->
+        ignore
+          (Kernel.spawn w.Driver.lw_kernel w.Driver.lw_client
+             ~name:(Printf.sprintf "ol%d" session) body))
+      ~call:(fun ~session:_ ->
+        ignore (Api.call w.Driver.lw_rt binding ~proc:"null" []))
+  in
+  Alcotest.(check bool) "issued some calls" true (r.Ol.ol_issued > 200);
+  Alcotest.(check bool) "completed <= issued" true
+    (r.Ol.ol_completed <= r.Ol.ol_issued);
+  Alcotest.(check int) "sketch holds the measured calls" r.Ol.ol_measured
+    (Lrpc_util.Qsketch.count r.Ol.ol_sketch);
+  Alcotest.(check bool)
+    (Printf.sprintf "achieved %.0f tracks offered" r.Ol.ol_achieved_cps)
+    true
+    (Float.abs (r.Ol.ol_achieved_cps -. 1_800.0) < 300.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.0f us near unloaded null" r.Ol.ol_mean_us)
+    true
+    (r.Ol.ol_mean_us > 100.0 && r.Ol.ol_mean_us < 500.0)
+
+let test_openloop_rejects () =
+  (match Ol.streams { poisson_cfg with Ol.ol_sessions = 0 } with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "no sessions");
+  match Ol.streams { poisson_cfg with Ol.ol_offered_cps = 0.0 } with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero load"
+
+(* --- Legacy constructors forward to the Config path ----------------------- *)
+
+let test_legacy_wrappers_equivalent () =
+  let modern =
+    let w =
+      Driver.make_lrpc
+        ~config:{ Driver.Config.default with Driver.Config.processors = 2 }
+        ()
+    in
+    Driver.lrpc_latency ~calls:50 w ~proc:"null" ~args:[]
+  in
+  let legacy =
+    let w = Driver.Legacy.make_lrpc ~processors:2 () in
+    Driver.lrpc_latency ~calls:50 w ~proc:"null" ~args:[]
+  in
+  Alcotest.(check (float 1e-9)) "same latency" modern legacy
 
 let () =
   Alcotest.run "lrpc_workload"
@@ -203,5 +323,15 @@ let () =
           Alcotest.test_case "latency sane" `Quick test_driver_lrpc_latency_sane;
           Alcotest.test_case "throughput" `Quick test_driver_throughput_matches_latency;
           Alcotest.test_case "failures surface" `Quick test_driver_failure_propagates;
+          Alcotest.test_case "legacy wrappers" `Quick test_legacy_wrappers_equivalent;
+        ] );
+      ( "openloop",
+        [
+          Alcotest.test_case "streams deterministic" `Quick
+            test_openloop_streams_deterministic;
+          Alcotest.test_case "mean rate preserved" `Quick test_openloop_mean_rate;
+          Alcotest.test_case "run tracks offered" `Quick
+            test_openloop_run_tracks_offered;
+          Alcotest.test_case "rejects" `Quick test_openloop_rejects;
         ] );
     ]
