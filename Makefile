@@ -4,15 +4,16 @@ FAULT_JSON := /tmp/lrpc_fault_smoke.json
 HOST_JSON := /tmp/lrpc_bench_host_smoke.json
 SCALE_JSON := /tmp/lrpc_fig2_scale_smoke.json
 OPENLOOP_JSON := /tmp/lrpc_openloop_smoke.json
+OVERLOAD_JSON := /tmp/lrpc_overload_smoke.json
 ENGINE_D1_JSON := /tmp/lrpc_engine_d1_smoke.json
 ENGINE_D2_JSON := /tmp/lrpc_engine_d2_smoke.json
 
 .PHONY: check build test smoke pipeline-smoke fault-smoke fault-stress \
-  fig2-scale-smoke openloop-smoke engine-parallel-smoke bench-pipeline \
-  bench-host bench-host-full clean
+  fig2-scale-smoke openloop-smoke overload-smoke engine-parallel-smoke \
+  bench-pipeline bench-host bench-host-full clean
 
 check: build test smoke pipeline-smoke fault-smoke fig2-scale-smoke \
-  openloop-smoke engine-parallel-smoke bench-host
+  openloop-smoke overload-smoke engine-parallel-smoke bench-host
 
 build:
 	dune build
@@ -51,8 +52,9 @@ fault-smoke: build
 	@python3 -c "import json; d = json.load(open('$(FAULT_JSON)')); \
 	  inv = d['invariants']; out = d['outcomes']; \
 	  assert d['calls'] >= 5000; \
-	  assert set(inv) == {'all_resolved', 'pool_balanced', 'linkages_zero', \
-	                      'in_flight_zero', 'no_stuck_threads', 'no_thread_failures'}; \
+	  assert set(inv) == {'all_resolved', 'failure_accounting', 'pool_balanced', \
+	                      'linkages_zero', 'in_flight_zero', 'no_stuck_threads', \
+	                      'no_thread_failures'}; \
 	  assert all(inv.values()); \
 	  assert sum(out.values()) == d['calls']; \
 	  assert d['digest']"
@@ -104,6 +106,37 @@ openloop-smoke: build
 	  assert all(k is not None and k > 0 for k in knees.values()), \
 	    'missing saturation knee: %s' % knees"
 	@echo "openloop smoke OK"
+
+# End-to-end: the overload-control ablation must degrade gracefully.
+# With shedding on, goodput at and past the knee stays within ~10-15%
+# of the shared capacity anchor and the admitted calls' p99 stays
+# bounded (the 5 ms deadline budget plus queueing), while the shed-off
+# baseline's p99 collapses by an order of magnitude; the shed count
+# grows with offered load and is exactly zero with the policy off.
+overload-smoke: build
+	dune exec bin/lrpc_experiments.exe -- openloop --quick --shedding --json \
+	  > $(OVERLOAD_JSON)
+	@python3 -c "import json; d = json.load(open('$(OVERLOAD_JSON)')); \
+	  assert d['experiment'] == 'openloop_shed'; \
+	  s = {c['system']: c for c in d['systems']}; \
+	  assert set(s) == {'lrpc_shed_off', 'lrpc_shed_on'}; \
+	  off, on = s['lrpc_shed_off'], s['lrpc_shed_on']; \
+	  cap = on['capacity_cps']; \
+	  assert cap == off['capacity_cps'], 'arms must share the capacity anchor'; \
+	  assert len(on['points']) == len(off['points']) >= 3; \
+	  past_knee = [p for p in on['points'] if p['offered_cps'] > cap]; \
+	  assert past_knee, 'sweep must run past capacity'; \
+	  assert all(p['achieved_cps'] >= 0.85 * cap for p in past_knee), \
+	    'shed-on goodput collapsed: %s' % [p['achieved_cps'] for p in past_knee]; \
+	  assert all(p['p99_us'] <= 30000 for p in past_knee), \
+	    'shed-on p99 unbounded: %s' % [p['p99_us'] for p in past_knee]; \
+	  assert off['points'][-1]['p99_us'] >= 3 * on['points'][-1]['p99_us'], \
+	    'shed-off baseline did not collapse'; \
+	  sheds = [p['shed'] for p in on['points']]; \
+	  assert all(a <= b for a, b in zip(sheds, sheds[1:])) and sheds[-1] > 0, \
+	    'shed count must grow with offered load: %s' % sheds; \
+	  assert all(p['shed'] == 0 for p in off['points'])"
+	@echo "overload smoke OK"
 
 # End-to-end: sharding one simulated machine across host domains must
 # not change a byte of simulated output. Two probes: the chaos soak via

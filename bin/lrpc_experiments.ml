@@ -6,7 +6,7 @@
 module Suite = Lrpc_experiments.Suite
 module Parallel = Lrpc_harness.Parallel
 
-let run names seed quick jobs engine_domains json =
+let run names seed quick jobs engine_domains json shedding =
   if engine_domains <= 0 then begin
     Printf.eprintf
       "lrpc_experiments: --engine-domains must be positive (got %d)\n"
@@ -38,8 +38,18 @@ let run names seed quick jobs engine_domains json =
            (String.concat ", " (List.map (Printf.sprintf "%S") no_json))
            (String.concat ", " Suite.json_names);
          exit 2);
+  (if shedding then
+     match List.filter (fun n -> n <> "openloop") names with
+     | [] -> ()
+     | others ->
+         Printf.eprintf
+           "lrpc_experiments: --shedding only applies to \"openloop\" (got %s)\n"
+           (String.concat ", " (List.map (Printf.sprintf "%S") others));
+         exit 2);
   let render = if json then Suite.json else Suite.run in
-  let outputs = Parallel.map ~jobs (fun n -> render ~seed ~quick n) names in
+  let outputs =
+    Parallel.map ~jobs (fun n -> render ~seed ~quick ~shedding n) names
+  in
   List.iter
     (fun out ->
       print_endline out;
@@ -90,6 +100,16 @@ let engine_domains_arg =
   in
   Arg.(value & opt int 1 & info [ "engine-domains" ] ~docv:"N" ~doc)
 
+let shedding_arg =
+  let doc =
+    "Run the overload-control ablation of the open-loop study instead: \
+     the LRPC world swept past saturation with and without the shedding \
+     policy (admission control, queue-depth bound, sojourn target). Only \
+     valid with the 'openloop' experiment; anything else is an error \
+     (exit code 2)."
+  in
+  Arg.(value & flag & info [ "shedding" ] ~doc)
+
 let json_arg =
   let doc =
     "Emit the machine-checkable JSON rendering instead of the text one. \
@@ -107,6 +127,6 @@ let cmd =
     (Cmd.info "lrpc_experiments" ~version:"1.0" ~doc)
     Term.(
       const run $ names_arg $ seed_arg $ quick_arg $ jobs_arg
-      $ engine_domains_arg $ json_arg)
+      $ engine_domains_arg $ json_arg $ shedding_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -19,6 +19,7 @@ type failure =
   | Aborted of string
   | Deadline of string
   | Rejected of string
+  | Overloaded of { reason : string; retry_after_us : float }
   | Stub_raised of string
 
 let failure_to_string = function
@@ -26,6 +27,9 @@ let failure_to_string = function
   | Aborted m -> "aborted: " ^ m
   | Deadline m -> "deadline: " ^ m
   | Rejected m -> "rejected: " ^ m
+  | Overloaded { reason; retry_after_us } ->
+      Printf.sprintf "overloaded: %s (retry after %.0f us)" reason
+        retry_after_us
   | Stub_raised m -> "stub raised: " ^ m
 
 let init ?config kernel =
@@ -86,6 +90,8 @@ let await_all ?timeout rt hs =
 
 let abort rt h ~reason = Call.abort rt h ~reason
 
+let set_admission (rt : t) a = rt.Rt.admission <- a
+
 (* Graceful degradation: the typed LRPC failures become a [result];
    caller bugs ([Not_in_thread], [Already_awaited], [Invalid_argument])
    and thread death still raise, and anything else that escaped the
@@ -96,6 +102,8 @@ let classify_failure = function
   | Rt.Deadline_exceeded m -> Error (Deadline m)
   | Rt.Bad_binding m -> Error (Rejected m)
   | Rt.Not_exported m -> Error (Rejected ("not exported: " ^ m))
+  | Rt.Overloaded { ov_reason; ov_backoff_us } ->
+      Error (Overloaded { reason = ov_reason; retry_after_us = ov_backoff_us })
   | ( Lrpc_sim.Engine.Thread_killed | Rt.Already_awaited _ | Not_in_thread _
     | Invalid_argument _ | Rt.Unwind_termination ) as exn ->
       raise exn

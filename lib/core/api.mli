@@ -87,6 +87,11 @@ type failure =
       (** [Rt.Deadline_exceeded]: a [deadline] or [?timeout] fired. *)
   | Rejected of string
       (** [Rt.Bad_binding] / [Rt.Not_exported]: the call never started. *)
+  | Overloaded of { reason : string; retry_after_us : float }
+      (** [Rt.Overloaded]: refused by admission control or shed from the
+          A-stack queue under an installed {!Rt.admission} policy — the
+          call never consumed a server thread. [retry_after_us] is the
+          server's backoff hint. *)
   | Stub_raised of string
       (** Any other exception escaping the server procedure,
           [Printexc]-rendered. *)
@@ -168,6 +173,17 @@ val abort : t -> Call_handle.t -> reason:string -> unit
 (** See {!Call.abort}: land an unlanded call with
     [Rt.Deadline_exceeded reason] now, abandoning its vehicle per
     §5.3. *)
+
+val set_admission : t -> Rt.admission option -> unit
+(** Install (or clear, with [None]) the runtime-wide overload-control
+    policy. With a policy installed, calls are refused with
+    [Rt.Overloaded] when a binding reaches its concurrency limit, when
+    the A-stack FIFO is past its depth bound, when a queued wait
+    exceeds the target sojourn (CoDel-style shedding), or — with
+    deadline-aware admission — when a call's whole deadline budget is
+    below the binding's observed service time. With no policy installed
+    (the default), the call path does no admission work and its delay
+    sequence is bit-identical to pre-admission builds. *)
 
 val call_result :
   ?options:Options.t ->

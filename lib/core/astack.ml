@@ -60,6 +60,30 @@ let make_pool rt ~client ~server ~proc ~size ~count =
 
 let lock_hold rt = (cost_model rt).Lrpc_sim.Cost_model.astack_lock
 
+(* Admission context for one checkout: the binding whose queue-delay
+   histogram a queued wait observes into, and (only while an admission
+   policy is installed) the call's absolute deadline, so expiry can
+   abort the wait instead of letting a doomed call consume a grant. *)
+type admit = { ad_binding : Rt.binding; ad_deadline_at : Time.t option }
+
+let waiting pool =
+  Queue.fold (fun acc c -> if c.aw_active then acc + 1 else acc) 0 pool.ap_waiters
+
+let shed_counter rt =
+  Metrics.counter (Engine.metrics (engine rt)) "lrpc.calls_shed"
+
+(* The backoff hint a rejection carries: twice the sojourn target when
+   one is set (the CoDel-ish "come back after the queue has drained a
+   target's worth"), else a millisecond. *)
+let backoff_hint rt =
+  match rt.admission with
+  | Some { adm_target_sojourn = Some t; _ } -> 2.0 *. Time.to_us t
+  | Some _ | None -> 1_000.0
+
+let shed rt ~reason =
+  Metrics.Counter.incr (shed_counter rt);
+  raise (Overloaded { ov_reason = reason; ov_backoff_us = backoff_hint rt })
+
 (* Engine-level free-list access (timers, revocation, invariant checks):
    the sharded lists are ordinary state — spinlocks only model cost and
    contention for in-thread users. *)
@@ -140,12 +164,72 @@ let wait_in_cell rt pool cell =
       consumed := true;
       match cell.aw_grant with Some a -> a | None -> assert false)
 
-let wait_for_grant rt pool =
+(* One FIFO wait with the overload guards around it. While queued, an
+   installed admission policy's sojourn target arms a CoDel-style timer
+   that sheds the waiter (interrupting it with [Overloaded]) once its
+   queue delay exceeds the target, and a call deadline arms a second
+   timer delivering [Deadline_exceeded] — the §5.3 abort-while-waiting
+   path: the interrupted waiter's [Fun.protect] deactivates the cell and
+   relinquishes any racing grant, so no A-stack leaks and later waiters
+   keep their FIFO order. On a grant, the wait's duration lands in the
+   binding's ["lrpc.queue_delay_us"] histogram. With no admission policy
+   installed and no deadline, no timer is armed: cost-identical to a
+   bare [wait_in_cell]. *)
+let guarded_cell_wait ?admit rt pool cell =
+  let e = engine rt in
+  let t0 = Engine.now e in
+  let timers = ref [] in
+  let arm at exn ~on_fire =
+    timers :=
+      Engine.at e at (fun () ->
+          if
+            cell.aw_active && cell.aw_grant = None && Engine.alive cell.aw_th
+            && not (Engine.has_pending_interrupt cell.aw_th)
+          then begin
+            on_fire ();
+            Engine.interrupt e cell.aw_th exn
+          end)
+      :: !timers
+  in
+  (match admit with
+  | None -> ()
+  | Some ad ->
+      (match rt.admission with
+      | Some { adm_target_sojourn = Some target; _ } ->
+          arm (Time.add t0 target)
+            (Overloaded
+               {
+                 ov_reason =
+                   Printf.sprintf
+                     "A-stack queue delay exceeded %.0f us sojourn target"
+                     (Time.to_us target);
+                 ov_backoff_us = backoff_hint rt;
+               })
+            ~on_fire:(fun () -> Metrics.Counter.incr (shed_counter rt))
+      | Some _ | None -> ());
+      (match ad.ad_deadline_at with
+      | Some at ->
+          arm at
+            (Deadline_exceeded "deadline expired while queued for an A-stack")
+            ~on_fire:(fun () -> ())
+      | None -> ()));
+  Fun.protect
+    ~finally:(fun () -> List.iter (Engine.cancel_timer e) !timers)
+    (fun () ->
+      let a = wait_in_cell rt pool cell in
+      (match admit with
+      | Some ad ->
+          Metrics.Histo.observe_us ad.ad_binding.b_stats.cs_queue
+            (Time.sub (Engine.now e) t0)
+      | None -> ());
+      a)
+
+let wait_for_grant ?admit rt pool =
   let cell =
     { aw_th = Engine.self (engine rt); aw_grant = None; aw_active = true }
   in
   Queue.push cell pool.ap_waiters;
-  wait_in_cell rt pool cell
+  guarded_cell_wait ?admit rt pool cell
 
 (* Join the FIFO waiter queue with a safety timer that re-grants from the
    free lists after [d], unless an interleaved check-in got there first.
@@ -154,7 +238,7 @@ let wait_for_grant rt pool =
    the last free A-stack, in which case only a future check-in can grant,
    so the timer alone (no polling, no spinning) keeps the path
    deadlock-free. *)
-let timed_grant_wait rt pool d =
+let timed_grant_wait ?admit rt pool d =
   let e = engine rt in
   let cell = { aw_th = Engine.self e; aw_grant = None; aw_active = true } in
   Queue.push cell pool.ap_waiters;
@@ -171,15 +255,15 @@ let timed_grant_wait rt pool d =
   in
   Fun.protect
     ~finally:(fun () -> Engine.cancel_timer e tmr)
-    (fun () -> wait_in_cell rt pool cell)
+    (fun () -> guarded_cell_wait ?admit rt pool cell)
 
 (* Injected transient starvation (fault plan): the caller joins the FIFO
    waiter queue even though the free lists may be non-empty, exercising
    the direct-grant path until the starvation window closes. *)
-let starve rt pool d =
+let starve ?admit rt pool d =
   Metrics.Counter.incr
     (Metrics.counter (Engine.metrics (engine rt)) "fault.astack_starvations");
-  timed_grant_wait rt pool d
+  timed_grant_wait ?admit rt pool d
 
 (* Unlink every queued waiter and deliver [exn] into it instead of a
    grant — a binding being revoked must not hand A-stacks of a dead
@@ -200,13 +284,13 @@ let fail_waiters rt pool exn =
       end)
     pool.ap_waiters
 
-let checkout rt pb ~client ~server =
+let checkout ?admit rt pb ~client ~server =
   let pool = pb.pb_pool in
   let starved =
     match rt.faults with
     | Some f -> (
         match f.f_starvation ~proc:pb.pb_spec.I.proc_name with
-        | Some d -> Some (starve rt pool d)
+        | Some d -> Some (starve ?admit rt pool d)
         | None -> None)
     | None -> None
   in
@@ -255,14 +339,28 @@ let checkout rt pb ~client ~server =
       (* Every free A-stack (if any) sits behind a held shard lock: fall
          back to the FIFO direct-grant path rather than spin. *)
       Metrics.Counter.incr rt.c_shard_contended;
-      let a = timed_grant_wait rt pool (lock_hold rt) in
+      let a = timed_grant_wait ?admit rt pool (lock_hold rt) in
       a.a_last_used <- Engine.now e;
       a
   | None -> (
       Metrics.Counter.incr rt.c_pool_exhausted;
+      (* Queue-depth admission: a checkout that would queue behind a
+         full FIFO is refused here, before consuming anything, rather
+         than deepening a queue the sojourn target already condemns.
+         Gated on both an installed policy and an admission context, so
+         bare checkouts (tests, revocation paths) never shed. *)
+      (match (admit, rt.admission) with
+      | Some _, Some { adm_max_queue = Some m; _ } ->
+          let depth = waiting pool in
+          if depth >= m then
+            shed rt
+              ~reason:
+                (Printf.sprintf "A-stack FIFO full (%d waiters, limit %d)"
+                   depth m)
+      | _ -> ());
       match rt.config.astack_exhaustion with
       | `Wait ->
-          let a = wait_for_grant rt pool in
+          let a = wait_for_grant ?admit rt pool in
           a.a_last_used <- Engine.now e;
           a
       | `Allocate ->
@@ -302,9 +400,6 @@ let checkin rt pb a =
   match woken with
   | Some th -> Engine.wake e th
   | None -> ()
-
-let waiting pool =
-  Queue.fold (fun acc c -> if c.aw_active then acc + 1 else acc) 0 pool.ap_waiters
 
 let validate rt pb a =
   if not (List.memq a pb.pb_pool.ap_all) then

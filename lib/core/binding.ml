@@ -126,6 +126,8 @@ let build_binding rt ~client ex =
       b_client_stub_pages = client_stubs.Vm.pages;
       b_stats =
         make_call_stats rt ~bid:rt.next_binding ~client ~server;
+      b_inflight = 0;
+      b_srv_ewma_us = 0.0;
       b_revoked = false;
       b_remote = None;
     }
@@ -178,6 +180,8 @@ let make_remote_binding ?(window = 8) rt ~client ~server iface ~transport =
       b_client_stub_pages = [];
       b_stats =
         make_call_stats rt ~bid:rt.next_binding ~client ~server;
+      b_inflight = 0;
+      b_srv_ewma_us = 0.0;
       b_revoked = false;
       b_remote =
         Some

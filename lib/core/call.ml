@@ -101,6 +101,7 @@ let read_outputs rt ?audit ~client ~region ~proc plan =
 let reason_of_exn = function
   | Call_failed m | Call_aborted m | Deadline_exceeded m | Bad_binding m -> m
   | Not_exported m -> "not exported: " ^ m
+  | Overloaded { ov_reason; _ } -> ov_reason
   | exn -> Printexc.to_string exn
 
 (* Record the call's outcome on the handle and wake everyone blocked in
@@ -120,6 +121,18 @@ let land_ rt h outcome =
           h.ch_deadline <- None
       | None -> ());
       h.ch_state <- Landed outcome;
+      let b = h.ch_binding in
+      b.b_inflight <- b.b_inflight - 1;
+      (* Observed service time feeds deadline-aware admission; tracked
+         only while a policy is installed so the unlimited fast path
+         stays bit-identical in work done per call. *)
+      (match (rt.admission, outcome) with
+      | Some _, Ok () ->
+          let obs = Time.to_us (Time.sub (Engine.now e) h.ch_issued_at) in
+          b.b_srv_ewma_us <-
+            (if b.b_srv_ewma_us = 0.0 then obs
+             else (0.9 *. b.b_srv_ewma_us) +. (0.1 *. obs))
+      | _ -> ());
       note_call_landed rt;
       if Engine.tracing e then
         Engine.emit e
@@ -518,7 +531,7 @@ let readout rt h outcome =
    under the `Wait exhaustion policy — the pool is the pipelining
    window), marshal the arguments. Runs on the issuing thread; errors
    here raise synchronously, before a handle exists. *)
-let issue_local ?audit rt b ~proc args =
+let issue_local ?audit ?admit rt b ~proc args =
   let e = engine rt in
   let cm = cost_model rt in
   let client = b.b_client and server = b.b_server in
@@ -535,7 +548,7 @@ let issue_local ?audit rt b ~proc args =
   Engine.delay ~category:Category.Stub_client e
     cm.Lrpc_sim.Cost_model.client_stub_call;
   let plan = Layout.plan pb.pb_layout ~args in
-  let astack = Astack.checkout rt pb ~client ~server in
+  let astack = Astack.checkout ?admit rt pb ~client ~server in
   let oob = not (Layout.fits pb.pb_layout plan) in
   let data_region =
     if oob then begin
@@ -629,12 +642,77 @@ let abort rt h ~reason =
               end);
           land_ rt h (Error exn))
 
-let issue ?audit ?deadline ~vehicle rt b ~proc args =
+(* Refuse a call at the door. Raised before any resource is claimed, so
+   the only cost of a rejected call is the client-stub entry. *)
+let overloaded b ~reason =
+  let hint = if b.b_srv_ewma_us > 0.0 then b.b_srv_ewma_us else 1000.0 in
+  raise (Overloaded { ov_reason = reason; ov_backoff_us = hint })
+
+(* Admission control (installed via [rt.admission], off by default): the
+   concurrency bound rejects when the binding already has its limit of
+   calls in flight, and deadline-aware admission rejects calls whose
+   whole deadline budget is smaller than the observed (EWMA) service
+   time — they would only be aborted after consuming a server thread. *)
+let admission_gate rt b ?deadline () =
+  match rt.admission with
+  | None -> ()
+  | Some adm ->
+      (match adm.adm_max_inflight with
+      | Some m when b.b_inflight >= m ->
+          overloaded b
+            ~reason:
+              (Printf.sprintf "binding %d at concurrency limit (%d in flight)"
+                 b.bid m)
+      | _ -> ());
+      (match deadline with
+      | Some d when adm.adm_deadline_aware ->
+          let need = b.b_srv_ewma_us in
+          if need > 0.0 && Time.to_us d < need then
+            overloaded b
+              ~reason:
+                (Printf.sprintf
+                   "deadline budget %.0f us below observed service time %.0f us"
+                   (Time.to_us d) need)
+      | _ -> ());
+      Metrics.Counter.incr rt.c_calls_admitted
+
+let issue_guarded ?audit ?deadline ~vehicle rt b ~proc args =
   let e = engine rt in
   let cm = cost_model rt in
   let t0 = Engine.now e in
+  (* The admission test is the stub's first instruction, like the §5.1
+     remote bit: a couple of loads and compares before the formal
+     procedure entry, so a refused call is turned away without ever
+     competing for a processor — under overload the rejected sessions
+     cost the system nothing, which is what keeps rejection cheaper
+     than the work it sheds. *)
+  admission_gate rt b ?deadline ();
+  (* Admitted: the concurrency the gate bounds is admitted-and-not-yet-
+     landed, counted from the gate itself — a call holds its slot
+     through the stub entry, the kernel trap, the A-stack FIFO and its
+     whole in-service time, so under CPU overload the gate sees every
+     runnable thread still inside a call on this binding, not just the
+     ones that made it past checkout. Any refusal below (a queue shed,
+     a bad binding, a killed thread) returns the slot; a landed call
+     returns it in [land_]. *)
+  b.b_inflight <- b.b_inflight + 1;
+  try
   (* The formal procedure call into the client stub. *)
   Engine.delay ~category:Category.Proc_call e cm.Lrpc_sim.Cost_model.proc_call;
+  (* Queued waits observe the binding's queue-delay histogram always;
+     the deadline propagates into the A-stack FIFO wait (so a waiter
+     whose deadline passes is shed from the queue) only under an
+     installed admission policy — without one no timer is armed and the
+     delay sequence is untouched. *)
+  let admit =
+    {
+      Astack.ad_binding = b;
+      ad_deadline_at =
+        (match (rt.admission, deadline) with
+        | Some _, Some d -> Some (Time.add t0 d)
+        | _ -> None);
+    }
+  in
   let kind =
     match b.b_remote with
     | Some r ->
@@ -647,7 +725,7 @@ let issue ?audit ?deadline ~vehicle rt b ~proc args =
         done;
         r.r_in_flight <- r.r_in_flight + 1;
         Ck_remote { rc_args = args; rc_results = []; rc_slot_held = true }
-    | None -> issue_local ?audit rt b ~proc args
+    | None -> issue_local ?audit ~admit rt b ~proc args
   in
   let h =
     {
@@ -691,6 +769,26 @@ let issue ?audit ?deadline ~vehicle rt b ~proc args =
                       (Time.to_us d))))
   | None -> ());
   h
+  with exn ->
+    b.b_inflight <- b.b_inflight - 1;
+    raise exn
+
+(* Every synchronous refusal of the issue half — an admission rejection,
+   a queue-depth or sojourn shed, a deadline that expired while queued,
+   a bad binding — is a call that never got a handle. Count it, so that
+   issued + rejected accounts for every attempt, and trace it as its own
+   event (there is no handle for a [Call_failed]). *)
+let issue ?audit ?deadline ~vehicle rt b ~proc args =
+  try issue_guarded ?audit ?deadline ~vehicle rt b ~proc args with
+  | (Engine.Thread_killed | Unwind_termination) as exn -> raise exn
+  | exn ->
+      Metrics.Counter.incr rt.c_calls_rejected;
+      let e = engine rt in
+      if Engine.tracing e then
+        Engine.emit e
+          (Event.Call_rejected
+             { binding = b.bid; proc; reason = reason_of_exn exn });
+      raise exn
 
 (* ---- await -------------------------------------------------------------- *)
 

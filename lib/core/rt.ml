@@ -40,6 +40,14 @@ exception Deadline_exceeded of string
 (** The call's deadline (or an await's timeout) fired before it landed;
     the call was aborted through the §5.3 captured-thread path. *)
 
+exception Overloaded of { ov_reason : string; ov_backoff_us : float }
+(** The call was rejected at admission — per-binding concurrency bound,
+    A-stack queue-depth limit, queue-delay (sojourn) shedding, or a
+    deadline the observed service time cannot meet — or a Netrpc retry
+    was suppressed by an exhausted retry budget. [ov_backoff_us] is the
+    server's backoff hint: how long a well-behaved client should wait
+    before trying again. *)
+
 (* Delivered into a thread that must unwind out of a terminating server
    domain; never escapes the call path. *)
 exception Unwind_termination
@@ -131,6 +139,38 @@ type faults = {
           the free list is non-empty *)
 }
 
+(* --- overload control ---------------------------------------------------- *)
+
+(* Admission policy, installed on the runtime like a fault plan: when
+   [admission] is [None] (the default) every consultation on the call
+   path is a single pointer test and no timer is ever armed, so the
+   fast path — and every same-seed trace digest — is untouched. *)
+type admission = {
+  adm_max_inflight : int option;
+      (** per-binding concurrency bound, checked at issue: calls issued
+          but not yet landed, local and remote alike *)
+  adm_max_queue : int option;
+      (** per-pool queue-depth bound: a checkout that would enqueue
+          behind this many live FIFO waiters is rejected instead *)
+  adm_target_sojourn : Time.t option;
+      (** CoDel-style queue-{e delay} bound: a waiter whose simulated
+          wait in the FIFO direct-grant queue exceeds this target is
+          shed with {!Overloaded} rather than kept queueing *)
+  adm_deadline_aware : bool;
+      (** drop calls whose deadline budget cannot cover the binding's
+          observed (EWMA) service time — they would only burn a server
+          slot to miss their deadline anyway *)
+}
+
+let admission_policy ?max_inflight ?max_queue ?target_sojourn
+    ?(deadline_aware = false) () =
+  {
+    adm_max_inflight = max_inflight;
+    adm_max_queue = max_queue;
+    adm_target_sojourn = target_sojourn;
+    adm_deadline_aware = deadline_aware;
+  }
+
 type linkage = {
   l_region : Vm.region;  (** kernel-private page holding the record *)
   mutable l_in_use : bool;
@@ -172,6 +212,12 @@ type call_stats = {
   cs_transfer : Metrics.histogram;
   cs_server : Metrics.histogram;
   cs_return : Metrics.histogram;
+  cs_queue : Metrics.histogram;
+      (** ["lrpc.queue_delay_us"]: time spent queued in the A-stack FIFO
+          direct-grant path, per binding — the sojourn that CoDel-style
+          shedding bounds. Observed only by checkouts that actually
+          queued, so it stays empty (and out of the JSON export) on
+          uncontended runs. *)
 }
 
 type impl = server_ctx -> V.t list
@@ -236,6 +282,15 @@ and binding = {
   b_procs : (string * proc_binding) list;
   b_client_stub_pages : int list;
   b_stats : call_stats;
+  mutable b_inflight : int;
+      (** calls issued through this binding and not yet landed — always
+          maintained (two integer bumps per call), so installing an
+          admission policy mid-run starts from true counts *)
+  mutable b_srv_ewma_us : float;
+      (** EWMA of successful call latency through this binding, the
+          service-time estimate deadline-aware admission checks budgets
+          against; updated only while an admission policy is installed
+          (0.0 = no observation yet) *)
   mutable b_revoked : bool;
   b_remote : remote option;
       (** §5.1: set on bindings to truly remote servers; the stub's first
@@ -363,6 +418,19 @@ and runtime = {
           direct-grant path instead of spinning *)
   c_calls_failed : Metrics.counter;
       (** ["lrpc.calls_failed"]: calls that landed with an error *)
+  c_calls_rejected : Metrics.counter;
+      (** ["lrpc.calls_rejected"]: calls refused synchronously at issue,
+          before a handle existed — admission rejections, sojourn sheds,
+          bad bindings, revocations delivered to queued waiters.
+          [calls_failed + calls_rejected] therefore accounts for every
+          typed failure a client observes. *)
+  c_calls_admitted : Metrics.counter;
+      (** ["lrpc.calls_admitted"]: calls that passed an installed
+          admission policy's issue gate; untouched (zero, omitted from
+          exports) when no policy is installed *)
+  mutable admission : admission option;
+      (** installed admission policy; [None] (the default) keeps every
+          overload consultation down to one pointer test *)
   mutable faults : faults option;
       (** installed fault plan; [None] (the default) keeps every fault
           consultation down to one pointer test *)
@@ -421,6 +489,13 @@ let create ?(config = default_config) kernel =
     c_calls_failed =
       Metrics.counter (Engine.metrics (Kernel.engine kernel))
         "lrpc.calls_failed";
+    c_calls_rejected =
+      Metrics.counter (Engine.metrics (Kernel.engine kernel))
+        "lrpc.calls_rejected";
+    c_calls_admitted =
+      Metrics.counter (Engine.metrics (Kernel.engine kernel))
+        "lrpc.calls_admitted";
+    admission = None;
     faults = None;
   }
 
@@ -443,6 +518,7 @@ let make_call_stats rt ~bid ~client ~server =
     cs_transfer = stage "transfer";
     cs_server = stage "server";
     cs_return = stage "return";
+    cs_queue = Metrics.histogram m ~labels "lrpc.queue_delay_us";
   }
 
 (* Client-code and client-stack pages of a domain, for the return-side TLB

@@ -16,6 +16,7 @@ type point = {
   op_achieved_cps : float;
   op_issued : int;
   op_completed : int;
+  op_shed : int;
   op_measured : int;
   op_p50_us : int;
   op_p99_us : int;
@@ -87,7 +88,7 @@ let params ~seed ~quick ~engine_domains =
 type world = {
   w_engine : Engine.t;
   w_spawn : session:int -> (unit -> unit) -> unit;
-  w_call : session:int -> unit;
+  w_call : session:int -> lateness_us:float -> [ `Ok | `Shed ];
 }
 
 let config_of p =
@@ -100,14 +101,39 @@ let config_of p =
 (* LRPC: one server domain exporting the Bench interface, sessions
    spread over [session_domains] client domains. Sessions in the same
    domain share its binding — and therefore its A-stack pool, whose
-   FIFO checkout is the per-domain back-pressure under overload. *)
-let lrpc_world p ~sessions =
-  let b = Driver.boot (config_of p) in
+   FIFO checkout is the per-domain back-pressure under overload.
+   [admission] installs an overload-control policy on the runtime (the
+   shedding ablation's "on" arm); a refused call surfaces as [`Shed].
+   [astacks] shrinks the served procedure's A-stack pool (the paper's
+   §3.3 per-procedure sizing): with the pool at the server's true
+   concurrency, overload surfaces as a FIFO of blocked waiters at the
+   checkout path — the queue the admission policy's depth bound and
+   sojourn target act on. With the default pool, calls on a 4-CPU
+   engine never exhaust 5 A-stacks and overload hides in the CPU run
+   queue instead, where no admission signal can see it.
+   [lateness_budget] is the client half of overload control, the
+   deadline-propagation rule: a call that starts more than the budget
+   past its scheduled arrival has already missed any deadline it could
+   have carried, so the stub refuses it locally at zero cost — exactly
+   how an RPC client fails a call whose propagated deadline has expired
+   without ever dialing. Server-side admission alone cannot do this:
+   the arrears live in the client, before any runtime state is
+   touched. *)
+let lrpc_world ?admission ?astacks ?lateness_budget p ~sessions =
+  let b =
+    Driver.boot { (config_of p) with Driver.Config.admission }
+  in
   let kernel = b.Driver.bt_kernel and rt = b.Driver.bt_rt in
   let server = Kernel.create_domain kernel ~name:"ol-server" in
-  ignore
-    (Api.export rt ~domain:server Driver.bench_interface
-       ~impls:Driver.bench_impls);
+  let iface, impls =
+    match astacks with
+    | None -> (Driver.bench_interface, Driver.bench_impls)
+    | Some n ->
+        ( Lrpc_idl.Types.interface "Bench"
+            [ Lrpc_idl.Types.proc ~astacks:n "null" [] ],
+          [ ("null", fun _ -> []) ] )
+  in
+  ignore (Api.export rt ~domain:server iface ~impls);
   let n_domains = min p.session_domains sessions in
   let domains =
     Array.init n_domains (fun d ->
@@ -127,9 +153,20 @@ let lrpc_world p ~sessions =
              ~name:(Printf.sprintf "ol-session%d" session)
              body));
     w_call =
-      (fun ~session ->
-        ignore
-          (Api.call rt bindings.(session mod n_domains) ~proc:"null" []));
+      (fun ~session ~lateness_us ->
+        let stale =
+          match lateness_budget with
+          | Some b -> lateness_us > Time.to_us b
+          | None -> false
+        in
+        if stale then `Shed
+        else
+          match
+            Api.call_result rt bindings.(session mod n_domains) ~proc:"null" []
+          with
+          | Ok _ -> `Ok
+          | Error (Api.Overloaded _) -> `Shed
+          | Error f -> failwith (Api.failure_to_string f));
   }
 
 (* SRC RPC baseline: the profile's receiver pool is widened (capped —
@@ -169,9 +206,11 @@ let mpass_world p ~sessions =
                conns.(session) <- Some (Mpass.connect w.Driver.mw_server ~client);
                body ())));
     w_call =
-      (fun ~session ->
+      (fun ~session ~lateness_us:_ ->
         match conns.(session) with
-        | Some conn -> ignore (Mpass.call conn ~proc:"null" [])
+        | Some conn ->
+            ignore (Mpass.call conn ~proc:"null" []);
+            `Ok
         | None -> assert false);
   }
 
@@ -206,9 +245,9 @@ let netrpc_world p ~sessions =
              ~name:(Printf.sprintf "ol-session%d" session)
              body));
     w_call =
-      (fun ~session ->
-        ignore
-          (Api.call rt bindings.(session mod n_domains) ~proc:"null" []));
+      (fun ~session ~lateness_us:_ ->
+        ignore (Api.call rt bindings.(session mod n_domains) ~proc:"null" []);
+        `Ok);
   }
 
 let check_failures engine what =
@@ -229,8 +268,9 @@ let capacity p make =
   for i = 0 to clients - 1 do
     w.w_spawn ~session:i (fun () ->
         while true do
-          w.w_call ~session:i;
-          incr count
+          match w.w_call ~session:i ~lateness_us:0.0 with
+          | `Ok -> incr count
+          | `Shed -> ()
         done)
   done;
   Engine.run ~until:p.capacity_horizon w.w_engine;
@@ -255,6 +295,7 @@ let sweep_point p make ~process offered =
     op_achieved_cps = r.Ol.ol_achieved_cps;
     op_issued = r.Ol.ol_issued;
     op_completed = r.Ol.ol_completed;
+    op_shed = r.Ol.ol_shed;
     op_measured = r.Ol.ol_measured;
     op_p50_us = Qsketch.p50 r.Ol.ol_sketch;
     op_p99_us = Qsketch.p99 r.Ol.ol_sketch;
@@ -279,8 +320,8 @@ let bursty =
 
 let systems =
   [
-    ("lrpc", lrpc_world, Ol.Poisson);
-    ("lrpc_bursty", lrpc_world, bursty);
+    ("lrpc", (fun p -> lrpc_world p), Ol.Poisson);
+    ("lrpc_bursty", (fun p -> lrpc_world p), bursty);
     ("src_rpc", mpass_world, Ol.Poisson);
     ("netrpc", netrpc_world, Ol.Poisson);
   ]
@@ -313,6 +354,82 @@ let run ?(seed = 1989L) ?(quick = false) ?engine_domains () =
     or_curves = curves;
   }
 
+(* --- shedding ablation ---------------------------------------------------- *)
+
+(* The overload control the ablation's "on" arm runs, on a world whose
+   served procedure has a single A-stack (see [lrpc_world]). It is
+   two-sided, and both sides are needed:
+
+   Server side, [shed_policy]: an admitted call holds its binding's
+   concurrency slot from the admission gate to landing, so a burst of
+   concurrent callers on one binding is refused at the door — a
+   rejected arrival costs one stub entry, no processor time. The
+   queue-depth bound and the CoDel-style sojourn target are the
+   checkout FIFO's backstops behind the gate.
+
+   Client side, [shed_budget]: open-loop overload lives in the
+   sessions' arrears, which no server-side gate can see — a backlogged
+   session issues its calls serially, one at a time, so each one finds
+   the binding idle and is (correctly) admitted; the engine then runs
+   that session's whole backlog in one run-to-completion turn while
+   every other woken session sits in the CPU run queue. The deadline
+   budget breaks that spiral: a call starting more than [shed_budget]
+   past its scheduled arrival is refused by the client stub at zero
+   cost, so a session's arrears collapse instantly instead of being
+   ground through, turns stay one call long, and an admitted call's
+   measured latency is bounded by roughly the budget plus a service
+   time. *)
+let shed_policy =
+  Lrpc_core.Rt.admission_policy ~max_inflight:2 ~max_queue:2
+    ~target_sojourn:(Time.ms 10) ()
+
+let shed_budget = Time.ms 5
+
+(* Past-the-knee fractions only: the ablation is about behaviour past
+   saturation, so the sweep starts near the knee (~0.85) and pushes to
+   1.5x capacity, where the shed-off baseline has long collapsed. *)
+let shed_fractions ~quick =
+  if quick then [ 0.85; 1.25; 1.5 ] else [ 0.85; 1.05; 1.25; 1.5 ]
+
+let run_shedding ?(seed = 1989L) ?(quick = false) ?engine_domains () =
+  let p = params ~seed ~quick ~engine_domains in
+  let p = { p with fractions = shed_fractions ~quick } in
+  (* One capacity anchor for both arms (the shed-off world — admission
+     has zero cost when nothing sheds, and the anchor must be common
+     for the goodput comparison to mean anything). Both arms and the
+     anchor run the single-A-stack server, so the only difference
+     between the curves is the policy. *)
+  let cap = capacity p (lrpc_world ~astacks:1 p) in
+  let curve name make =
+    let points =
+      List.map
+        (fun frac -> sweep_point p make ~process:Ol.Poisson (frac *. cap))
+        p.fractions
+    in
+    {
+      oc_system = name;
+      oc_capacity_cps = cap;
+      oc_knee_cps = knee points;
+      oc_points = points;
+    }
+  in
+  let curves =
+    [
+      curve "lrpc_shed_off" (lrpc_world ~astacks:1 p);
+      curve "lrpc_shed_on"
+        (lrpc_world ~admission:shed_policy ~lateness_budget:shed_budget
+           ~astacks:1 p);
+    ]
+  in
+  {
+    or_seed = seed;
+    or_processors = p.processors;
+    or_sessions = p.sessions;
+    or_horizon = p.horizon;
+    or_warmup = p.warmup;
+    or_curves = curves;
+  }
+
 let render r =
   let chart =
     Chart.create ~x_label:"offered load (fraction of closed-loop capacity)"
@@ -335,6 +452,7 @@ let render r =
           ("achieved/s", Table.Right);
           ("issued", Table.Right);
           ("done", Table.Right);
+          ("shed", Table.Right);
           ("p50 us", Table.Right);
           ("p99 us", Table.Right);
           ("p999 us", Table.Right);
@@ -352,6 +470,7 @@ let render r =
               Printf.sprintf "%.0f" pt.op_achieved_cps;
               string_of_int pt.op_issued;
               string_of_int pt.op_completed;
+              string_of_int pt.op_shed;
               string_of_int pt.op_p50_us;
               string_of_int pt.op_p99_us;
               string_of_int pt.op_p999_us;
@@ -385,14 +504,15 @@ let render r =
     (Time.to_us r.or_horizon /. 1000.0)
     (Chart.to_string chart) (Table.to_string t) knees
 
-let to_json r =
+let to_json ?(experiment = "openloop") r =
   let point pt =
     Printf.sprintf
       "{\"offered_cps\": %.1f, \"achieved_cps\": %.1f, \"issued\": %d, \
-       \"completed\": %d, \"measured\": %d, \"p50_us\": %d, \"p99_us\": %d, \
-       \"p999_us\": %d, \"mean_us\": %.1f}"
+       \"completed\": %d, \"shed\": %d, \"measured\": %d, \"p50_us\": %d, \
+       \"p99_us\": %d, \"p999_us\": %d, \"mean_us\": %.1f}"
       pt.op_offered_cps pt.op_achieved_cps pt.op_issued pt.op_completed
-      pt.op_measured pt.op_p50_us pt.op_p99_us pt.op_p999_us pt.op_mean_us
+      pt.op_shed pt.op_measured pt.op_p50_us pt.op_p99_us pt.op_p999_us
+      pt.op_mean_us
   in
   let curve c =
     Printf.sprintf
@@ -405,10 +525,10 @@ let to_json r =
       (String.concat ", " (List.map point c.oc_points))
   in
   Printf.sprintf
-    "{\"experiment\": \"openloop\", \"seed\": %Ld, \"processors\": %d, \
+    "{\"experiment\": \"%s\", \"seed\": %Ld, \"processors\": %d, \
      \"sessions\": %d, \"horizon_us\": %.0f, \"warmup_us\": %.0f, \
      \"systems\": [%s]}"
-    r.or_seed r.or_processors r.or_sessions
+    experiment r.or_seed r.or_processors r.or_sessions
     (Time.to_us r.or_horizon)
     (Time.to_us r.or_warmup)
     (String.concat ", " (List.map curve r.or_curves))

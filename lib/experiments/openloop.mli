@@ -24,6 +24,9 @@ type point = {
   op_achieved_cps : float;  (** measured completions per second *)
   op_issued : int;
   op_completed : int;
+  op_shed : int;
+      (** arrivals refused under overload control (always 0 without an
+          admission policy) — not completed, not in the quantiles *)
   op_measured : int;  (** completions scheduled after warmup *)
   op_p50_us : int;
   op_p99_us : int;
@@ -33,7 +36,9 @@ type point = {
 
 type curve = {
   oc_system : string;
-      (** ["lrpc"], ["lrpc_bursty"], ["src_rpc"] or ["netrpc"] *)
+      (** ["lrpc"], ["lrpc_bursty"], ["src_rpc"] or ["netrpc"]; the
+          shedding ablation's arms are ["lrpc_shed_off"] /
+          ["lrpc_shed_on"] *)
   oc_capacity_cps : float;  (** closed-loop capacity anchor *)
   oc_knee_cps : float option;
       (** offered load at the first point whose p99 is at least twice
@@ -59,5 +64,22 @@ val run : ?seed:int64 -> ?quick:bool -> ?engine_domains:int -> unit -> result
     {!Lrpc_workload.Driver.Config.engine_domains} — the results are
     bit-identical for any value. *)
 
+val run_shedding :
+  ?seed:int64 -> ?quick:bool -> ?engine_domains:int -> unit -> result
+(** The overload-control ablation ([lrpc_experiments openloop
+    --shedding]): the LRPC world swept past saturation (0.85x to 1.5x
+    of one shared closed-loop capacity anchor), once with no overload
+    control (["lrpc_shed_off"] — the latency collapse of {!run}) and
+    once with both halves on (["lrpc_shed_on"]: server-side admission —
+    two calls in flight per binding, queue depth 2, 10 ms sojourn
+    target — plus a 5 ms client-side deadline budget that refuses a
+    call starting that far past its scheduled arrival without entering
+    the stub). With shedding on, excess arrivals surface as [op_shed],
+    goodput stays pinned near the capacity anchor, and the admitted
+    calls' p99 stays around the deadline budget past the knee. *)
+
 val render : result -> string
-val to_json : result -> string
+
+val to_json : ?experiment:string -> result -> string
+(** [experiment] names the JSON envelope (default ["openloop"]; the
+    shedding ablation uses ["openloop_shed"]). *)

@@ -25,13 +25,16 @@ let fig2_scale_result ~quick =
 
 let json_names = [ "f2s"; "openloop" ]
 
-let json ?(seed = 1989L) ?(quick = false) name =
+let json ?(seed = 1989L) ?(quick = false) ?(shedding = false) name =
   match name with
   | "f2s" -> Fig2_scale.to_json (fig2_scale_result ~quick)
+  | "openloop" when shedding ->
+      Openloop.to_json ~experiment:"openloop_shed"
+        (Openloop.run_shedding ~seed ~quick ())
   | "openloop" -> Openloop.to_json (Openloop.run ~seed ~quick ())
   | other -> invalid_arg ("Suite.json: no JSON rendering for " ^ other)
 
-let run ?(seed = 1989L) ?(quick = false) name =
+let run ?(seed = 1989L) ?(quick = false) ?(shedding = false) name =
   let ops = if quick then 100_000 else 1_000_000 in
   let calls = if quick then 150_000 else 1_487_105 in
   let horizon = Lrpc_sim.Time.ms (if quick then 150 else 500) in
@@ -51,5 +54,7 @@ let run ?(seed = 1989L) ?(quick = false) name =
   | "a6" -> Ablations.render_a6 (Ablations.run_a6 ())
   | "lat" -> Latency.render (Latency.run ~horizon ())
   | "f2s" -> Fig2_scale.render (fig2_scale_result ~quick)
+  | "openloop" when shedding ->
+      Openloop.render (Openloop.run_shedding ~seed ~quick ())
   | "openloop" -> Openloop.render (Openloop.run ~seed ~quick ())
   | other -> invalid_arg ("Suite.run: unknown artifact " ^ other)

@@ -22,14 +22,17 @@ val json_names : string list
 (** Artifacts that also have a machine-checkable JSON rendering
     (currently ["f2s"] and ["openloop"]). *)
 
-val json : ?seed:int64 -> ?quick:bool -> string -> string
+val json : ?seed:int64 -> ?quick:bool -> ?shedding:bool -> string -> string
 (** The JSON rendering of an artifact in {!json_names} — same
     simulation as {!run}, different serialization. Raises
     [Invalid_argument] for artifacts without one. *)
 
-val run : ?seed:int64 -> ?quick:bool -> string -> string
-(** Render one artifact. A pure function of [(seed, quick, name)] —
-    each artifact owns its engine and PRNGs, so results do not depend
-    on what else runs, in this domain or another. [quick] shrinks
-    sample sizes / horizons for smoke runs. Raises [Invalid_argument]
-    on an unknown name (callers validate first; see {!mem}). *)
+val run : ?seed:int64 -> ?quick:bool -> ?shedding:bool -> string -> string
+(** Render one artifact. A pure function of [(seed, quick, shedding,
+    name)] — each artifact owns its engine and PRNGs, so results do not
+    depend on what else runs, in this domain or another. [quick]
+    shrinks sample sizes / horizons for smoke runs. [shedding] swaps
+    the ["openloop"] artifact for its overload-control ablation
+    ({!Openloop.run_shedding}); it has no effect on other names.
+    Raises [Invalid_argument] on an unknown name (callers validate
+    first; see {!mem}). *)

@@ -19,6 +19,9 @@ type spec = {
   starvation : float;
   starvation_us : float;
   crashes : (float * string) list;
+  storm_from_us : float;
+  storm_until_us : float;
+  storm_reply_drop : float;
 }
 
 let none =
@@ -33,6 +36,9 @@ let none =
     starvation = 0.0;
     starvation_us = 0.0;
     crashes = [];
+    storm_from_us = 0.0;
+    storm_until_us = 0.0;
+    storm_reply_drop = 0.0;
   }
 
 type t = {
@@ -44,6 +50,9 @@ type t = {
   t_jitter : Prng.t;
   t_server : Prng.t;
   t_starve : Prng.t;
+  (* Split last so the older streams keep their historical sequences:
+     adding the storm family must not shift same-seed wire verdicts. *)
+  t_storm : Prng.t;
   mutable t_timers : Engine.timer list;
 }
 
@@ -53,7 +62,8 @@ let make spec =
   let t_jitter = Prng.split root in
   let t_server = Prng.split root in
   let t_starve = Prng.split root in
-  { t_spec = spec; t_wire; t_jitter; t_server; t_starve; t_timers = [] }
+  let t_storm = Prng.split root in
+  { t_spec = spec; t_wire; t_jitter; t_server; t_starve; t_storm; t_timers = [] }
 
 let spec t = t.t_spec
 
@@ -77,6 +87,21 @@ let install t rt =
         Prng.exponential t.t_wire ~mean:s.wire_delay_mean_us
       else 0.0
     in
+    (* A retry-storm window: while the simulated clock is inside
+       [storm_from_us, storm_until_us) the server is "slow" — replies
+       are additionally lost with [storm_reply_drop], so clients pile on
+       retransmissions. Drawn from its own stream, and only when the
+       storm is configured, so storm-free plans keep their historical
+       verdict sequences bit-identical. *)
+    let storm_lost =
+      s.storm_reply_drop > 0.0
+      &&
+      let now_us = Time.to_us (Engine.now e) in
+      now_us >= s.storm_from_us
+      && now_us < s.storm_until_us
+      && Prng.bernoulli t.t_storm ~p:s.storm_reply_drop
+    in
+    let reply_lost = reply_lost || storm_lost in
     if request_lost || reply_lost || duplicate || delayed then
       Metrics.Counter.incr wire_faults;
     {

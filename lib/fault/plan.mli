@@ -38,6 +38,16 @@ type spec = {
   crashes : (float * string) list;
       (** [(t_us, domain_name)]: terminate the named domain (if still
           active) at absolute simulated time [t_us] *)
+  storm_from_us : float;  (** retry-storm window start, absolute µs *)
+  storm_until_us : float;  (** retry-storm window end, absolute µs *)
+  storm_reply_drop : float;
+      (** extra P(reply lost) per attempt while the clock is inside the
+          storm window — a transient server slowdown that makes clients
+          pile on retransmissions. Drawn from its own PRNG stream (and
+          only when non-zero), so storm-free specs keep their historical
+          fault sequences. The {!Soak} retry-budget test uses this to
+          show budgets make the storm decay instead of sustaining
+          itself. *)
 }
 
 val none : spec

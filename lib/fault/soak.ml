@@ -22,6 +22,8 @@ type config = {
   async_share : float;
   deadline_share : float;
   trace_capacity : int;
+  retry_budget : float option;
+  dedup_capacity : int option;
 }
 
 let default =
@@ -48,6 +50,8 @@ let default =
     async_share = 0.5;
     deadline_share = 0.1;
     trace_capacity = 1 lsl 16;
+    retry_budget = None;
+    dedup_capacity = None;
   }
 
 type report = {
@@ -58,12 +62,15 @@ type report = {
   r_aborted : int;
   r_deadline : int;
   r_rejected : int;
+  r_overloaded : int;
   r_stub : int;
   r_retries : int;
+  r_retries_suppressed : int;
   r_dups_suppressed : int;
   r_crashes : int;
   r_starvations : int;
   r_all_resolved : bool;
+  r_failure_accounting : bool;
   r_pool_balanced : bool;
   r_linkages_zero : bool;
   r_in_flight_zero : bool;
@@ -152,8 +159,9 @@ let run cfg =
   let b_a = Api.import rt ~domain:app ~interface:"ChaosA" in
   let b_b = Api.import rt ~domain:app ~interface:"ChaosB" in
   let b_net =
-    Lrpc_net.Netrpc.import_remote rt ~client:app ~server:srv_net remote_iface
-      ~impls:remote_impls
+    Lrpc_net.Netrpc.import_remote ?retry_budget:cfg.retry_budget
+      ?dedup_capacity:cfg.dedup_capacity rt ~client:app ~server:srv_net
+      remote_iface ~impls:remote_impls
   in
   (* The workload streams must not collide with the plan's (both are
      split off the seed), so the workload root is perturbed first. *)
@@ -164,6 +172,7 @@ let run cfg =
   and aborted = ref 0
   and deadline = ref 0
   and rejected = ref 0
+  and overloaded = ref 0
   and stub = ref 0 in
   let resolve = function
     | Ok _ -> incr ok
@@ -171,6 +180,7 @@ let run cfg =
     | Error (Api.Aborted _) -> incr aborted
     | Error (Api.Deadline _) -> incr deadline
     | Error (Api.Rejected _) -> incr rejected
+    | Error (Api.Overloaded _) -> incr overloaded
     | Error (Api.Stub_raised _) -> incr stub
   in
   let client_body prng my_a my_b () =
@@ -216,6 +226,12 @@ let run cfg =
           None
       | exception Rt.Call_failed m ->
           resolve (Error (Api.Failed m));
+          None
+      | exception Rt.Overloaded { ov_reason; ov_backoff_us } ->
+          resolve
+            (Error
+               (Api.Overloaded
+                  { reason = ov_reason; retry_after_us = ov_backoff_us }));
           None
     in
     while !issued < cfg.calls do
@@ -300,9 +316,21 @@ let run cfg =
         && Queue.fold (fun acc c -> acc && not c.Rt.aw_active) true p.Rt.ap_waiters)
       pools
   in
-  let resolved = !ok + !failed + !aborted + !deadline + !rejected + !stub in
+  let resolved =
+    !ok + !failed + !aborted + !deadline + !rejected + !overloaded + !stub
+  in
   let m = Engine.metrics engine in
   let counter name = Metrics.Counter.value (Metrics.counter m name) in
+  (* Exact failure accounting: every client-side Error tally is either a
+     landed failure (["lrpc.calls_failed"]) or a synchronous issue-half
+     refusal (["lrpc.calls_rejected"]) — nothing double-counted, nothing
+     dropped. *)
+  let typed_failures =
+    !failed + !aborted + !deadline + !rejected + !overloaded + !stub
+  in
+  let failure_accounting =
+    typed_failures = counter "lrpc.calls_failed" + counter "lrpc.calls_rejected"
+  in
   {
     r_seed = cfg.seed;
     r_calls = !issued;
@@ -311,12 +339,15 @@ let run cfg =
     r_aborted = !aborted;
     r_deadline = !deadline;
     r_rejected = !rejected;
+    r_overloaded = !overloaded;
     r_stub = !stub;
     r_retries = counter "net.retries";
+    r_retries_suppressed = counter "net.retries_suppressed";
     r_dups_suppressed = counter "net.duplicates_suppressed";
     r_crashes = counter "fault.crashes";
     r_starvations = counter "fault.astack_starvations";
     r_all_resolved = resolved = !issued;
+    r_failure_accounting = failure_accounting;
     r_pool_balanced = pool_balanced;
     r_linkages_zero = Kernel.total_linkages kernel = 0;
     r_in_flight_zero = Api.calls_in_flight rt = 0;
@@ -326,21 +357,23 @@ let run cfg =
   }
 
 let ok r =
-  r.r_all_resolved && r.r_pool_balanced && r.r_linkages_zero
-  && r.r_in_flight_zero && r.r_no_stuck && r.r_no_failures
+  r.r_all_resolved && r.r_failure_accounting && r.r_pool_balanced
+  && r.r_linkages_zero && r.r_in_flight_zero && r.r_no_stuck && r.r_no_failures
 
 let report_to_json r =
   Printf.sprintf
     "{\"seed\": %Ld, \"calls\": %d,\n\
     \ \"outcomes\": {\"ok\": %d, \"failed\": %d, \"aborted\": %d, \"deadline\": \
-     %d, \"rejected\": %d, \"stub_raised\": %d},\n\
-    \ \"faults\": {\"net_retries\": %d, \"net_duplicates_suppressed\": %d, \
-     \"crashes\": %d, \"astack_starvations\": %d},\n\
-    \ \"invariants\": {\"all_resolved\": %b, \"pool_balanced\": %b, \
-     \"linkages_zero\": %b, \"in_flight_zero\": %b, \"no_stuck_threads\": %b, \
-     \"no_thread_failures\": %b},\n\
+     %d, \"rejected\": %d, \"overloaded\": %d, \"stub_raised\": %d},\n\
+    \ \"faults\": {\"net_retries\": %d, \"net_retries_suppressed\": %d, \
+     \"net_duplicates_suppressed\": %d, \"crashes\": %d, \
+     \"astack_starvations\": %d},\n\
+    \ \"invariants\": {\"all_resolved\": %b, \"failure_accounting\": %b, \
+     \"pool_balanced\": %b, \"linkages_zero\": %b, \"in_flight_zero\": %b, \
+     \"no_stuck_threads\": %b, \"no_thread_failures\": %b},\n\
     \ \"digest\": \"%s\"}"
     r.r_seed r.r_calls r.r_ok r.r_failed r.r_aborted r.r_deadline r.r_rejected
-    r.r_stub r.r_retries r.r_dups_suppressed r.r_crashes r.r_starvations
-    r.r_all_resolved r.r_pool_balanced r.r_linkages_zero r.r_in_flight_zero
-    r.r_no_stuck r.r_no_failures r.r_digest
+    r.r_overloaded r.r_stub r.r_retries r.r_retries_suppressed
+    r.r_dups_suppressed r.r_crashes r.r_starvations r.r_all_resolved
+    r.r_failure_accounting r.r_pool_balanced r.r_linkages_zero
+    r.r_in_flight_zero r.r_no_stuck r.r_no_failures r.r_digest

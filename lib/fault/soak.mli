@@ -26,6 +26,13 @@ type config = {
   async_share : float;  (** fraction issued as pipelined batches *)
   deadline_share : float;  (** fraction issued with a tight deadline *)
   trace_capacity : int;  (** tracer ring size for the digest *)
+  retry_budget : float option;
+      (** client-side retry budget for the remote binding (see
+          {!Lrpc_net.Netrpc.import_remote}); [None] retries without a
+          budget *)
+  dedup_capacity : int option;
+      (** bound on the remote binding's at-most-once dedup cache;
+          [None] leaves it unbounded *)
 }
 
 val default : config
@@ -42,12 +49,20 @@ type report = {
   r_aborted : int;  (** [Api.Aborted] *)
   r_deadline : int;  (** [Api.Deadline] *)
   r_rejected : int;  (** [Api.Rejected]: call never started *)
+  r_overloaded : int;
+      (** [Api.Overloaded]: refused by admission control or given up
+          under an exhausted retry budget *)
   r_stub : int;  (** [Api.Stub_raised]: injected server exceptions *)
   r_retries : int;  (** ["net.retries"] at quiescence *)
+  r_retries_suppressed : int;  (** ["net.retries_suppressed"] *)
   r_dups_suppressed : int;  (** ["net.duplicates_suppressed"] *)
   r_crashes : int;  (** ["fault.crashes"] delivered *)
   r_starvations : int;  (** ["fault.astack_starvations"] *)
   r_all_resolved : bool;  (** every call landed in exactly one tally *)
+  r_failure_accounting : bool;
+      (** [failed + aborted + deadline + rejected + overloaded + stub]
+          equals ["lrpc.calls_failed"] + ["lrpc.calls_rejected"] — every
+          typed failure is accounted for exactly once *)
   r_pool_balanced : bool;
       (** every A-stack pool: free list == full population, no waiter
           still marked active *)
@@ -61,9 +76,9 @@ type report = {
 val run : config -> report
 
 val ok : report -> bool
-(** All six invariant fields true. *)
+(** All seven invariant fields true. *)
 
 val report_to_json : report -> string
 (** One-object JSON rendering: ["seed"], ["calls"], an ["outcomes"]
-    object, a ["faults"] object, an ["invariants"] object (all six
+    object, a ["faults"] object, an ["invariants"] object (all seven
     booleans) and ["digest"]. Hand-built; stable key order. *)

@@ -34,9 +34,11 @@ let reset_remote_calls rt = Metrics.Counter.reset (remote_counter rt)
 
 let default_rto = Time.us 4_000
 let default_max_attempts = 5
+let retry_budget_cap = 10.0
 
 let import_remote ?(window = 8) ?(rto = default_rto)
-    ?(max_attempts = default_max_attempts) rt ~client ~server iface ~impls =
+    ?(max_attempts = default_max_attempts) ?retry_budget ?dedup_capacity rt
+    ~client ~server iface ~impls =
   if Pdomain.is_local client server then
     invalid_arg "Netrpc.import_remote: domains share a machine; bind locally";
   (match I.validate iface with
@@ -44,17 +46,67 @@ let import_remote ?(window = 8) ?(rto = default_rto)
   | Error m -> invalid_arg ("Netrpc.import_remote: " ^ m));
   if max_attempts < 1 then
     invalid_arg "Netrpc.import_remote: max_attempts must be at least 1";
+  (match retry_budget with
+  | Some r when r < 0.0 ->
+      invalid_arg "Netrpc.import_remote: retry_budget must be non-negative"
+  | _ -> ());
+  (match dedup_capacity with
+  | Some c when c < 1 ->
+      invalid_arg "Netrpc.import_remote: dedup_capacity must be at least 1"
+  | _ -> ());
   let engine = Lrpc_core.Api.engine rt in
   let retry_counter = Metrics.counter (Engine.metrics engine) "net.retries" in
+  let suppressed_counter =
+    Metrics.counter (Engine.metrics engine) "net.retries_suppressed"
+  in
   let dup_counter =
     Metrics.counter (Engine.metrics engine) "net.duplicates_suppressed"
   in
+  let dedup_gauge =
+    Metrics.gauge (Engine.metrics engine) "net.dedup_cache_entries"
+  in
+  let dedup_peak_gauge =
+    Metrics.gauge (Engine.metrics engine) "net.dedup_cache_peak"
+  in
+  (* Client-side retry budget (off unless [retry_budget] is given): a
+     token bucket per binding accrues [retry_budget] tokens per logical
+     call and spends one per retransmission, so sustained retries are
+     bounded to that fraction of the request rate — a transient server
+     slowdown cannot snowball into a metastable retry storm. The bucket
+     starts full so isolated bursts still get their retries. *)
+  let tokens = ref retry_budget_cap in
   (* At-most-once machinery (per binding): each transport call gets a
      sequence number; the server side keeps the results of executions
      whose reply may have been lost, so a retransmitted request is
      answered from the cache instead of re-running the procedure. *)
   let next_seq = ref 0 in
   let executed : (int, V.t list) Hashtbl.t = Hashtbl.create 16 in
+  (* Insertion order of live dedup entries, for capacity eviction. Seqs
+     already removed by the normal ack path are skipped when popped. *)
+  let dedup_order : int Queue.t = Queue.create () in
+  let note_dedup_size () =
+    let n = float_of_int (Hashtbl.length executed) in
+    Metrics.Gauge.set dedup_gauge n;
+    if n > Metrics.Gauge.value dedup_peak_gauge then
+      Metrics.Gauge.set dedup_peak_gauge n
+  in
+  let dedup_insert seq results =
+    Hashtbl.replace executed seq results;
+    (match dedup_capacity with
+    | None -> ()
+    | Some cap ->
+        Queue.push seq dedup_order;
+        while
+          Hashtbl.length executed > cap && not (Queue.is_empty dedup_order)
+        do
+          Hashtbl.remove executed (Queue.pop dedup_order)
+        done);
+    note_dedup_size ()
+  in
+  let dedup_ack seq =
+    Hashtbl.remove executed seq;
+    note_dedup_size ()
+  in
   let transport ~proc args =
     let p =
       match I.find_proc iface proc with
@@ -91,7 +143,7 @@ let import_remote ?(window = 8) ?(rto = default_rto)
           results
       | None ->
           let results = impl args in
-          Hashtbl.replace executed seq results;
+          dedup_insert seq results;
           results
     in
     let fault ~attempt =
@@ -127,29 +179,50 @@ let import_remote ?(window = 8) ?(rto = default_rto)
                wf.Lrpc_core.Rt.wf_extra_delay);
           if Engine.tracing engine then
             Engine.emit engine (Event.Net_recv { bytes = result_bytes });
-          Hashtbl.remove executed seq;
+          dedup_ack seq;
           results
         end
       end
     and retry n why =
       if n >= max_attempts then begin
-        Hashtbl.remove executed seq;
+        dedup_ack seq;
         raise
           (Lrpc_core.Rt.Call_failed
              (Printf.sprintf "%s: remote call failed after %d attempts (%s; seq %d)"
                 proc n why seq))
       end
       else begin
-        Metrics.Counter.incr retry_counter;
-        (* Bounded exponential backoff; the jitter factor comes from the
-           fault plan's PRNG so replays are bit-identical. *)
         let backoff =
           Time.scale rto (float_of_int (1 lsl (n - 1)) *. (1.0 +. jitter ~attempt:n))
         in
+        (match retry_budget with
+        | Some _ when !tokens < 1.0 ->
+            (* Budget exhausted: give up now rather than feed the storm.
+               The backoff that would have been slept is the client's
+               retry-after hint. *)
+            Metrics.Counter.incr suppressed_counter;
+            dedup_ack seq;
+            raise
+              (Lrpc_core.Rt.Overloaded
+                 {
+                   ov_reason =
+                     Printf.sprintf
+                       "%s: retry budget exhausted after %d attempts (%s; seq %d)"
+                       proc n why seq;
+                   ov_backoff_us = Time.to_us backoff;
+                 })
+        | Some _ -> tokens := !tokens -. 1.0
+        | None -> ());
+        Metrics.Counter.incr retry_counter;
+        (* Bounded exponential backoff; the jitter factor comes from the
+           fault plan's PRNG so replays are bit-identical. *)
         Engine.delay ~category:Category.Network engine backoff;
         attempt (n + 1)
       end
     in
+    (match retry_budget with
+    | Some r -> tokens := Float.min retry_budget_cap (!tokens +. r)
+    | None -> ());
     attempt 1
   in
   Lrpc_core.Binding.make_remote_binding ~window rt ~client ~server iface

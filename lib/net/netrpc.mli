@@ -27,6 +27,8 @@ val import_remote :
   ?window:int ->
   ?rto:Lrpc_sim.Time.t ->
   ?max_attempts:int ->
+  ?retry_budget:float ->
+  ?dedup_capacity:int ->
   Lrpc_core.Api.t ->
   client:Lrpc_kernel.Pdomain.t ->
   server:Lrpc_kernel.Pdomain.t ->
@@ -56,7 +58,28 @@ val import_remote :
     [max_attempts] (default 5) the call surfaces as
     [Rt.Call_failed]. ["net.remote_calls"] still counts logical calls:
     exactly one increment per transport call, however many
-    retransmissions it took. *)
+    retransmissions it took.
+
+    [retry_budget] (off by default) bounds the retry rate with a
+    per-binding token bucket: each logical call accrues [retry_budget]
+    tokens (so [0.1] caps sustained retries at 10% of the request rate,
+    the gRPC-style throttle), each retransmission spends one, and the
+    bucket is capped at 10 tokens (and starts full, so isolated bursts
+    still retry). A retry with an empty bucket is suppressed — counted
+    in ["net.retries_suppressed"] — and the call surfaces immediately as
+    [Rt.Overloaded], carrying the backoff it would have slept as the
+    retry-after hint. This is the client half of overload control: under
+    a server slowdown the retry storm decays instead of sustaining
+    itself (metastable failure).
+
+    [dedup_capacity] (unbounded by default) caps the at-most-once dedup
+    cache: entries are acked off the cache when a reply is delivered or
+    the call gives up, and when the cache still outgrows the cap the
+    oldest live entries are evicted first. ["net.dedup_cache_entries"]
+    gauges the live size and ["net.dedup_cache_peak"] its high-water
+    mark. An evicted entry weakens at-most-once to at-most-once-per-
+    cache-lifetime for that seq — size the cap above the in-flight
+    retry window (window × max_attempts is safe). *)
 
 val remote_calls : Lrpc_core.Api.t -> int
 (** Count of network RPCs performed through this runtime, read from

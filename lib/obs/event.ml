@@ -13,6 +13,7 @@ type t =
   | Call_issued of { binding : int; proc : string; handle : int }
   | Call_completed of { binding : int; proc : string; handle : int; ok : bool }
   | Call_failed of { binding : int; proc : string; handle : int; reason : string }
+  | Call_rejected of { binding : int; proc : string; reason : string }
   | Terminated of { domain : string }
   | Net_send of { bytes : int }
   | Net_recv of { bytes : int }
@@ -34,6 +35,7 @@ let name = function
   | Call_issued _ -> "call-issued"
   | Call_completed _ -> "call-completed"
   | Call_failed _ -> "call-failed"
+  | Call_rejected _ -> "call-rejected"
   | Terminated _ -> "terminate"
   | Net_send _ -> "net-send"
   | Net_recv _ -> "net-recv"
@@ -64,6 +66,7 @@ let detail = function
   | Call_failed c ->
       Printf.sprintf "%s handle=%d binding=%d: %s" c.proc c.handle c.binding
         c.reason
+  | Call_rejected c -> Printf.sprintf "%s binding=%d: %s" c.proc c.binding c.reason
   | Terminated t -> t.domain
   | Net_send s -> Printf.sprintf "%d bytes" s.bytes
   | Net_recv r -> Printf.sprintf "%d bytes" r.bytes
@@ -105,6 +108,12 @@ let args = function
       [
         ("proc", `Str c.proc);
         ("handle", `Int c.handle);
+        ("binding", `Int c.binding);
+        ("reason", `Str c.reason);
+      ]
+  | Call_rejected c ->
+      [
+        ("proc", `Str c.proc);
         ("binding", `Int c.binding);
         ("reason", `Str c.reason);
       ]

@@ -43,6 +43,11 @@ type t =
           abort, retry exhaustion, an injected or real server-stub
           exception. Emitted alongside the (not-[ok]) [Call_completed]
           with the human-readable [reason]. *)
+  | Call_rejected of { binding : int; proc : string; reason : string }
+      (** The call was refused synchronously at issue, before a handle
+          existed: an admission-control rejection or queue-delay shed
+          (overload), a bad/revoked binding, or a deadline that expired
+          while queued for an A-stack. No [Call_issued] precedes it. *)
   | Terminated of { domain : string }
   | Net_send of { bytes : int }
   | Net_recv of { bytes : int }

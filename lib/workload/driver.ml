@@ -80,6 +80,9 @@ module Config = struct
     net_window : int option;
     net_rto : Time.t option;
     net_max_attempts : int option;
+    admission : Lrpc_core.Rt.admission option;
+    net_retry_budget : float option;
+    net_dedup_capacity : int option;
   }
 
   let default =
@@ -95,6 +98,9 @@ module Config = struct
       net_window = None;
       net_rto = None;
       net_max_attempts = None;
+      admission = None;
+      net_retry_budget = None;
+      net_dedup_capacity = None;
     }
 end
 
@@ -121,6 +127,9 @@ let boot (c : Config.t) =
   let bt_kernel = Kernel.boot bt_engine in
   Kernel.set_domain_caching bt_kernel c.Config.domain_caching;
   let bt_rt = Api.init ?config:c.Config.runtime bt_kernel in
+  (match c.Config.admission with
+  | None -> ()
+  | Some a -> Api.set_admission bt_rt (Some a));
   (match c.Config.install_faults with
   | None -> ()
   | Some install -> install bt_rt);
@@ -349,7 +358,9 @@ let make_netrpc ?(config = Config.default) () =
   let nw_binding =
     Netrpc.import_remote ?window:config.Config.net_window
       ?rto:config.Config.net_rto ?max_attempts:config.Config.net_max_attempts
-      b.bt_rt ~client:nw_client ~server:nw_server bench_interface
+      ?retry_budget:config.Config.net_retry_budget
+      ?dedup_capacity:config.Config.net_dedup_capacity b.bt_rt
+      ~client:nw_client ~server:nw_server bench_interface
       ~impls:mpass_bench_impls
   in
   {

@@ -67,11 +67,21 @@ module Config : sig
         (** Netrpc in-flight window ({!make_netrpc} only) *)
     net_rto : Lrpc_sim.Time.t option;  (** Netrpc retransmit timeout *)
     net_max_attempts : int option;  (** Netrpc retry bound *)
+    admission : Lrpc_core.Rt.admission option;
+        (** overload-control policy installed on the runtime at boot
+            (see {!Lrpc_core.Api.set_admission}); [None] — the default —
+            does no admission work on the call path *)
+    net_retry_budget : float option;
+        (** Netrpc client-side retry budget, tokens accrued per logical
+            call (see {!Lrpc_net.Netrpc.import_remote}) *)
+    net_dedup_capacity : int option;
+        (** bound on Netrpc's at-most-once dedup cache *)
   }
 
   val default : t
   (** One C-VAX Firefly processor, default runtime, no caching, no
-      defensive copies, no faults, no tracer, Netrpc defaults. *)
+      defensive copies, no faults, no tracer, Netrpc defaults, no
+      admission policy, no retry budget. *)
 end
 
 (** The machine layers every world shares, built by {!boot}. *)

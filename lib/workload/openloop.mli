@@ -70,7 +70,11 @@ val next_gap : stream -> float
 
 type report = {
   ol_issued : int;  (** calls issued before the horizon *)
-  ol_completed : int;  (** calls that returned before the horizon *)
+  ol_completed : int;  (** calls that returned [`Ok] before the horizon *)
+  ol_shed : int;
+      (** calls the system refused ([`Shed]): rejected by admission
+          control or shed from a queue. Not completed, not measured —
+          the latency sketch covers admitted calls only. *)
   ol_measured : int;  (** completed calls scheduled after warmup *)
   ol_achieved_cps : float;
       (** measured completions per simulated second of measurement
@@ -85,14 +89,23 @@ val run :
   config ->
   engine:Lrpc_sim.Engine.t ->
   spawn:(session:int -> (unit -> unit) -> unit) ->
-  call:(session:int -> unit) ->
+  call:(session:int -> lateness_us:float -> [ `Ok | `Shed ]) ->
   report
 (** Spawn one thread per session via [spawn] (which places the body in
     the session's protection domain), run the engine to the horizon,
     and return the merged latency report. Each session body loops:
     advance the scheduled arrival time by {!next_gap}, sleep (without
-    occupying a simulated processor) until it, then invoke [call] and
-    record [completion - scheduled]. Arrivals scheduled past the
-    horizon end the session; calls still in flight at the horizon are
-    frozen with the engine and counted as issued but not completed.
-    Raises [Failure] if any session thread dies of an exception. *)
+    occupying a simulated processor) until it, then invoke [call] and —
+    when it returns [`Ok] — record [completion - scheduled]. [call]
+    receives [lateness_us], how far past its scheduled arrival the call
+    is starting (run-queue wait plus the session's own backlog): the
+    part of any per-call deadline budget already spent before the stub
+    is entered, so an overload-controlled client can refuse a too-stale
+    call at zero cost instead of doing work whose deadline has passed.
+    A [`Shed] return (the system refused the call under overload
+    control) counts in [ol_shed] only; the session carries on to its
+    next arrival.
+    Arrivals scheduled past the horizon end the session; calls still in
+    flight at the horizon are frozen with the engine and counted as
+    issued but not completed. Raises [Failure] if any session thread
+    dies of an exception. *)

@@ -264,6 +264,189 @@ let test_trace_events () =
   Alcotest.(check bool) "issued traced" true (List.length issued >= 1);
   Alcotest.(check bool) "completed traced" true (List.length completed >= 1)
 
+(* --- overload control ------------------------------------------------------ *)
+
+let ctr w name =
+  Lrpc_obs.Metrics.Counter.value
+    (Lrpc_obs.Metrics.counter (Engine.metrics w.engine) name)
+
+(* Concurrency bound: with one call in flight on the binding, a second
+   concurrent call is refused at the gate with a positive backoff hint,
+   and succeeds once the first has landed. *)
+let test_admission_concurrency_limit () =
+  let w = make_world ~processors:2 () in
+  Api.set_admission w.rt
+    (Some (Rt.admission_policy ~max_inflight:1 ()));
+  let b = Api.import w.rt ~domain:w.client ~interface:"Async" in
+  let rejected = ref nan in
+  ignore
+    (Kernel.spawn w.kernel w.client ~name:"first" (fun () ->
+         match Api.call w.rt b ~proc:"slow" [ V.int 1 ] with
+         | [ V.Int 1 ] -> ()
+         | _ -> Alcotest.fail "first call broken"));
+  ignore
+    (Kernel.spawn w.kernel w.client ~name:"second" (fun () ->
+         Engine.delay w.engine (Time.us 10);
+         (match Api.call_result w.rt b ~proc:"slow" [ V.int 2 ] with
+         | Error (Api.Overloaded { retry_after_us; _ }) ->
+             rejected := retry_after_us
+         | Ok _ -> Alcotest.fail "second call must be refused"
+         | Error f -> Alcotest.failf "wrong failure: %s" (Api.failure_to_string f));
+         (* Past the first call's landing the slot is free again. *)
+         Engine.delay w.engine (Time.ms 1);
+         match Api.call_result w.rt b ~proc:"slow" [ V.int 3 ] with
+         | Ok [ V.Int 3 ] -> ()
+         | _ -> Alcotest.fail "retry after backoff must be admitted"));
+  run_world w;
+  Alcotest.(check bool) "positive backoff hint" true (!rejected > 0.0);
+  Alcotest.(check int) "one rejection counted" 1
+    (Lrpc_obs.Metrics.Counter.value w.rt.Rt.c_calls_rejected);
+  Alcotest.(check int) "admitted calls counted" 2
+    (Lrpc_obs.Metrics.Counter.value w.rt.Rt.c_calls_admitted)
+
+(* Queue-depth bound: a checkout that would join a full A-stack FIFO is
+   shed at the checkout path instead of deepening the queue. *)
+let test_admission_queue_depth () =
+  let w = make_world ~processors:4 () in
+  Api.set_admission w.rt (Some (Rt.admission_policy ~max_queue:0 ()));
+  let b = Api.import w.rt ~domain:w.client ~interface:"Async" in
+  let shed = ref 0 in
+  for i = 0 to 1 do
+    ignore
+      (Kernel.spawn w.kernel w.client
+         ~name:(Printf.sprintf "caller-%d" i)
+         (fun () ->
+           Engine.delay w.engine (Time.us (1 + i));
+           match Api.call_result w.rt b ~proc:"slow_one" [ V.int i ] with
+           | Ok _ -> ()
+           | Error (Api.Overloaded _) -> incr shed
+           | Error f ->
+               Alcotest.failf "wrong failure: %s" (Api.failure_to_string f)))
+  done;
+  run_world w;
+  Alcotest.(check int) "second caller shed at the FIFO" 1 !shed;
+  Alcotest.(check int) "counted as lrpc.calls_shed" 1 (ctr w "lrpc.calls_shed")
+
+(* CoDel-style sojourn bound: a waiter already queued is shed once its
+   queue delay exceeds the target, with the hint at twice the target. *)
+let test_admission_sojourn_shed () =
+  let w = make_world ~processors:4 () in
+  Api.set_admission w.rt
+    (Some (Rt.admission_policy ~target_sojourn:(Time.us 40) ()));
+  let b = Api.import w.rt ~domain:w.client ~interface:"Async" in
+  let shed_at = ref Time.zero and t_queued = ref Time.zero in
+  let hint = ref 0.0 in
+  ignore
+    (Kernel.spawn w.kernel w.client ~name:"holder" (fun () ->
+         ignore (Api.call w.rt b ~proc:"slow_one" [ V.int 1 ])));
+  ignore
+    (Kernel.spawn w.kernel w.client ~name:"waiter" (fun () ->
+         Engine.delay w.engine (Time.us 10);
+         t_queued := Engine.now w.engine;
+         match Api.call_result w.rt b ~proc:"slow_one" [ V.int 2 ] with
+         | Error (Api.Overloaded o) ->
+             shed_at := Engine.now w.engine;
+             hint := o.retry_after_us
+         | Ok _ -> Alcotest.fail "waiter must be shed"
+         | Error f ->
+             Alcotest.failf "wrong failure: %s" (Api.failure_to_string f)));
+  run_world w;
+  let waited = Time.to_us (Time.sub !shed_at !t_queued) in
+  Alcotest.(check bool) "shed after ~sojourn target, not at once" true
+    (waited >= 40.0 && waited < 100.0);
+  Alcotest.(check (float 0.01)) "hint is twice the target" 80.0 !hint;
+  (* The interrupted waiter left the FIFO clean: a later call is served. *)
+  in_client w (fun () ->
+      match Api.call w.rt b ~proc:"slow_one" [ V.int 3 ] with
+      | [ V.Int 3 ] -> ()
+      | _ -> Alcotest.fail "pool must still grant after a shed")
+
+(* Deadline-aware admission: once the EWMA of observed service time is
+   warm, a call whose whole deadline budget is below it is refused at
+   the gate instead of being admitted only to miss its deadline. *)
+let test_admission_deadline_aware () =
+  let w = make_world () in
+  Api.set_admission w.rt
+    (Some (Rt.admission_policy ~deadline_aware:true ()));
+  let b = Api.import w.rt ~domain:w.client ~interface:"Async" in
+  in_client w (fun () ->
+      (* Warm the estimator: slow takes >= 100 us of service. *)
+      ignore (Api.call w.rt b ~proc:"slow" [ V.int 1 ]);
+      let options =
+        { Api.Options.default with deadline = Some (Time.us 20) }
+      in
+      (match Api.call_result ~options w.rt b ~proc:"slow" [ V.int 2 ] with
+      | Error (Api.Overloaded { reason; _ }) ->
+          Alcotest.(check bool) "names the deadline budget" true
+            (String.length reason > 0)
+      | Ok _ -> Alcotest.fail "hopeless deadline must be refused"
+      | Error f -> Alcotest.failf "wrong failure: %s" (Api.failure_to_string f));
+      (* An achievable deadline is still admitted. *)
+      match
+        Api.call_result
+          ~options:{ Api.Options.default with deadline = Some (Time.ms 5) }
+          w.rt b ~proc:"slow" [ V.int 3 ]
+      with
+      | Ok [ V.Int 3 ] -> ()
+      | _ -> Alcotest.fail "achievable deadline must be admitted")
+
+(* Satellite: a deadline expiring while the call is queued in the
+   A-stack FIFO must remove the waiter, surface Deadline_exceeded, and
+   leak nothing — later callers still get the A-stack. *)
+let test_deadline_expires_while_queued () =
+  let w = make_world ~processors:4 () in
+  (* An empty policy: no limits, but its presence propagates deadlines
+     into the FIFO wait. *)
+  Api.set_admission w.rt (Some (Rt.admission_policy ()));
+  let b = Api.import w.rt ~domain:w.client ~interface:"Async" in
+  let failures = ref [] in
+  ignore
+    (Kernel.spawn w.kernel w.client ~name:"holder" (fun () ->
+         ignore (Api.call w.rt b ~proc:"slow_one" [ V.int 1 ])));
+  ignore
+    (Kernel.spawn w.kernel w.client ~name:"deadliner" (fun () ->
+         Engine.delay w.engine (Time.us 10);
+         let options =
+           { Api.Options.default with deadline = Some (Time.us 30) }
+         in
+         match Api.call_result ~options w.rt b ~proc:"slow_one" [ V.int 2 ] with
+         | Error (Api.Deadline _) -> failures := `Deadline :: !failures
+         | Ok _ -> Alcotest.fail "deadline must fire while queued"
+         | Error f ->
+             Alcotest.failf "wrong failure: %s" (Api.failure_to_string f)));
+  run_world w;
+  Alcotest.(check int) "Deadline_exceeded surfaced" 1 (List.length !failures);
+  Alcotest.(check int) "nothing left in flight" 0 (Api.calls_in_flight w.rt);
+  (* No A-stack leaked: the single-stack pool still serves. *)
+  in_client w (fun () ->
+      match Api.call w.rt b ~proc:"slow_one" [ V.int 3 ] with
+      | [ V.Int 3 ] -> ()
+      | _ -> Alcotest.fail "pool must still grant after the expiry")
+
+(* No policy installed: concurrent calls are never refused and the
+   admission counters stay untouched — the off switch really is off. *)
+let test_admission_off_rejects_nothing () =
+  let w = make_world ~processors:4 () in
+  let b = Api.import w.rt ~domain:w.client ~interface:"Async" in
+  let ok = ref 0 in
+  for i = 0 to 3 do
+    ignore
+      (Kernel.spawn w.kernel w.client
+         ~name:(Printf.sprintf "caller-%d" i)
+         (fun () ->
+           match Api.call_result w.rt b ~proc:"slow" [ V.int i ] with
+           | Ok _ -> incr ok
+           | Error f ->
+               Alcotest.failf "unexpected failure: %s"
+                 (Api.failure_to_string f)))
+  done;
+  run_world w;
+  Alcotest.(check int) "all served" 4 !ok;
+  Alcotest.(check int) "no rejections" 0
+    (Lrpc_obs.Metrics.Counter.value w.rt.Rt.c_calls_rejected);
+  Alcotest.(check int) "no admissions counted" 0
+    (Lrpc_obs.Metrics.Counter.value w.rt.Rt.c_calls_admitted)
+
 (* --- the headline: pipelining wins ---------------------------------------- *)
 
 let throughput ~pipelined =
@@ -333,6 +516,19 @@ let () =
           Alcotest.test_case "not in thread" `Quick test_not_in_thread;
           Alcotest.test_case "options record" `Quick test_options_record;
           Alcotest.test_case "trace events" `Quick test_trace_events;
+        ] );
+      ( "overload",
+        [
+          Alcotest.test_case "concurrency limit" `Quick
+            test_admission_concurrency_limit;
+          Alcotest.test_case "queue depth" `Quick test_admission_queue_depth;
+          Alcotest.test_case "sojourn shed" `Quick test_admission_sojourn_shed;
+          Alcotest.test_case "deadline-aware" `Quick
+            test_admission_deadline_aware;
+          Alcotest.test_case "deadline while queued" `Quick
+            test_deadline_expires_while_queued;
+          Alcotest.test_case "off by default" `Quick
+            test_admission_off_rejects_nothing;
         ] );
       ( "pipelining",
         [

@@ -99,7 +99,7 @@ let check_quiescent w =
   Alcotest.(check int) "no linkages in use" 0 (Kernel.total_linkages w.kernel)
 
 (* A far domain behind the Netrpc wire, counting server executions. *)
-let add_remote ?rto ?max_attempts w =
+let add_remote ?rto ?max_attempts ?retry_budget ?dedup_capacity w =
   let far = Kernel.create_domain w.kernel ~machine:1 ~name:"far" in
   let executed = ref 0 in
   let riface =
@@ -107,8 +107,8 @@ let add_remote ?rto ?max_attempts w =
       [ I.proc ~result:I.Int32 "recho" [ I.param "v" I.Int32 ] ]
   in
   let rb =
-    Netrpc.import_remote ?rto ?max_attempts ~window:4 w.rt ~client:w.client
-      ~server:far riface
+    Netrpc.import_remote ?rto ?max_attempts ?retry_budget ?dedup_capacity
+      ~window:4 w.rt ~client:w.client ~server:far riface
       ~impls:
         [
           ( "recho",
@@ -299,6 +299,141 @@ let test_at_most_once () =
   Alcotest.(check int) "both duplicates suppressed" 2
     (ctr w "net.duplicates_suppressed");
   check_quiescent w
+
+(* Client-side retry budget: under a wire that drops every reply, an
+   unbudgeted client retries up to max_attempts per call; a budgeted
+   one spends its token bucket, then gives up with [Overloaded] and a
+   backoff hint, and [net.retries_suppressed] counts the suppression. *)
+let test_retry_budget_suppression () =
+  let w = make_world ~processors:2 () in
+  let rb, executed = add_remote ~max_attempts:50 ~retry_budget:0.1 w in
+  let plan =
+    Fault_plan.make
+      { Fault_plan.none with Fault_plan.seed = 3L; wire_reply_drop = 1.0 }
+  in
+  Fault_plan.install plan w.rt;
+  let overloaded = ref 0 and hint = ref 0.0 in
+  in_client w (fun () ->
+      for i = 1 to 5 do
+        match Api.call_result w.rt rb ~proc:"recho" [ V.int i ] with
+        | Error (Api.Overloaded { retry_after_us; _ }) ->
+            incr overloaded;
+            hint := retry_after_us
+        | Ok _ -> Alcotest.fail "every reply is dropped"
+        | Error f ->
+            Alcotest.failf "wrong failure: %s" (Api.failure_to_string f)
+      done);
+  (* The bucket starts at the 10-token cap and accrues 0.1 per call:
+     ~10 retries total across all five calls, not 49 per call. *)
+  Alcotest.(check int) "every call gave up on its budget" 5 !overloaded;
+  Alcotest.(check bool) "suppressions counted" true
+    (ctr w "net.retries_suppressed" >= 5);
+  Alcotest.(check bool) "retries bounded by the bucket" true
+    (ctr w "net.retries" <= 11);
+  Alcotest.(check bool) "positive retry-after hint" true (!hint > 0.0);
+  (* The server executed each call's first attempt; replies were lost
+     at-most-once-safely, so no call ran more than once. *)
+  Alcotest.(check int) "one execution per call" 5 !executed;
+  check_quiescent w
+
+(* The at-most-once dedup cache is bounded: with [dedup_capacity] set,
+   live entries never exceed the cap even while many lossy calls hold
+   their entries across retransmissions, and the peak gauge proves the
+   bound was exercised. *)
+let test_dedup_cache_bounded () =
+  let w = make_world ~processors:4 () in
+  let rb, executed = add_remote ~dedup_capacity:4 w in
+  (* Every first attempt loses its reply, so each call's dedup entry
+     stays live until its second attempt is acked. *)
+  let f_wire ~proc:_ ~seq:_ ~attempt =
+    if attempt = 1 then { Rt.wire_ok with Rt.wf_reply_lost = true }
+    else Rt.wire_ok
+  in
+  w.rt.Rt.faults <-
+    Some
+      {
+        Rt.f_wire;
+        f_backoff_jitter = (fun ~attempt:_ -> 0.0);
+        f_server_exn = (fun ~proc:_ -> None);
+        f_starvation = (fun ~proc:_ -> None);
+      };
+  let calls_per_client = 5 and clients = 4 in
+  for c = 0 to clients - 1 do
+    ignore
+      (Kernel.spawn w.kernel w.client
+         ~name:(Printf.sprintf "lossy-%d" c)
+         (fun () ->
+           for i = 1 to calls_per_client do
+             match Api.call_result w.rt rb ~proc:"recho" [ V.int i ] with
+             | Ok [ V.Int v ] when v = i -> ()
+             | _ -> Alcotest.fail "lossy call must still succeed"
+           done))
+  done;
+  run_world w;
+  let gauge name =
+    int_of_float
+      (Lrpc_obs.Metrics.Gauge.value
+         (Lrpc_obs.Metrics.gauge (Engine.metrics w.engine) name))
+  in
+  Alcotest.(check int) "cache empty at quiescence" 0
+    (gauge "net.dedup_cache_entries");
+  Alcotest.(check bool) "cache was exercised" true
+    (gauge "net.dedup_cache_peak" >= 2);
+  Alcotest.(check bool) "peak never exceeded the capacity" true
+    (gauge "net.dedup_cache_peak" <= 4);
+  Alcotest.(check int) "every call executed exactly once"
+    (calls_per_client * clients)
+    !executed;
+  Alcotest.(check int) "one retry per call"
+    (calls_per_client * clients)
+    (ctr w "net.retries");
+  check_quiescent w
+
+(* The tentpole's chaos scenario: a seeded retry storm (a window where
+   most replies vanish, so clients pile on retransmissions). Without a
+   budget the storm feeds itself for the whole window; with one, the
+   token buckets drain and the storm decays into fast, typed
+   [Overloaded] failures. Both runs must hold every soak invariant —
+   including failure accounting. *)
+let test_retry_storm_budget_decay () =
+  let spec =
+    {
+      Fault_plan.none with
+      Fault_plan.wire_reply_drop = 0.02;
+      storm_from_us = 0.0;
+      storm_until_us = 1e12;
+      storm_reply_drop = 0.85;
+    }
+  in
+  let cfg retry_budget =
+    {
+      Fault_soak.default with
+      Fault_soak.seed = 11L;
+      calls = 1200;
+      spec;
+      remote_share = 0.5;
+      retry_budget;
+    }
+  in
+  let unbudgeted = Fault_soak.run (cfg None) in
+  let budgeted = Fault_soak.run (cfg (Some 0.1)) in
+  Alcotest.(check bool) "unbudgeted soak invariants" true
+    (Fault_soak.ok unbudgeted);
+  Alcotest.(check bool) "budgeted soak invariants" true
+    (Fault_soak.ok budgeted);
+  (* The storm must actually rage in the baseline... *)
+  Alcotest.(check bool) "storm drove retries" true
+    (unbudgeted.Fault_soak.r_retries > 200);
+  Alcotest.(check int) "no suppressions without a budget" 0
+    unbudgeted.Fault_soak.r_retries_suppressed;
+  (* ...and decay under the budget: retransmissions collapse to a small
+     fraction, surfacing as suppressions and typed Overloaded outcomes. *)
+  Alcotest.(check bool) "budget made the storm decay" true
+    (budgeted.Fault_soak.r_retries * 2 < unbudgeted.Fault_soak.r_retries);
+  Alcotest.(check bool) "suppressions counted" true
+    (budgeted.Fault_soak.r_retries_suppressed > 0);
+  Alcotest.(check bool) "overloaded outcomes surfaced" true
+    (budgeted.Fault_soak.r_overloaded > 0)
 
 (* --- crash-safe A-stack recovery ------------------------------------------ *)
 
@@ -510,6 +645,12 @@ let () =
         [
           Alcotest.test_case "retry exhaustion" `Quick test_retry_exhaustion;
           Alcotest.test_case "at-most-once" `Quick test_at_most_once;
+          Alcotest.test_case "retry budget" `Quick
+            test_retry_budget_suppression;
+          Alcotest.test_case "dedup cache bounded" `Quick
+            test_dedup_cache_bounded;
+          Alcotest.test_case "retry storm decay" `Quick
+            test_retry_storm_budget_decay;
         ] );
       ( "crash recovery",
         [

@@ -250,8 +250,9 @@ let test_openloop_run_tracks_offered () =
         ignore
           (Kernel.spawn w.Driver.lw_kernel w.Driver.lw_client
              ~name:(Printf.sprintf "ol%d" session) body))
-      ~call:(fun ~session:_ ->
-        ignore (Api.call w.Driver.lw_rt binding ~proc:"null" []))
+      ~call:(fun ~session:_ ~lateness_us:_ ->
+        ignore (Api.call w.Driver.lw_rt binding ~proc:"null" []);
+        `Ok)
   in
   Alcotest.(check bool) "issued some calls" true (r.Ol.ol_issued > 200);
   Alcotest.(check bool) "completed <= issued" true
@@ -266,6 +267,56 @@ let test_openloop_run_tracks_offered () =
     (Printf.sprintf "mean %.0f us near unloaded null" r.Ol.ol_mean_us)
     true
     (r.Ol.ol_mean_us > 100.0 && r.Ol.ol_mean_us < 500.0)
+
+let test_openloop_shed_accounting () =
+  (* Shed plumbing: refused arrivals are tallied, never measured, and
+     every call sees a non-negative lateness (run-queue wait plus the
+     session's backlog past its scheduled arrival). An overloaded-style
+     client that sheds every other arrival must end with
+     issued = completed + shed and a sketch holding only the
+     completions. *)
+  let w = Driver.make_lrpc () in
+  let binding =
+    Api.import w.Driver.lw_rt ~domain:w.Driver.lw_client ~interface:"Bench"
+  in
+  let cfg =
+    {
+      Ol.ol_seed = 23L;
+      ol_sessions = 4;
+      ol_offered_cps = 1_000.0;
+      ol_process = Ol.Poisson;
+      ol_horizon = Time.ms 100;
+      ol_warmup = Time.ms 20;
+    }
+  in
+  let parity = ref 0 in
+  let min_lateness = ref infinity in
+  let r =
+    Ol.run cfg ~engine:w.Driver.lw_engine
+      ~spawn:(fun ~session body ->
+        ignore
+          (Kernel.spawn w.Driver.lw_kernel w.Driver.lw_client
+             ~name:(Printf.sprintf "ol%d" session) body))
+      ~call:(fun ~session:_ ~lateness_us ->
+        if lateness_us < !min_lateness then min_lateness := lateness_us;
+        incr parity;
+        if !parity mod 2 = 0 then `Shed
+        else begin
+          ignore (Api.call w.Driver.lw_rt binding ~proc:"null" []);
+          `Ok
+        end)
+  in
+  Alcotest.(check bool) "issued some calls" true (r.Ol.ol_issued > 20);
+  Alcotest.(check int) "every arrival tallied exactly once" r.Ol.ol_issued
+    (r.Ol.ol_completed + r.Ol.ol_shed);
+  Alcotest.(check bool) "about half shed" true
+    (abs ((2 * r.Ol.ol_shed) - r.Ol.ol_issued) <= 1);
+  Alcotest.(check bool) "shed calls are not measured" true
+    (r.Ol.ol_measured <= r.Ol.ol_completed);
+  Alcotest.(check int) "sketch holds only completions" r.Ol.ol_measured
+    (Lrpc_util.Qsketch.count r.Ol.ol_sketch);
+  Alcotest.(check bool) "lateness is never negative" true
+    (!min_lateness >= 0.0)
 
 let test_openloop_rejects () =
   (match Ol.streams { poisson_cfg with Ol.ol_sessions = 0 } with
@@ -332,6 +383,8 @@ let () =
           Alcotest.test_case "mean rate preserved" `Quick test_openloop_mean_rate;
           Alcotest.test_case "run tracks offered" `Quick
             test_openloop_run_tracks_offered;
+          Alcotest.test_case "shed accounting" `Quick
+            test_openloop_shed_accounting;
           Alcotest.test_case "rejects" `Quick test_openloop_rejects;
         ] );
     ]
