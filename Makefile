@@ -7,13 +7,15 @@ OPENLOOP_JSON := /tmp/lrpc_openloop_smoke.json
 OVERLOAD_JSON := /tmp/lrpc_overload_smoke.json
 ENGINE_D1_JSON := /tmp/lrpc_engine_d1_smoke.json
 ENGINE_D2_JSON := /tmp/lrpc_engine_d2_smoke.json
+NUMA_JSON := /tmp/lrpc_numa_smoke.json
+NUMA_CHAOS_JSON := /tmp/lrpc_numa_chaos_smoke.json
 
 .PHONY: check build test smoke pipeline-smoke fault-smoke fault-stress \
   fig2-scale-smoke openloop-smoke overload-smoke engine-parallel-smoke \
-  bench-pipeline bench-host bench-host-full clean
+  numa-smoke bench-pipeline bench-host bench-host-full clean
 
 check: build test smoke pipeline-smoke fault-smoke fig2-scale-smoke \
-  openloop-smoke overload-smoke engine-parallel-smoke bench-host
+  openloop-smoke overload-smoke engine-parallel-smoke numa-smoke bench-host
 
 build:
 	dune build
@@ -164,6 +166,33 @@ engine-parallel-smoke: build
 	dune exec test/test_sim.exe -- test 'partitioned engine' > /dev/null
 	@echo "engine-parallel smoke OK"
 
+# End-to-end: the locality study's JSON must cover all four placements
+# at every ladder rung, the distance-ordered victim rings must actually
+# bias thieves toward their own cluster (near >= far steals on the
+# adversarial-far placement at the top rung), and — the other half of
+# the contract — a run with NO topology installed must still produce
+# the seed chaos digest byte-for-byte: the locality path has to be
+# invisible when it is off.
+numa-smoke: build
+	dune exec bin/lrpc_experiments.exe -- numa --quick --json > $(NUMA_JSON)
+	@python3 -c "import json; d = json.load(open('$(NUMA_JSON)')); \
+	  ps = d['points']; \
+	  assert d['experiment'] == 'numa'; \
+	  assert [p['cpus'] for p in ps] == [4, 8]; \
+	  skeys = {'cps', 'steals', 'steals_near', 'steals_far'}; \
+	  series = ['flat', 'clu', 'far_aware', 'far_blind']; \
+	  assert all(skeys <= set(p[s]) for p in ps for s in series), \
+	    'missing series keys'; \
+	  assert all('aware_recovery' in p and 'blind_recovery' in p for p in ps); \
+	  top = ps[-1]; \
+	  assert top['far_aware']['steals_near'] >= top['far_aware']['steals_far'], \
+	    'aware thief must prefer near victims: %s' % top['far_aware']"
+	dune exec bin/lrpc_chaos.exe -- --out $(NUMA_CHAOS_JSON) > /dev/null
+	@python3 -c "import json; d = json.load(open('$(NUMA_CHAOS_JSON)')); \
+	  assert d['digest'] == '253c6d057eda8660b30970ca619df92c', \
+	    'flat-topology digest drifted: %s' % d['digest']"
+	@echo "numa smoke OK"
+
 # The chaos soak at its stress tier: ~10x the smoke call count, same
 # invariants and replay check. Not part of `check` (takes a while).
 fault-stress: build
@@ -185,7 +214,10 @@ bench-host: build
 	          'chaos_calls_per_sec', 'suite_serial_sec', 'suite_jobs_sec', \
 	          'suite_speedup', 'suite_efficiency', 'jobs', 'host_cores', \
 	          'engine_domains', 'engine_serial_sec', 'engine_domains_sec', \
-	          'engine_domains_speedup', 'engine_domains_efficiency']; \
+	          'engine_domains_speedup', 'engine_domains_efficiency', \
+	          'fig2_numa_wallclock_sec', 'numa_cluster_size', \
+	          'numa_cross_mult', 'numa_max_cpus', \
+	          'numa_aware_recovery', 'numa_blind_recovery']; \
 	  missing = [k for k in keys if k not in d]; \
 	  assert not missing, 'missing keys: %s' % missing; \
 	  bad = [k for k in keys if not isinstance(d[k], numbers.Number)]; \

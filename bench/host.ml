@@ -7,6 +7,10 @@
      fig1_synthesis_calls_per_sec  Fig.1 traffic synthesis throughput
      fig2_wallclock_sec          the 4-CPU throughput experiment, wall
      fig2_scale_wallclock_sec    the 1-256 CPU scaling study, wall
+     fig2_numa_wallclock_sec     the clustered placement-quality study, wall
+     numa_aware_recovery         simulated: adversarial-far throughput as a
+                                 fraction of flat, distance-ordered rings
+     numa_blind_recovery         same, distance-blind scan (the ablation)
      openloop_sweep_wallclock_sec  the open-loop latency-vs-load sweep, wall
      chaos_calls_per_sec         chaos soak rate (stress call count)
      suite_serial_sec            every paper artifact, --jobs 1
@@ -105,6 +109,19 @@ let fig2_scale_wallclock_sec () =
   in
   dt
 
+(* The placement-quality study runs the scaling workload four times
+   per rung, three of them on a clustered topology with distance costs
+   and victim rings live — tracked both for its wall-clock (the
+   locality paths are on the dispatch/steal hot path) and for its two
+   headline simulated ratios, which pin the topology configuration the
+   committed numbers were produced under. *)
+let fig2_numa_wallclock () =
+  wall (fun () ->
+      Lrpc_experiments.Numa_study.run
+        ~max_cpus:(if quick then 8 else 32)
+        ~horizon:(Time.ms (if quick then 50 else 100))
+        ())
+
 (* The open-loop study is the heaviest per-point simulation in the
    suite (thousands of sessions, four systems, a sweep past
    saturation); its wall-clock is tracked so a hot-path regression in
@@ -172,6 +189,16 @@ let () =
   let fig1 = fig1_synthesis_calls_per_sec () in
   let fig2 = fig2_wallclock_sec () in
   let fig2_scale = fig2_scale_wallclock_sec () in
+  let numa_result, fig2_numa = fig2_numa_wallclock () in
+  let numa_last =
+    List.nth numa_result.Lrpc_experiments.Numa_study.points
+      (List.length numa_result.Lrpc_experiments.Numa_study.points - 1)
+  in
+  let numa_recovery (s : Lrpc_experiments.Numa_study.series) =
+    s.Lrpc_experiments.Numa_study.sr_cps
+    /. numa_last.Lrpc_experiments.Numa_study.flat
+         .Lrpc_experiments.Numa_study.sr_cps
+  in
   let openloop = openloop_sweep_wallclock_sec () in
   let chaos = chaos_calls_per_sec () in
   let engine_serial, engine_fanned = engine_domains_times () in
@@ -194,6 +221,17 @@ let () =
   Printf.bprintf buf "  \"fig1_synthesis_calls_per_sec\": %.0f,\n" fig1;
   Printf.bprintf buf "  \"fig2_wallclock_sec\": %.3f,\n" fig2;
   Printf.bprintf buf "  \"fig2_scale_wallclock_sec\": %.3f,\n" fig2_scale;
+  Printf.bprintf buf "  \"fig2_numa_wallclock_sec\": %.3f,\n" fig2_numa;
+  Printf.bprintf buf "  \"numa_cluster_size\": %d,\n"
+    numa_result.Lrpc_experiments.Numa_study.cluster_size;
+  Printf.bprintf buf "  \"numa_cross_mult\": %.1f,\n"
+    numa_result.Lrpc_experiments.Numa_study.cross_mult;
+  Printf.bprintf buf "  \"numa_max_cpus\": %d,\n"
+    numa_last.Lrpc_experiments.Numa_study.cpus;
+  Printf.bprintf buf "  \"numa_aware_recovery\": %.3f,\n"
+    (numa_recovery numa_last.Lrpc_experiments.Numa_study.far_aware);
+  Printf.bprintf buf "  \"numa_blind_recovery\": %.3f,\n"
+    (numa_recovery numa_last.Lrpc_experiments.Numa_study.far_blind);
   Printf.bprintf buf "  \"openloop_sweep_wallclock_sec\": %.3f,\n" openloop;
   Printf.bprintf buf "  \"chaos_calls_per_sec\": %.0f,\n" chaos;
   Printf.bprintf buf "  \"engine_domains\": %d,\n" engine_domains;

@@ -63,8 +63,9 @@ let names_arg =
     "Experiments to run: t1 f1 t2 t3 t4 t5 f2 (paper tables/figures), a1-a6 \
      (ablations incl. a6 register passing), lat (supplementary latency), f2s \
      (multiprocessor scaling beyond Fig.2), openloop (open-loop \
-     latency-vs-load curves), or 'all'. Unknown names are an error (exit \
-     code 2)."
+     latency-vs-load curves), numa (placement quality on a clustered \
+     topology), prodsweep (idle-prod policy calibration grid), or 'all'. \
+     Unknown names are an error (exit code 2)."
   in
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
 

@@ -44,7 +44,12 @@ let make_pool rt ~client ~server ~proc ~size ~count =
   let astacks =
     allocate_batch rt ~client ~server ~proc ~size ~count ~primary:true
   in
-  let nsh = shard_count rt count in
+  (* Under a re-shard policy the pool starts with a single shard and
+     earns more only when the controller observes contention — the
+     conservative end of the tuning loop. Without one (the default,
+     and every published configuration) the historical one-shard-per-
+     processor layout is kept bit-identical. *)
+  let nsh = match rt.reshard with None -> shard_count rt count | Some _ -> 1 in
   List.iteri (fun i a -> a.a_shard <- i mod nsh) astacks;
   let shards =
     Array.init nsh (fun si ->
@@ -56,7 +61,18 @@ let make_pool rt ~client ~server ~proc ~size ~count =
           ash_free = List.filter (fun a -> a.a_shard = si) astacks;
         })
   in
-  { ap_bytes = size; ap_shards = shards; ap_waiters = Queue.create (); ap_all = astacks }
+  let pool =
+    {
+      ap_bytes = size;
+      ap_shards = shards;
+      ap_checkouts = 0;
+      ap_contended = 0;
+      ap_waiters = Queue.create ();
+      ap_all = astacks;
+    }
+  in
+  rt.pools <- pool :: rt.pools;
+  pool
 
 let lock_hold rt = (cost_model rt).Lrpc_sim.Cost_model.astack_lock
 
@@ -108,6 +124,62 @@ let pop_free_any pool =
 
 let free_count pool =
   Array.fold_left (fun acc sh -> acc + List.length sh.ash_free) 0 pool.ap_shards
+
+(* --- Adaptive re-shard controller (tuning loop, off unless a
+   [Rt.reshard] policy is installed) ---
+
+   A pool whose checkouts keep tripping the contended-fallback path has
+   more concurrent callers than shards; doubling the shard count (up to
+   one per processor) spreads them over more locks. Re-sharding moves
+   every A-stack to a new home shard, so it only runs at a quiescent
+   point: no shard lock held (checked here) and no parallel engine
+   window executing (checked by the callers). Checked-out A-stacks are
+   re-homed too — their check-in lands on the new shard — and free-list
+   membership is preserved exactly, so simulated call results are
+   unchanged; only future lock-contention outcomes differ. *)
+
+let shards_quiescent pool =
+  Array.for_all (fun sh -> Spinlock.holder sh.ash_lock = None) pool.ap_shards
+
+let reshard_pool rt pool =
+  let nsh = Array.length pool.ap_shards in
+  let nsh' = min (shard_count rt (List.length pool.ap_all)) (2 * nsh) in
+  if nsh' <= nsh || not (shards_quiescent pool) then false
+  else begin
+    let free =
+      Array.fold_left (fun acc sh -> acc @ sh.ash_free) [] pool.ap_shards
+    in
+    List.iteri (fun i a -> a.a_shard <- i mod nsh') pool.ap_all;
+    pool.ap_shards <-
+      Array.init nsh' (fun si ->
+          {
+            ash_lock = Spinlock.create ~name:"astack-q-resharded" (engine rt);
+            ash_free =
+              List.filter
+                (fun a -> a.a_shard = si && List.memq a free)
+                pool.ap_all;
+          });
+    Metrics.Counter.incr rt.c_reshards;
+    true
+  end
+
+let review_pool rt rs pool =
+  if pool.ap_checkouts >= rs.rs_window then begin
+    let ratio =
+      float_of_int pool.ap_contended /. float_of_int pool.ap_checkouts
+    in
+    pool.ap_checkouts <- 0;
+    pool.ap_contended <- 0;
+    if ratio > rs.rs_threshold then ignore (reshard_pool rt pool)
+  end
+
+(* Review every pool — the quiescent-point entry used from the engine's
+   window-barrier hook under the partitioned engine (where checkouts
+   inside a parallel window must not re-shard). No-op with no policy. *)
+let review_pools rt =
+  match rt.reshard with
+  | None -> ()
+  | Some rs -> List.iter (review_pool rt rs) rt.pools
 
 (* Hand [a] to the longest-waiting live waiter, returning the thread to
    wake, or [None] when nobody (live) is waiting. The grant is written
@@ -300,6 +372,17 @@ let checkout ?admit rt pb ~client ~server =
       a
   | None -> (
   let e = engine rt in
+  (* Re-shard review first (one pointer test with no policy installed):
+     resizing before the scan keeps this checkout's view of the shard
+     array consistent. Inside a parallel engine window the review is
+     deferred to the window barrier (see [review_pools]). *)
+  (match rt.reshard with
+  | None -> ()
+  | Some rs ->
+      pool.ap_checkouts <- pool.ap_checkouts + 1;
+      if
+        pool.ap_checkouts >= rs.rs_window && not (Engine.parallel_phase e)
+      then review_pool rt rs pool);
   let nsh = Array.length pool.ap_shards in
   (* Home shard follows the calling processor, so steady-state checkouts
      on different processors touch different locks and free lists. *)
@@ -309,27 +392,62 @@ let checkout ?admit rt pb ~client ~server =
   (* Lock-free in the "never waits on a lock" sense: a shard whose lock
      is held by someone else is skipped, not spun on. The claim happens
      at acquire time — the hold models the critical section's cost, so
-     concurrent scanners must not see a claimed A-stack as still free. *)
+     concurrent scanners must not see a claimed A-stack as still free.
+
+     The holder pre-check misses simultaneous arrivals (the acquire's
+     own instruction cost runs before the lock is taken, so a whole
+     round of same-instant checkouts passes the check and then queues
+     inside [Spinlock.acquire]); the spinlock's contended-acquire
+     counter catches exactly those, and feeds the same re-shard
+     signal. *)
+  let try_shard si =
+    let sh = pool.ap_shards.(si) in
+    if Spinlock.holder sh.ash_lock <> None then begin
+      if sh.ash_free <> [] then contended := true
+    end
+    else if sh.ash_free <> [] then begin
+      let waited = Spinlock.contended_acquires sh.ash_lock in
+      Spinlock.acquire sh.ash_lock;
+      if Spinlock.contended_acquires sh.ash_lock > waited then begin
+        Metrics.Counter.incr rt.c_shard_contended;
+        if rt.reshard <> None then
+          pool.ap_contended <- pool.ap_contended + 1
+      end;
+      (match sh.ash_free with
+      | a :: rest ->
+          sh.ash_free <- rest;
+          taken := Some a
+      | [] -> () (* drained by a timer grant; no yield point, unlikely *));
+      Fun.protect
+        ~finally:(fun () -> Spinlock.release sh.ash_lock)
+        (fun () ->
+          Engine.delay ~category:Lrpc_sim.Category.Lock e (lock_hold rt));
+      if !taken <> None then raise_notrace Exit
+    end
+  in
   (try
-     for k = 0 to nsh - 1 do
-       let sh = pool.ap_shards.((preferred + k) mod nsh) in
-       if Spinlock.holder sh.ash_lock <> None then begin
-         if sh.ash_free <> [] then contended := true
-       end
-       else if sh.ash_free <> [] then begin
-         Spinlock.acquire sh.ash_lock;
-         (match sh.ash_free with
-         | a :: rest ->
-             sh.ash_free <- rest;
-             taken := Some a
-         | [] -> () (* drained by a timer grant; no yield point, unlikely *));
-         Fun.protect
-           ~finally:(fun () -> Spinlock.release sh.ash_lock)
-           (fun () ->
-             Engine.delay ~category:Lrpc_sim.Category.Lock e (lock_hold rt));
-         if !taken <> None then raise_notrace Exit
-       end
-     done
+     match Engine.topology e with
+     | Some topo when nsh > 1 ->
+         (* Shard index doubles as the shard's home processor (never
+            more shards than processors): visit shards homed on the
+            caller's cluster before paying a cross-cluster cache pull,
+            keeping the rotation order within each pass. *)
+         let my =
+           Lrpc_sim.Cost_model.cluster_of topo
+             (Engine.current_cpu e).Engine.idx
+         in
+         for k = 0 to nsh - 1 do
+           let si = (preferred + k) mod nsh in
+           if Lrpc_sim.Cost_model.cluster_of topo si = my then try_shard si
+         done;
+         for k = 0 to nsh - 1 do
+           let si = (preferred + k) mod nsh in
+           if Lrpc_sim.Cost_model.cluster_of topo si <> my then try_shard si
+         done
+     | Some _ | None ->
+         for k = 0 to nsh - 1 do
+           try_shard ((preferred + k) mod nsh)
+         done
    with Exit -> ());
   match !taken with
   | Some a ->
@@ -339,6 +457,7 @@ let checkout ?admit rt pb ~client ~server =
       (* Every free A-stack (if any) sits behind a held shard lock: fall
          back to the FIFO direct-grant path rather than spin. *)
       Metrics.Counter.incr rt.c_shard_contended;
+      if rt.reshard <> None then pool.ap_contended <- pool.ap_contended + 1;
       let a = timed_grant_wait ?admit rt pool (lock_hold rt) in
       a.a_last_used <- Engine.now e;
       a

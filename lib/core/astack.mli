@@ -89,6 +89,29 @@ val checkin : Rt.runtime -> Rt.proc_binding -> Rt.astack -> unit
 val waiting : Rt.astack_pool -> int
 (** Callers currently blocked on pool exhaustion. *)
 
+(** {2 Adaptive re-sharding}
+
+    The tuning loop over the shard layout: per pool, the runtime counts
+    checkouts and contended-fallback hits in a review window; when the
+    contended fraction exceeds the installed {!Rt.reshard} policy's
+    threshold, the pool's shard count is doubled (capped at one shard
+    per processor) at a quiescent point. Off — and a single pointer test
+    per checkout — until a policy is installed on the runtime. *)
+
+val reshard_pool : Rt.runtime -> Rt.astack_pool -> bool
+(** Double the pool's shard count now, re-homing every A-stack
+    (checked-out ones included — their check-in lands on the new shard)
+    and preserving free-list membership exactly, so simulated call
+    results are unchanged. Returns [false] without touching anything
+    when already at the shard cap or when any shard lock is held (not a
+    quiescent point). Bumps ["lrpc.astack_reshards"] on success. *)
+
+val review_pools : Rt.runtime -> unit
+(** Run the re-shard review over every pool whose window is full — the
+    quiescent-point entry installed as the engine's window-barrier hook
+    under the partitioned engine (checkouts inside a parallel window
+    never re-shard inline). No-op when no policy is installed. *)
+
 val free_count : Rt.astack_pool -> int
 (** A-stacks currently free, summed across shards. Engine-level safe. *)
 

@@ -1,0 +1,28 @@
+(** Swept calibration of the kernel's idle-prod policy knobs — the
+    table recorded in EXPERIMENTS.md ("Prod-policy calibration") that
+    justifies {!Lrpc_kernel.Kernel.default_half_life_us} and
+    [default_prod_margin].
+
+    Each (half-life, margin) cell runs the caching-enabled closed-loop
+    throughput workload and a shortened chaos soak; a cell only
+    qualifies as a default candidate when every soak invariant holds.
+    Deterministic: a pure function of [(quick, seed)]. *)
+
+type cell = {
+  half_life_us : float;
+  margin : float;
+  cps : float;
+  soak_ok : bool;
+  soak_completed : int;
+}
+
+type result = { cells : cell list; horizon : Lrpc_sim.Time.t; soak_calls : int }
+
+val run : ?quick:bool -> ?seed:int64 -> unit -> result
+(** 3x3 grid: half-life {250, 1000, 4000} us, margin {0.125, 0.5, 2}. *)
+
+val best : result -> cell option
+(** Highest-throughput cell among those whose soak invariants all
+    held. *)
+
+val render : result -> string

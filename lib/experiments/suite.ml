@@ -9,7 +9,7 @@
 
 let paper = [ "t1"; "f1"; "t2"; "t3"; "t4"; "t5"; "f2" ]
 let ablations = [ "a1"; "a2"; "a3"; "a4"; "a5"; "a6" ]
-let supplementary = [ "lat"; "f2s"; "openloop" ]
+let supplementary = [ "lat"; "f2s"; "openloop"; "numa"; "prodsweep" ]
 let names = paper @ ablations @ supplementary
 
 let mem name = List.mem name names
@@ -23,11 +23,21 @@ let fig2_scale_result ~quick =
     ~horizon:(Lrpc_sim.Time.ms (if quick then 100 else 250))
     ()
 
-let json_names = [ "f2s"; "openloop" ]
+(* Smaller ladder than fig2_scale: four runs per rung (three of them on
+   the clustered topology with live stealing) would make the 64+ rungs
+   dominate the suite. *)
+let numa_result ~quick =
+  Numa_study.run
+    ~max_cpus:(if quick then 8 else 32)
+    ~horizon:(Lrpc_sim.Time.ms (if quick then 50 else 100))
+    ()
+
+let json_names = [ "f2s"; "openloop"; "numa" ]
 
 let json ?(seed = 1989L) ?(quick = false) ?(shedding = false) name =
   match name with
   | "f2s" -> Fig2_scale.to_json (fig2_scale_result ~quick)
+  | "numa" -> Numa_study.to_json (numa_result ~quick)
   | "openloop" when shedding ->
       Openloop.to_json ~experiment:"openloop_shed"
         (Openloop.run_shedding ~seed ~quick ())
@@ -54,6 +64,8 @@ let run ?(seed = 1989L) ?(quick = false) ?(shedding = false) name =
   | "a6" -> Ablations.render_a6 (Ablations.run_a6 ())
   | "lat" -> Latency.render (Latency.run ~horizon ())
   | "f2s" -> Fig2_scale.render (fig2_scale_result ~quick)
+  | "numa" -> Numa_study.render (numa_result ~quick)
+  | "prodsweep" -> Prod_sweep.render (Prod_sweep.run ~quick ~seed ())
   | "openloop" when shedding ->
       Openloop.render (Openloop.run_shedding ~seed ~quick ())
   | "openloop" -> Openloop.render (Openloop.run ~seed ~quick ())

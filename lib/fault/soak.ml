@@ -24,6 +24,13 @@ type config = {
   trace_capacity : int;
   retry_budget : float option;
   dedup_capacity : int option;
+  cost_model : Lrpc_sim.Cost_model.t option;
+  domain_caching : bool;
+  prod_half_life_us : float option;
+  prod_margin : float option;
+  adaptive_prod : bool;
+  adaptive_reshard : bool;
+  reshard : Lrpc_core.Rt.reshard option;
 }
 
 let default =
@@ -52,6 +59,13 @@ let default =
     trace_capacity = 1 lsl 16;
     retry_budget = None;
     dedup_capacity = None;
+    cost_model = None;
+    domain_caching = false;
+    prod_half_life_us = None;
+    prod_margin = None;
+    adaptive_prod = false;
+    adaptive_reshard = false;
+    reshard = None;
   }
 
 type report = {
@@ -69,6 +83,10 @@ type report = {
   r_dups_suppressed : int;
   r_crashes : int;
   r_starvations : int;
+  r_shard_contended : int;
+  r_reshards : int;
+  r_steals_near : int;
+  r_steals_far : int;
   r_all_resolved : bool;
   r_failure_accounting : bool;
   r_pool_balanced : bool;
@@ -134,8 +152,17 @@ let run cfg =
       {
         Driver.Config.default with
         Driver.Config.processors = cfg.processors;
+        cost_model =
+          Option.value cfg.cost_model
+            ~default:Driver.Config.default.Driver.Config.cost_model;
         engine_domains = Some cfg.engine_domains;
         trace_capacity = Some cfg.trace_capacity;
+        domain_caching = cfg.domain_caching;
+        prod_half_life_us = cfg.prod_half_life_us;
+        prod_margin = cfg.prod_margin;
+        adaptive_prod = cfg.adaptive_prod;
+        adaptive_reshard = cfg.adaptive_reshard;
+        reshard = cfg.reshard;
         install_faults =
           Some (Plan.install (Plan.make { cfg.spec with Plan.seed = cfg.seed }));
       }
@@ -346,6 +373,10 @@ let run cfg =
     r_dups_suppressed = counter "net.duplicates_suppressed";
     r_crashes = counter "fault.crashes";
     r_starvations = counter "fault.astack_starvations";
+    r_shard_contended = counter "lrpc.astack_shard_contended";
+    r_reshards = counter "lrpc.astack_reshards";
+    r_steals_near = Engine.total_steals_near engine;
+    r_steals_far = Engine.total_steals_far engine;
     r_all_resolved = resolved = !issued;
     r_failure_accounting = failure_accounting;
     r_pool_balanced = pool_balanced;
@@ -368,12 +399,15 @@ let report_to_json r =
     \ \"faults\": {\"net_retries\": %d, \"net_retries_suppressed\": %d, \
      \"net_duplicates_suppressed\": %d, \"crashes\": %d, \
      \"astack_starvations\": %d},\n\
+    \ \"locality\": {\"shard_contended\": %d, \"reshards\": %d, \
+     \"steals_near\": %d, \"steals_far\": %d},\n\
     \ \"invariants\": {\"all_resolved\": %b, \"failure_accounting\": %b, \
      \"pool_balanced\": %b, \"linkages_zero\": %b, \"in_flight_zero\": %b, \
      \"no_stuck_threads\": %b, \"no_thread_failures\": %b},\n\
     \ \"digest\": \"%s\"}"
     r.r_seed r.r_calls r.r_ok r.r_failed r.r_aborted r.r_deadline r.r_rejected
     r.r_overloaded r.r_stub r.r_retries r.r_retries_suppressed
-    r.r_dups_suppressed r.r_crashes r.r_starvations r.r_all_resolved
+    r.r_dups_suppressed r.r_crashes r.r_starvations r.r_shard_contended
+    r.r_reshards r.r_steals_near r.r_steals_far r.r_all_resolved
     r.r_failure_accounting r.r_pool_balanced r.r_linkages_zero
     r.r_in_flight_zero r.r_no_stuck r.r_no_failures r.r_digest

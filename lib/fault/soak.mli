@@ -33,6 +33,25 @@ type config = {
   dedup_capacity : int option;
       (** bound on the remote binding's at-most-once dedup cache;
           [None] leaves it unbounded *)
+  cost_model : Lrpc_sim.Cost_model.t option;
+      (** machine timing model; [None] is the Driver default (C-VAX
+          Firefly, no topology). A {!Lrpc_sim.Cost_model.clustered}
+          model here soaks the locality-aware paths; with [None] the
+          report — digest included — is bit-identical to pre-topology
+          builds *)
+  domain_caching : bool;
+      (** §3.4 idle-processor context caching (default off — matches
+          the historical soak world) *)
+  prod_half_life_us : float option;  (** prod-policy override, see
+                                         {!Lrpc_kernel.Kernel.set_prod_tuning} *)
+  prod_margin : float option;
+  adaptive_prod : bool;  (** online prod-policy adaptation (default off) *)
+  adaptive_reshard : bool;
+      (** adaptive A-stack re-sharding (default off) *)
+  reshard : Lrpc_core.Rt.reshard option;
+      (** explicit re-shard policy; overrides the default one that
+          [adaptive_reshard] installs. Under any policy, pools start
+          single-sharded and only the controller grows them *)
 }
 
 val default : config
@@ -58,6 +77,10 @@ type report = {
   r_dups_suppressed : int;  (** ["net.duplicates_suppressed"] *)
   r_crashes : int;  (** ["fault.crashes"] delivered *)
   r_starvations : int;  (** ["fault.astack_starvations"] *)
+  r_shard_contended : int;  (** ["lrpc.astack_shard_contended"] *)
+  r_reshards : int;  (** ["lrpc.astack_reshards"] applied *)
+  r_steals_near : int;  (** within-cluster steals (0 with no topology) *)
+  r_steals_far : int;  (** cross-cluster steals *)
   r_all_resolved : bool;  (** every call landed in exactly one tally *)
   r_failure_accounting : bool;
       (** [failed + aborted + deadline + rejected + overloaded + stub]
@@ -80,5 +103,7 @@ val ok : report -> bool
 
 val report_to_json : report -> string
 (** One-object JSON rendering: ["seed"], ["calls"], an ["outcomes"]
-    object, a ["faults"] object, an ["invariants"] object (all seven
-    booleans) and ["digest"]. Hand-built; stable key order. *)
+    object, a ["faults"] object, a ["locality"] object (shard
+    contention, reshards, near/far steals), an ["invariants"] object
+    (all seven booleans) and ["digest"]. Hand-built; stable key
+    order. *)

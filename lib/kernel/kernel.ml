@@ -15,7 +15,14 @@ type hook_handle = int
    and the whole thing halves every [ewma_half_life_us] of quiet, so the
    prod policy chases domains that are missing *now*, not domains that
    were busy long ago (raw counters never forget). *)
-type miss_stat = { mutable ms_ewma : float; mutable ms_at : Time.t }
+type miss_stat = {
+  mutable ms_ewma : float;
+  mutable ms_at : Time.t;
+  mutable ms_cpu : int;
+      (* CPU of the most recent miss (-1 before any): under a locality
+         topology the prod policy discounts idle CPUs far from where the
+         domain's calls actually arrive *)
+}
 
 type hook = {
   hk_id : hook_handle;
@@ -42,11 +49,26 @@ type t = {
   c_prods : Metrics.counter;
   c_idle_retags : Metrics.counter;
   h_prod_hit : Metrics.histogram;
+  mutable half_life_us : float;
+      (* miss-EWMA half-life; per-kernel so it can be swept and adapted *)
+  mutable margin : float; (* required EWMA gap before any retag *)
+  mutable retag_factor : float; (* idle-consult hysteresis multiplier *)
+  mutable adapt_prod : bool; (* online knob adaptation enabled *)
+  mutable ap_misses : int; (* misses since the last adaptation review *)
+  mutable ap_last_prods : int;
+  mutable ap_last_hits : int;
   mutable hooks : hook list; (* reversed *)
   mutable next_hook : int;
   linkages : (int, int) Hashtbl.t; (* tid -> outstanding linkage records *)
   g_linkages : Metrics.gauge;
 }
+
+(* Swept defaults for the idle-prod policy knobs (EXPERIMENTS.md
+   "Prod-policy calibration"): the values live on [t] so they can be
+   swept per-world and adapted online ({!enable_adaptive_prod}). *)
+let default_half_life_us = 1000.0
+let default_prod_margin = 0.5
+let default_idle_retag_factor = 2.0
 
 let boot engine =
   let kernel_domain =
@@ -80,6 +102,13 @@ let boot engine =
     c_idle_retags =
       Metrics.counter (Engine.metrics engine) "kernel.idle_retags";
     h_prod_hit = Metrics.histogram (Engine.metrics engine) "kernel.prod_to_hit_us";
+    half_life_us = default_half_life_us;
+    margin = default_prod_margin;
+    retag_factor = default_idle_retag_factor;
+    adapt_prod = false;
+    ap_misses = 0;
+    ap_last_prods = 0;
+    ap_last_hits = 0;
     hooks = [];
     next_hook = 1;
     linkages = Hashtbl.create 64;
@@ -266,22 +295,40 @@ let note_context_hit ?cpu t d =
    past a clear hysteresis margin, so the steady-state exchange ping-pong
    (both contexts equally warm, every call a hit) is never perturbed. *)
 
-let ewma_half_life_us = 1000.0 (* a miss stops counting for much ~ms later *)
-let prod_margin = 0.5 (* required EWMA gap before any retag *)
-let idle_retag_factor = 2.0 (* idle-consult hysteresis: must out-miss 2x *)
+let prod_tuning t = (t.half_life_us, t.margin, t.retag_factor)
 
-let decayed ~now st =
+let set_prod_tuning ?half_life_us ?margin ?idle_retag_factor t =
+  (match half_life_us with
+  | Some h ->
+      if not (h > 0.0) then
+        invalid_arg "Kernel.set_prod_tuning: half_life_us must be positive";
+      t.half_life_us <- h
+  | None -> ());
+  (match margin with
+  | Some m ->
+      if m < 0.0 then
+        invalid_arg "Kernel.set_prod_tuning: margin must be >= 0";
+      t.margin <- m
+  | None -> ());
+  match idle_retag_factor with
+  | Some f ->
+      if not (f >= 1.0) then
+        invalid_arg "Kernel.set_prod_tuning: idle_retag_factor must be >= 1";
+      t.retag_factor <- f
+  | None -> ()
+
+let decayed t ~now st =
   if st.ms_ewma = 0.0 then 0.0
   else
     let dt = Time.to_us (Time.sub now st.ms_at) in
     if dt <= 0.0 then st.ms_ewma
-    else st.ms_ewma *. (0.5 ** (dt /. ewma_half_life_us))
+    else st.ms_ewma *. (0.5 ** (dt /. t.half_life_us))
 
 let miss_stat t d =
   match Hashtbl.find_opt t.ewmas d.Pdomain.id with
   | Some st -> st
   | None ->
-      let st = { ms_ewma = 0.0; ms_at = Time.zero } in
+      let st = { ms_ewma = 0.0; ms_at = Time.zero; ms_cpu = -1 } in
       Hashtbl.replace t.ewmas d.Pdomain.id st;
       st
 
@@ -299,13 +346,64 @@ let ewma_gauge t d =
 
 let ewma_of_id t ~now id =
   match Hashtbl.find_opt t.ewmas id with
-  | Some st -> decayed ~now st
+  | Some st -> decayed t ~now st
   | None -> 0.0
 
 let context_miss_ewma t d = ewma_of_id t ~now:(Engine.now t.engine) d.Pdomain.id
 
 let prods t = Metrics.Counter.value t.c_prods
 let idle_retags t = Metrics.Counter.value t.c_idle_retags
+
+(* --- online prod-knob adaptation -----------------------------------------
+
+   A closed loop over the kernel's own evidence, reviewed every
+   [adapt_review_misses] context misses (activity-driven: no timers, so
+   a quiescing engine still quiesces):
+
+   - The prod *hit ratio* (prod retags that were hit, from the
+     [prod_to_hit_us] sample count, over retags issued) steers the
+     margin: mostly-wasted prods mean the policy fires too eagerly —
+     widen the gap; mostly-hit prods mean it can afford to fire sooner.
+     No prods at all (margin starved the policy, or no CPU was ever
+     idle) nudges the margin back down.
+   - The observed median prod-to-hit latency steers the half-life: a
+     context prefetched now should still look warm when it pays off, so
+     the half-life tracks ~2x the median payoff gap (smoothed, clamped
+     to [100 us, 10 ms]).
+
+   Enabled per-world via [Driver.Config.adaptive_prod]; off by default,
+   leaving the swept static defaults untouched. *)
+
+let adapt_review_misses = 64
+
+let adaptive_prod_enabled t = t.adapt_prod
+let enable_adaptive_prod t = t.adapt_prod <- true
+
+let adapt_prod_review t =
+  t.ap_misses <- 0;
+  let p = Metrics.Counter.value t.c_prods in
+  let h = Metrics.Histo.count t.h_prod_hit in
+  let dp = p - t.ap_last_prods and dh = h - t.ap_last_hits in
+  t.ap_last_prods <- p;
+  t.ap_last_hits <- h;
+  (if dp = 0 then t.margin <- Float.max (t.margin *. 0.75) 0.125
+   else
+     let ratio = float_of_int dh /. float_of_int dp in
+     if ratio < 0.25 then t.margin <- Float.min (t.margin *. 1.5) 4.0
+     else if ratio > 0.75 then t.margin <- Float.max (t.margin /. 1.5) 0.125);
+  if dh > 0 then begin
+    let p50 = float_of_int (Metrics.Histo.percentile t.h_prod_hit 50.0) in
+    if p50 > 0.0 then begin
+      let target = Float.max 100.0 (Float.min (2.0 *. p50) 10_000.0) in
+      t.half_life_us <- 0.5 *. (t.half_life_us +. target)
+    end
+  end
+
+let note_adapt_miss t =
+  if t.adapt_prod then begin
+    t.ap_misses <- t.ap_misses + 1;
+    if t.ap_misses >= adapt_review_misses then adapt_prod_review t
+  end
 
 (* Re-tag the idle processor [c] to [d]: the idle processor loads the
    domain's context off the critical path; nobody is charged. *)
@@ -317,31 +415,73 @@ let prod t ~now c d =
 
 let note_context_miss t d =
   Metrics.Counter.incr (miss_counter t d);
+  note_adapt_miss t;
   let now = Engine.now t.engine in
   let st = miss_stat t d in
-  st.ms_ewma <- decayed ~now st +. 1.0;
+  st.ms_ewma <- decayed t ~now st +. 1.0;
   st.ms_at <- now;
+  (match Engine.self_opt t.engine with
+  | Some th -> (
+      match Engine.thread_cpu t.engine th with
+      | Some c -> st.ms_cpu <- c.Engine.idx
+      | None -> ())
+  | None -> ());
   Metrics.Gauge.set (ewma_gauge t d) st.ms_ewma;
   if t.caching then begin
     let mine = st.ms_ewma in
     let cpus = Engine.cpus t.engine in
-    let candidate = ref None and candidate_ewma = ref infinity in
-    Array.iter
-      (fun c ->
-        if c.Engine.running = None then begin
-          let ctx =
-            match c.Engine.context with
-            | Some id when id = d.Pdomain.id -> infinity (* already ours *)
-            | Some id -> ewma_of_id t ~now id
-            | None -> neg_infinity (* untagged: always the best victim *)
-          in
-          if ctx +. prod_margin < mine && ctx < !candidate_ewma then begin
-            candidate := Some c;
-            candidate_ewma := ctx
-          end
-        end)
-      cpus;
-    match !candidate with Some c -> prod t ~now c d | None -> ()
+    match Engine.topology t.engine with
+    | None ->
+        let candidate = ref None and candidate_ewma = ref infinity in
+        Array.iter
+          (fun c ->
+            if c.Engine.running = None then begin
+              let ctx =
+                match c.Engine.context with
+                | Some id when id = d.Pdomain.id -> infinity (* already ours *)
+                | Some id -> ewma_of_id t ~now id
+                | None -> neg_infinity (* untagged: always the best victim *)
+              in
+              if ctx +. t.margin < mine && ctx < !candidate_ewma then begin
+                candidate := Some c;
+                candidate_ewma := ctx
+              end
+            end)
+          cpus;
+        (match !candidate with Some c -> prod t ~now c d | None -> ())
+    | Some topo ->
+        (* Distance-weighted: a prefetched context far from where the
+           domain's calls arrive is worth less (the caller pays the
+           cross-cluster exchange to reach it), so the miss EWMA is
+           divided by the prod multiplier before the margin test, and
+           near candidates win ties. *)
+        let candidate = ref None and candidate_ewma = ref infinity in
+        let candidate_mult = ref infinity in
+        Array.iter
+          (fun c ->
+            if c.Engine.running = None then begin
+              let ctx =
+                match c.Engine.context with
+                | Some id when id = d.Pdomain.id -> infinity
+                | Some id -> ewma_of_id t ~now id
+                | None -> neg_infinity
+              in
+              let mult =
+                if st.ms_cpu < 0 then 1.0
+                else Cost_model.prod_mult topo st.ms_cpu c.Engine.idx
+              in
+              if
+                ctx +. t.margin < mine /. mult
+                && (mult < !candidate_mult
+                   || (mult = !candidate_mult && ctx < !candidate_ewma))
+              then begin
+                candidate := Some c;
+                candidate_ewma := ctx;
+                candidate_mult := mult
+              end
+            end)
+          cpus;
+        (match !candidate with Some c -> prod t ~now c d | None -> ())
   end
 
 (* Engine idle consult (installed on the engine at [boot]): a processor
@@ -357,10 +497,21 @@ let on_cpu_idle t (c : Engine.cpu) =
      && c.Engine.running = None
   then begin
     let now = Engine.now t.engine in
+    let topo = Engine.topology t.engine in
+    (* Under a topology a domain's heat is discounted by the distance
+       between this idle CPU and the CPU its misses arrive on: preloading
+       a context two clusters away from its callers helps nobody. *)
+    let weighted st e =
+      match topo with
+      | None -> e
+      | Some topo ->
+          if st.ms_cpu < 0 then e
+          else e /. Cost_model.prod_mult topo c.Engine.idx st.ms_cpu
+    in
     let best_id = ref (-1) and best_e = ref 0.0 in
     Hashtbl.iter
       (fun id st ->
-        let e = decayed ~now st in
+        let e = weighted st (decayed t ~now st) in
         if e > !best_e || (e = !best_e && !best_id >= 0 && id < !best_id) then begin
           best_id := id;
           best_e := e
@@ -376,7 +527,7 @@ let on_cpu_idle t (c : Engine.cpu) =
           | Some id -> ewma_of_id t ~now id
           | None -> 0.0
         in
-        if !best_e > (idle_retag_factor *. cur) +. prod_margin then
+        if !best_e > (t.retag_factor *. cur) +. t.margin then
           match find_domain t !best_id with
           | Some d when Pdomain.active d ->
               Metrics.Counter.incr t.c_idle_retags;

@@ -125,6 +125,45 @@ val prods : t -> int
 val idle_retags : t -> int
 (** Idle-consult retags performed (["kernel.idle_retags"]). *)
 
+(** {2 Prod-policy tuning}
+
+    The three policy knobs live per-kernel. The defaults were chosen by
+    the swept calibration in EXPERIMENTS.md ("Prod-policy calibration");
+    {!set_prod_tuning} overrides them for a sweep or a specific world,
+    and {!enable_adaptive_prod} closes the loop online. Under a
+    {!Lrpc_sim.Cost_model.topology} the policy additionally weights a
+    domain's miss EWMA by the prod-distance multiplier between the
+    candidate idle CPU and the CPU the domain's misses arrive on. *)
+
+val default_half_life_us : float
+(** 1000 us: how long a miss keeps counting. *)
+
+val default_prod_margin : float
+(** 0.5: required EWMA gap before any retag. *)
+
+val default_idle_retag_factor : float
+(** 2.0: idle-consult hysteresis (candidate must out-miss the held
+    context by this factor plus the margin). *)
+
+val prod_tuning : t -> float * float * float
+(** Current [(half_life_us, margin, idle_retag_factor)]. *)
+
+val set_prod_tuning :
+  ?half_life_us:float -> ?margin:float -> ?idle_retag_factor:float -> t -> unit
+(** Override any subset of the knobs.
+    @raise Invalid_argument on a non-positive half-life, negative
+    margin, or retag factor below 1. *)
+
+val enable_adaptive_prod : t -> unit
+(** Let the kernel adapt the margin and half-life online from its own
+    counters, reviewed every 64 context misses: the prod hit ratio
+    (from the ["kernel.prod_to_hit_us"] sample count over prods issued)
+    steers the margin, and the median prod-to-hit latency steers the
+    half-life (clamped to [100 us, 10 ms]). Off by default; exposed as
+    [Driver.Config.adaptive_prod]. *)
+
+val adaptive_prod_enabled : t -> bool
+
 (** {1 Termination (paper §5.3)} *)
 
 type hook_handle

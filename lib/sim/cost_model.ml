@@ -1,3 +1,39 @@
+(* --- CPU locality topology ----------------------------------------------
+
+   The paper's Firefly is a flat shared-bus machine: every cross-CPU
+   interaction costs the same. The 64-256 CPU rungs of the scaling study
+   model machines that are *not* flat — CPUs come in clusters (a socket,
+   a NUMA node) and touching state homed on another cluster costs more.
+   A topology assigns every CPU pair a distance class and scales the
+   three cross-CPU mechanisms by per-class multipliers:
+
+   - dispatch: the [vm_reload] charged when a thread migrates to a CPU
+     it did not last run on (ordinary wake re-routing);
+   - steal: the same reload when the migration was caused by work
+     stealing (pulling the queue entry across the interconnect is at
+     least as expensive as a planned migration);
+   - prod: not a charged cost but a benefit discount — the kernel's
+     idle-prod policy divides a domain's miss EWMA by this factor when
+     ranking idle CPUs far from the missing CPU.
+
+   [None] (every published model) means flat: no multiplier is ever
+   applied and all code paths are byte-identical to the pre-topology
+   engine. *)
+
+type distance = Local | Same_cluster | Cross_cluster
+
+type topology = {
+  topo_name : string;
+  cluster_size : int;  (* CPUs per cluster, >= 1 *)
+  dispatch_same : float;  (* cross-CPU migration, same cluster *)
+  dispatch_cross : float;  (* cross-cluster migration *)
+  steal_same : float;
+  steal_cross : float;
+  prod_same : float;
+  prod_cross : float;
+  near_steal : bool;  (* distance-ordered victim rings; false = blind *)
+}
+
 type t = {
   name : string;
   proc_call : Time.t;
@@ -21,7 +57,88 @@ type t = {
   bus_alpha : float;
   spin_quantum : Time.t;
   parallel_lookahead : Time.t;
+  topology : topology option;
 }
+
+let cluster_of topo cpu = cpu / topo.cluster_size
+
+let distance topo a b =
+  if a = b then Local
+  else if cluster_of topo a = cluster_of topo b then Same_cluster
+  else Cross_cluster
+
+let dispatch_mult topo a b =
+  match distance topo a b with
+  | Local -> 1.0
+  | Same_cluster -> topo.dispatch_same
+  | Cross_cluster -> topo.dispatch_cross
+
+let steal_mult topo a b =
+  match distance topo a b with
+  | Local -> 1.0
+  | Same_cluster -> topo.steal_same
+  | Cross_cluster -> topo.steal_cross
+
+let prod_mult topo a b =
+  match distance topo a b with
+  | Local -> 1.0
+  | Same_cluster -> topo.prod_same
+  | Cross_cluster -> topo.prod_cross
+
+(* Deterministic near-first victim order for [cpu] on a [cpus]-CPU
+   machine: the rest of its own cluster starting just after it (wrapping
+   within the cluster), then every other CPU starting at the next
+   cluster (wrapping around the machine). The rotation keeps thieves in
+   one cluster from all hammering the same victim first. Every CPU
+   except [cpu] itself appears exactly once (qcheck-pinned). *)
+let victim_ring topo ~cpus ~cpu =
+  if cpu < 0 || cpu >= cpus then invalid_arg "Cost_model.victim_ring";
+  let lo = cluster_of topo cpu * topo.cluster_size in
+  let hi = min cpus (lo + topo.cluster_size) in
+  let width = hi - lo in
+  let ring = Array.make (cpus - 1) 0 in
+  let n = ref 0 in
+  let push c = ring.(!n) <- c; incr n in
+  for k = 1 to width - 1 do
+    push (lo + ((cpu - lo + k) mod width))
+  done;
+  (* hi, hi+1, ..., cpus-1, 0, ..., lo-1: exactly the non-cluster CPUs *)
+  for k = 0 to cpus - width - 1 do
+    push ((hi + k) mod cpus)
+  done;
+  assert (!n = cpus - 1);
+  ring
+
+let clustered ?(same_mult = 1.0) ?(cross_mult = 4.0) ?steal_same ?steal_cross
+    ?prod_same ?prod_cross ?(near_steal = true) ~cluster_size ~name base =
+  if cluster_size < 1 then
+    invalid_arg "Cost_model.clustered: cluster_size must be >= 1";
+  let dfl opt d = match opt with Some v -> v | None -> d in
+  let topo =
+    {
+      topo_name = name;
+      cluster_size;
+      dispatch_same = same_mult;
+      dispatch_cross = cross_mult;
+      steal_same = dfl steal_same same_mult;
+      steal_cross = dfl steal_cross cross_mult;
+      prod_same = dfl prod_same same_mult;
+      prod_cross = dfl prod_cross cross_mult;
+      near_steal;
+    }
+  in
+  let check what v =
+    if v < 1.0 then
+      invalid_arg
+        (Printf.sprintf "Cost_model.clustered: %s multiplier %g < 1.0" what v)
+  in
+  check "dispatch_same" topo.dispatch_same;
+  check "dispatch_cross" topo.dispatch_cross;
+  check "steal_same" topo.steal_same;
+  check "steal_cross" topo.steal_cross;
+  check "prod_same" topo.prod_same;
+  check "prod_cross" topo.prod_cross;
+  { base with name = base.name ^ " / " ^ name; topology = Some topo }
 
 (* Miss-count derivation: the VAX page is 512 bytes and the C-VAX TLB is
    flushed on every context switch. After the call-side switch the path
@@ -59,6 +176,7 @@ let cvax_firefly =
     bus_alpha = 0.027;
     spin_quantum = Time.ns 500;
     parallel_lookahead = Time.zero;
+    topology = None;
   }
 
 let scaled t ~factor ~name =
@@ -115,6 +233,7 @@ let m68020 =
     bus_alpha = 0.03;
     spin_quantum = Time.ns 500;
     parallel_lookahead = Time.zero;
+    topology = None;
   }
 
 let perq_accent =
@@ -141,6 +260,7 @@ let perq_accent =
     bus_alpha = 0.03;
     spin_quantum = Time.ns 500;
     parallel_lookahead = Time.zero;
+    topology = None;
   }
 
 (* --- conservative-parallelism lookahead ---------------------------------

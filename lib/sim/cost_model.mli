@@ -6,6 +6,33 @@
     models exist for Table 2's cross-system comparison and for the
     MicroVAX II five-processor speedup check. *)
 
+type distance = Local | Same_cluster | Cross_cluster
+(** Distance class of a CPU pair under a {!topology}: the same CPU, two
+    CPUs of one cluster, or CPUs of different clusters. *)
+
+type topology = {
+  topo_name : string;
+  cluster_size : int;  (** CPUs per cluster (the last may be partial) *)
+  dispatch_same : float;
+      (** multiplier on [vm_reload] for an ordinary thread migration
+          between two CPUs of one cluster (1.0 = free of penalty) *)
+  dispatch_cross : float;  (** same, across clusters *)
+  steal_same : float;
+      (** multiplier on the reload when the migration was a steal *)
+  steal_cross : float;
+  prod_same : float;
+      (** benefit divisor the idle-prod policy applies to a domain's
+          miss EWMA when the candidate idle CPU is one cluster hop away *)
+  prod_cross : float;
+  near_steal : bool;
+      (** true: thieves scan distance-ordered victim rings (own cluster
+          first); false: the flat oldest-first scan, with distance costs
+          still charged — the distance-blind ablation arm *)
+}
+(** A clustered CPU locality model. Installed on a {!t} it makes every
+    cross-CPU mechanism distance-dependent; [None] (all published
+    models) keeps the engine byte-identical to the flat behaviour. *)
+
 type t = {
   name : string;
   proc_call : Time.t;  (** local procedure call + return (7 us on C-VAX) *)
@@ -57,6 +84,9 @@ type t = {
           [bus_alpha = 0], see {!isolated}) licenses the engine to run
           partitions of processors genuinely in parallel inside windows
           of this width. *)
+  topology : topology option;
+      (** CPU locality model; [None] (all published machines) means flat
+          costs and bit-identical pre-topology behaviour. *)
 }
 
 val cvax_firefly : t
@@ -108,3 +138,45 @@ val isolated : ?lookahead:Time.t -> name:string -> t -> t
     and [parallel_lookahead] set (default {!min_cross_cpu_latency}),
     making the model eligible for genuine multi-domain execution.
     @raise Invalid_argument when [lookahead] is not positive. *)
+
+val clustered :
+  ?same_mult:float ->
+  ?cross_mult:float ->
+  ?steal_same:float ->
+  ?steal_cross:float ->
+  ?prod_same:float ->
+  ?prod_cross:float ->
+  ?near_steal:bool ->
+  cluster_size:int ->
+  name:string ->
+  t ->
+  t
+(** Install a clustered locality {!topology} on [base]. [same_mult]
+    (default 1.0) and [cross_mult] (default 4.0) set the dispatch
+    multipliers; the steal and prod multipliers default to the dispatch
+    values. [near_steal] (default true) selects distance-ordered victim
+    rings; pass [false] for the distance-blind ablation arm.
+    @raise Invalid_argument when [cluster_size < 1] or any multiplier
+    is below 1.0. *)
+
+val cluster_of : topology -> int -> int
+(** The cluster index a CPU belongs to. *)
+
+val distance : topology -> int -> int -> distance
+(** Distance class of a CPU pair. *)
+
+val dispatch_mult : topology -> int -> int -> float
+(** Migration-cost multiplier for a thread moving between two CPUs
+    (1.0 when they are the same CPU). *)
+
+val steal_mult : topology -> int -> int -> float
+(** Like {!dispatch_mult} but for steal-caused migrations. *)
+
+val prod_mult : topology -> int -> int -> float
+(** Benefit divisor for prodding an idle CPU at this distance. *)
+
+val victim_ring : topology -> cpus:int -> cpu:int -> int array
+(** The deterministic near-first steal scan order for [cpu]: the rest
+    of its cluster (rotated to start just past [cpu]), then all other
+    CPUs starting at the next cluster. Covers every CPU except [cpu]
+    exactly once. @raise Invalid_argument when [cpu] is out of range. *)

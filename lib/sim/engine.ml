@@ -52,6 +52,8 @@ type cpu = {
   rq : (int * thread) Queue.t;
   mutable steals : int;
   mutable steals_tagged : int;
+  mutable steals_near : int;
+  mutable steals_far : int;
   mutable lock_spin : Time.t;
   mutable key_seq : int;
       (* isolated models only: per-CPU tiebreak counter, so keys do not
@@ -132,6 +134,20 @@ type t = {
          state, which is not partition-local). *)
   c_steals : Metrics.counter;
   c_steals_tagged : Metrics.counter;
+  c_steals_near : Metrics.counter;
+  c_steals_far : Metrics.counter;
+  topo : Cost_model.topology option;
+      (* cm.topology, hoisted out of the per-dispatch hot path; None on
+         every published model keeps those paths byte-identical *)
+  victims : int array array;
+      (* per-CPU distance-ordered steal scan order (empty without a
+         topology): own cluster first, then the rest of the machine *)
+  victims_near : int array;
+      (* how many leading entries of each ring are same-cluster *)
+  mutable on_barrier : unit -> unit;
+      (* called after every parallel-window barrier commit (and never
+         under the serial/merge loops): a quiescent point where no
+         partition is executing. Adaptive controllers hang here. *)
 }
 
 type _ Effect.t +=
@@ -234,6 +250,8 @@ let create ?(processors = 1) ?domains cm =
           rq = Queue.create ();
           steals = 0;
           steals_tagged = 0;
+          steals_near = 0;
+          steals_far = 0;
           lock_spin = Time.zero;
           key_seq = 0;
           rq_stamp = 0;
@@ -314,6 +332,30 @@ let create ?(processors = 1) ?domains cm =
         Metrics.counter metrics_ ~labels:[ ("kind", "retag") ] "sim.steals";
       c_steals_tagged =
         Metrics.counter metrics_ ~labels:[ ("kind", "tagged") ] "sim.steals";
+      c_steals_near =
+        Metrics.counter metrics_ ~labels:[ ("dist", "near") ] "sim.steals_dist";
+      c_steals_far =
+        Metrics.counter metrics_ ~labels:[ ("dist", "far") ] "sim.steals_dist";
+      topo = cm.Cost_model.topology;
+      victims =
+        (match cm.Cost_model.topology with
+        | None -> [||]
+        | Some topo ->
+            Array.init processors (fun cpu ->
+                Cost_model.victim_ring topo ~cpus:processors ~cpu));
+      victims_near =
+        (match cm.Cost_model.topology with
+        | None -> [||]
+        | Some topo ->
+            Array.init processors (fun cpu ->
+                let lo =
+                  Cost_model.cluster_of topo cpu * topo.Cost_model.cluster_size
+                in
+                let hi =
+                  min processors (lo + topo.Cost_model.cluster_size)
+                in
+                hi - lo - 1));
+      on_barrier = ignore;
     }
   in
   t.fn_spin <-
@@ -479,10 +521,17 @@ let[@inline] cpu_free c =
 
 (* Assign [th] to the free processor [c], charging a context switch when
    the loaded VM context differs from the thread's domain, and schedule
-   its resumption. *)
-let place t th c =
+   its resumption. Under a topology the reload is scaled by the longest
+   pull the placement implies: the thread's working set from the CPU it
+   last ran on (steal multiplier when thief-initiated, dispatch
+   multiplier otherwise), and — for steals — its queue entry and
+   home-cluster state from the victim queue's CPU. Without a topology
+   ([topo = None]) the arithmetic is byte-identical to the flat engine
+   (no float traffic). *)
+let place ?(stolen = false) ?(victim = -1) t th c =
   assert (cpu_free c);
   assert (th.cpu = -1);
+  let prev = th.last_cpu in
   c.running <- Some th;
   th.cpu <- c.idx;
   th.last_cpu <- c.idx;
@@ -498,13 +547,58 @@ let place t th c =
          when the measurement window opened (as in the paper's set-up);
          it loads the context without charging anyone. *)
       if th.ever_placed then begin
-        charge t Category.Context_switch t.cm.Cost_model.vm_reload;
-        c.busy <- Time.add c.busy t.cm.Cost_model.vm_reload;
-        t.cm.Cost_model.vm_reload
+        let reload =
+          match t.topo with
+          | None -> t.cm.Cost_model.vm_reload
+          | Some topo ->
+              (* A stolen thread's reload covers the longer of two
+                 pulls: its working set from the CPU it last ran on,
+                 and its queue entry / home-cluster state from the
+                 victim queue's CPU. *)
+              let m_mig =
+                if prev < 0 then 1.0
+                else if stolen then Cost_model.steal_mult topo prev c.idx
+                else Cost_model.dispatch_mult topo prev c.idx
+              in
+              let m_queue =
+                if stolen && victim >= 0 then
+                  Cost_model.steal_mult topo victim c.idx
+                else 1.0
+              in
+              let m = Float.max m_mig m_queue in
+              if m = 1.0 then t.cm.Cost_model.vm_reload
+              else Time.scale t.cm.Cost_model.vm_reload m
+        in
+        charge t Category.Context_switch reload;
+        c.busy <- Time.add c.busy reload;
+        reload
       end
       else Time.zero
     end
-    else Time.zero
+    else
+      (* Warm context: the flat engine charges nothing — a tagged steal
+         is the whole point of the tag preference. Under a topology a
+         cross-cluster pull still moves the thread's stack and queue
+         state over the interconnect, so it pays the distance premium
+         (the multiplier's excess over the free local pull). *)
+      match t.topo with
+      | Some topo when stolen && th.ever_placed ->
+          let m_mig =
+            if prev < 0 then 1.0 else Cost_model.steal_mult topo prev c.idx
+          in
+          let m_queue =
+            if victim >= 0 then Cost_model.steal_mult topo victim c.idx
+            else 1.0
+          in
+          let m = Float.max m_mig m_queue in
+          if m > 1.0 then begin
+            let premium = Time.scale t.cm.Cost_model.vm_reload (m -. 1.0) in
+            charge t Category.Context_switch premium;
+            c.busy <- Time.add c.busy premium;
+            premium
+          end
+          else Time.zero
+      | _ -> Time.zero
   in
   th.ever_placed <- true;
   if tracing t then
@@ -603,49 +697,109 @@ let rec pop_own q =
       end
       else pop_own q
 
-(* Steal for the free processor [c]: scan every other queue for the
-   oldest live entry, tracking separately the oldest whose domain matches
-   [c]'s loaded context. Preference order: tagged-domain match first
-   (placement then charges no context switch), else oldest overall. The
-   chosen thread is invalidated in place (its queue keeps a ghost cell). *)
-let steal t c =
+(* Steal for the free processor [c]: scan other queues for the oldest
+   live entry, tracking separately the oldest whose domain matches [c]'s
+   loaded context. Preference order: tagged-domain match first (placement
+   then charges no context switch), else oldest overall. The chosen
+   thread is invalidated in place (its queue keeps a ghost cell).
+
+   Without a topology the scan covers every queue at once (the flat
+   engine's behaviour, byte-identical). With one, and [near_steal] set,
+   the scan walks the CPU's distance-ordered victim ring: the rest of
+   its own cluster first, the remote clusters only when the near segment
+   held nothing runnable. With [near_steal = false] (the distance-blind
+   ablation) the scan stays flat but the distance costs and near/far
+   counters still apply. *)
+
+(* Fold queue [i] into the running best/best-tagged candidates. *)
+let steal_scan t c tag i best best_seq best_tag best_tag_seq victim
+    victim_tag =
+  (* Queues whose owner is itself free are off-limits: that processor
+     drains its own queue in the same dispatch pass, and stealing from
+     it would defeat the home-processor preference. *)
+  if i <> c.idx && not (cpu_free t.cpus_.(i)) then
+    Queue.iter
+      (fun (seq, th) ->
+        if th.rq_seq = seq && entry_runnable th then begin
+          if seq < !best_seq then begin
+            best_seq := seq;
+            best := Some th;
+            victim := i
+          end;
+          if th.domain = tag && seq < !best_tag_seq then begin
+            best_tag_seq := seq;
+            best_tag := Some th;
+            victim_tag := i
+          end
+        end)
+      t.cpus_.(i).rq
+
+let take_steal t c th ~tagged ~victim =
+  th.rq_seq <- -1;
+  if tagged then begin
+    c.steals_tagged <- c.steals_tagged + 1;
+    Metrics.Counter.incr t.c_steals_tagged
+  end
+  else begin
+    c.steals <- c.steals + 1;
+    Metrics.Counter.incr t.c_steals
+  end;
+  (match t.topo with
+  | None -> ()
+  | Some topo -> (
+      match Cost_model.distance topo c.idx victim with
+      | Cost_model.Cross_cluster ->
+          c.steals_far <- c.steals_far + 1;
+          Metrics.Counter.incr t.c_steals_far
+      | Cost_model.Local | Cost_model.Same_cluster ->
+          c.steals_near <- c.steals_near + 1;
+          Metrics.Counter.incr t.c_steals_near));
+  Some (th, victim)
+
+let steal_flat t c =
   let n = Array.length t.cpus_ in
   let best = ref None and best_seq = ref max_int in
   let best_tag = ref None and best_tag_seq = ref max_int in
+  let victim = ref (-1) and victim_tag = ref (-1) in
   let tag = match c.context with Some d -> d | None -> -1 in
   for i = 0 to n - 1 do
-    (* Queues whose owner is itself free are off-limits: that processor
-       drains its own queue in the same dispatch pass, and stealing from
-       it would defeat the home-processor preference. *)
-    if i <> c.idx && not (cpu_free t.cpus_.(i)) then
-      Queue.iter
-        (fun (seq, th) ->
-          if th.rq_seq = seq && entry_runnable th then begin
-            if seq < !best_seq then begin
-              best_seq := seq;
-              best := Some th
-            end;
-            if th.domain = tag && seq < !best_tag_seq then begin
-              best_tag_seq := seq;
-              best_tag := Some th
-            end
-          end)
-        t.cpus_.(i).rq
+    steal_scan t c tag i best best_seq best_tag best_tag_seq victim victim_tag
   done;
   match !best_tag with
-  | Some th ->
-      th.rq_seq <- -1;
-      c.steals_tagged <- c.steals_tagged + 1;
-      Metrics.Counter.incr t.c_steals_tagged;
-      Some th
+  | Some th -> take_steal t c th ~tagged:true ~victim:!victim_tag
   | None -> (
       match !best with
-      | Some th ->
-          th.rq_seq <- -1;
-          c.steals <- c.steals + 1;
-          Metrics.Counter.incr t.c_steals;
-          Some th
+      | Some th -> take_steal t c th ~tagged:false ~victim:!victim
       | None -> None)
+
+let steal_ring t c =
+  let ring = t.victims.(c.idx) in
+  let near = t.victims_near.(c.idx) in
+  let tag = match c.context with Some d -> d | None -> -1 in
+  let scan_seg lo hi =
+    let best = ref None and best_seq = ref max_int in
+    let best_tag = ref None and best_tag_seq = ref max_int in
+    let victim = ref (-1) and victim_tag = ref (-1) in
+    for k = lo to hi - 1 do
+      steal_scan t c tag
+        ring.(k)
+        best best_seq best_tag best_tag_seq victim victim_tag
+    done;
+    match !best_tag with
+    | Some th -> take_steal t c th ~tagged:true ~victim:!victim_tag
+    | None -> (
+        match !best with
+        | Some th -> take_steal t c th ~tagged:false ~victim:!victim
+        | None -> None)
+  in
+  match scan_seg 0 near with
+  | Some _ as hit -> hit
+  | None -> scan_seg near (Array.length ring)
+
+let steal t c =
+  match t.topo with
+  | Some topo when topo.Cost_model.near_steal -> steal_ring t c
+  | _ -> steal_flat t c
 
 let dispatch_cpu t c =
   match pop_own c.rq with
@@ -653,7 +807,7 @@ let dispatch_cpu t c =
   | None ->
       if not t.isolated then begin
         match steal t c with
-        | Some th -> place t th c
+        | Some (th, victim) -> place ~stolen:true ~victim t th c
         | None -> t.on_idle c
       end
 
@@ -1048,7 +1202,8 @@ let run_parallel t limit =
             done;
             Mutex.unlock mu;
             t.par_phase <- false;
-            barrier_commit t
+            barrier_commit t;
+            t.on_barrier ()
       done)
 
 let run ?until t =
@@ -1226,9 +1381,21 @@ let ready_enqueue t th =
   | Embryo | Ready | Running | Spinning | Done | Failed -> ()
 
 let set_idle_hook t f = t.on_idle <- f
+let set_barrier_hook t f = t.on_barrier <- f
+let topology t = t.topo
+
+let victim_ring t cpu =
+  if t.topo = None then [||]
+  else Array.copy t.victims.(cpu)
 
 let total_steals t =
   Array.fold_left (fun acc c -> acc + c.steals + c.steals_tagged) 0 t.cpus_
+
+let total_steals_near t =
+  Array.fold_left (fun acc c -> acc + c.steals_near) 0 t.cpus_
+
+let total_steals_far t =
+  Array.fold_left (fun acc c -> acc + c.steals_far) 0 t.cpus_
 
 let interrupt_now t th e =
   match th.state with

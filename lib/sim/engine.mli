@@ -53,6 +53,11 @@ type cpu = {
   mutable steals : int;  (** threads stolen from other queues, retagging *)
   mutable steals_tagged : int;
       (** steals of threads already in this processor's loaded context *)
+  mutable steals_near : int;
+      (** of all steals, those whose victim queue was on this CPU's own
+          cluster — only counted when the cost model carries a
+          {!Cost_model.topology} (otherwise 0) *)
+  mutable steals_far : int;  (** steals from a foreign cluster's queue *)
   mutable lock_spin : Time.t;  (** cumulative spin-wait time on this CPU *)
   mutable key_seq : int;
       (** isolated models: per-CPU event-key counter, invariant under the
@@ -222,6 +227,25 @@ val set_idle_hook : t -> (cpu -> unit) -> unit
 val total_steals : t -> int
 (** Threads taken from another processor's run queue since creation
     (tagged-context steals included); per-CPU counts live on {!cpu}. *)
+
+val total_steals_near : t -> int
+(** Steals whose victim queue shared the thief's cluster. Always 0
+    without a {!Cost_model.topology}. *)
+
+val total_steals_far : t -> int
+(** Steals that crossed clusters. Always 0 without a topology. *)
+
+val topology : t -> Cost_model.topology option
+(** The locality topology the engine was created with, if any. *)
+
+val victim_ring : t -> int -> int array
+(** A copy of the distance-ordered steal scan order for the given CPU
+    (near cluster first); [[||]] when the model has no topology. *)
+
+val set_barrier_hook : t -> (unit -> unit) -> unit
+(** Install a callback run after every parallel-window barrier commit —
+    a quiescent point where no partition is executing. Never called by
+    the serial or merge loops (use a timer there). Default: ignore. *)
 
 val interrupt : t -> thread -> exn -> unit
 (** Arrange for [exn] to be raised inside the thread at its next

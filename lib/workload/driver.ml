@@ -83,6 +83,11 @@ module Config = struct
     admission : Lrpc_core.Rt.admission option;
     net_retry_budget : float option;
     net_dedup_capacity : int option;
+    prod_half_life_us : float option;
+    prod_margin : float option;
+    adaptive_prod : bool;
+    adaptive_reshard : bool;
+    reshard : Lrpc_core.Rt.reshard option;
   }
 
   let default =
@@ -101,6 +106,11 @@ module Config = struct
       admission = None;
       net_retry_budget = None;
       net_dedup_capacity = None;
+      prod_half_life_us = None;
+      prod_margin = None;
+      adaptive_prod = false;
+      adaptive_reshard = false;
+      reshard = None;
     }
 end
 
@@ -126,10 +136,18 @@ let boot (c : Config.t) =
   | Some tracer -> Engine.set_tracer bt_engine (Some tracer));
   let bt_kernel = Kernel.boot bt_engine in
   Kernel.set_domain_caching bt_kernel c.Config.domain_caching;
+  (match (c.Config.prod_half_life_us, c.Config.prod_margin) with
+  | None, None -> ()
+  | half_life_us, margin -> Kernel.set_prod_tuning ?half_life_us ?margin bt_kernel);
+  if c.Config.adaptive_prod then Kernel.enable_adaptive_prod bt_kernel;
   let bt_rt = Api.init ?config:c.Config.runtime bt_kernel in
   (match c.Config.admission with
   | None -> ()
   | Some a -> Api.set_admission bt_rt (Some a));
+  (match (c.Config.adaptive_reshard, c.Config.reshard) with
+  | false, None -> ()
+  | _, (Some _ as r) -> Api.set_reshard bt_rt r
+  | true, None -> Api.set_reshard bt_rt (Some (Lrpc_core.Rt.reshard_policy ())));
   (match c.Config.install_faults with
   | None -> ()
   | Some install -> install bt_rt);
@@ -196,9 +214,12 @@ type scale_stats = {
   ss_cps : float;
   ss_steals : int array;
   ss_steals_tagged : int array;
+  ss_steals_near : int;
+  ss_steals_far : int;
   ss_spin_us : float array;
   ss_lock_contended : int;
   ss_shard_contended : int;
+  ss_reshards : int;
 }
 
 (* Post-run reads only: collecting the stats perturbs nothing, so the
@@ -215,12 +236,16 @@ let scale_stats_of engine ~count ~horizon =
     ss_cps = float_of_int count /. Time.to_s horizon;
     ss_steals = Array.map (fun c -> c.Engine.steals) cpus;
     ss_steals_tagged = Array.map (fun c -> c.Engine.steals_tagged) cpus;
+    ss_steals_near = Engine.total_steals_near engine;
+    ss_steals_far = Engine.total_steals_far engine;
     ss_spin_us = Array.map (fun c -> Time.to_us c.Engine.lock_spin) cpus;
     ss_lock_contended = summed "sim.lock_contended";
     ss_shard_contended = summed "lrpc.astack_shard_contended";
+    ss_reshards = summed "lrpc.astack_reshards";
   }
 
-let lrpc_scale ?home ?(config = Config.default) ~clients ~horizon () =
+let lrpc_scale ?home ?(yield_between = false) ?(config = Config.default)
+    ~clients ~horizon () =
   let processors = config.Config.processors in
   let home_of =
     match home with Some f -> f | None -> fun i -> i mod processors
@@ -242,7 +267,12 @@ let lrpc_scale ?home ?(config = Config.default) ~clients ~horizon () =
            let b = Api.import rt ~domain:client ~interface:"Bench" in
            while true do
              ignore (Api.call rt b ~proc:"null" []);
-             incr count
+             incr count;
+             (* Re-enter the caller's run queue between calls: the
+                steady state keeps redistributing work, so stealing
+                stays live instead of being a one-time startup effect —
+                the regime the placement-quality study measures. *)
+             if yield_between then Engine.yield engine
            done))
   done;
   Engine.run ~until:horizon engine;

@@ -76,12 +76,28 @@ module Config : sig
             call (see {!Lrpc_net.Netrpc.import_remote}) *)
     net_dedup_capacity : int option;
         (** bound on Netrpc's at-most-once dedup cache *)
+    prod_half_life_us : float option;
+        (** override {!Lrpc_kernel.Kernel.default_half_life_us} — the
+            idle-prod miss-EWMA half-life — for this world *)
+    prod_margin : float option;
+        (** override {!Lrpc_kernel.Kernel.default_prod_margin} *)
+    adaptive_prod : bool;
+        (** let the kernel adapt margin and half-life online from its
+            prod-to-hit feedback (default off; see
+            {!Lrpc_kernel.Kernel.enable_adaptive_prod}) *)
+    adaptive_reshard : bool;
+        (** install the default adaptive A-stack re-shard policy
+            (default off; see {!Lrpc_core.Api.set_reshard}) *)
+    reshard : Lrpc_core.Rt.reshard option;
+        (** explicit re-shard policy; takes precedence over
+            [adaptive_reshard]'s default when both are given *)
   }
 
   val default : t
   (** One C-VAX Firefly processor, default runtime, no caching, no
       defensive copies, no faults, no tracer, Netrpc defaults, no
-      admission policy, no retry budget. *)
+      admission policy, no retry budget, default prod tuning, no
+      adaptive controllers. *)
 end
 
 (** The machine layers every world shares, built by {!boot}. *)
@@ -142,15 +158,23 @@ type scale_stats = {
   ss_steals : int array;  (** per CPU: runnable threads stolen, retagging *)
   ss_steals_tagged : int array;
       (** per CPU: steals that matched the thief's loaded context *)
+  ss_steals_near : int;
+      (** steals whose migration stayed within a topology cluster
+          (always 0 without a {!Lrpc_sim.Cost_model.topology}) *)
+  ss_steals_far : int;  (** steals that crossed a cluster boundary *)
   ss_spin_us : float array;  (** per CPU: spin-wait (lock busy-wait) us *)
   ss_lock_contended : int;  (** contended spinlock acquires, all locks *)
   ss_shard_contended : int;
       (** A-stack checkouts that fell back to the direct-grant path
           because every free A-stack sat behind a held shard lock *)
+  ss_reshards : int;
+      (** adaptive shard-count growths applied (0 unless the re-shard
+          controller is enabled) *)
 }
 
 val lrpc_scale :
   ?home:(int -> int) ->
+  ?yield_between:bool ->
   ?config:Config.t ->
   clients:int ->
   horizon:Lrpc_sim.Time.t ->
@@ -160,7 +184,11 @@ val lrpc_scale :
     (default [i mod config.processors], Figure 2's balanced pinning).
     The scaling study uses [fun _ -> 0] to submit every caller on
     processor 0 and let the per-CPU run queues redistribute by
-    stealing. *)
+    stealing. [yield_between] (default false) makes each caller yield
+    back to its run queue between calls, keeping redistribution — and
+    therefore stealing — live in the steady state rather than a
+    one-time startup effect; the placement-quality study measures this
+    regime. *)
 
 val mpass_scale :
   ?config:Config.t ->

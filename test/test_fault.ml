@@ -161,6 +161,101 @@ let test_soak_replay_identical () =
   Alcotest.(check bool) "different seed diverges" true
     (Fault_soak.ok r3 && r3.Fault_soak.r_digest <> r1.Fault_soak.r_digest)
 
+(* Same seed, same report — digest included — no matter how many host
+   domains the engine shards over, with the locality topology (rings,
+   distance premiums, near/far counters) live. *)
+let test_soak_clustered_domains_identical () =
+  let clu = Cost_model.clustered ~cluster_size:2 ~name:"clu2" cm in
+  let cfg d =
+    {
+      Fault_soak.default with
+      Fault_soak.calls = 1500;
+      cost_model = Some clu;
+      engine_domains = d;
+    }
+  in
+  let r1 = Fault_soak.run (cfg 1) in
+  let r2 = Fault_soak.run (cfg 2) in
+  let r4 = Fault_soak.run (cfg 4) in
+  Alcotest.(check bool) "invariants hold" true (Fault_soak.ok r1);
+  Alcotest.(check bool) "topology steals happened" true
+    (r1.Fault_soak.r_steals_near + r1.Fault_soak.r_steals_far > 0);
+  Alcotest.(check string) "domains 2 digest"
+    r1.Fault_soak.r_digest r2.Fault_soak.r_digest;
+  Alcotest.(check string) "domains 4 digest"
+    r1.Fault_soak.r_digest r4.Fault_soak.r_digest
+
+(* The tuning loop: under a re-shard policy pools start single-sharded.
+   A contended soak — every client hammering one procedure's pool from
+   its own processor — keeps colliding on that one shard lock. The
+   inert controller (a threshold no contention ratio can reach) stays
+   single-sharded; the live one grows the hot pool and the contention
+   counter collapses, with the simulated call results pinned identical
+   (fault-free world, every call completes in both arms). *)
+let reshard_soak policy =
+  let engine = Engine.create ~processors:8 cm in
+  let kernel = Kernel.boot engine in
+  let rt = Api.init kernel in
+  (* Installed before the bind so the pool is born single-sharded. *)
+  Api.set_reshard rt policy;
+  let server = Kernel.create_domain kernel ~name:"srv" in
+  let client = Kernel.create_domain kernel ~name:"app" in
+  let hot = I.interface "Hot" [ I.proc ~astacks:16 "null" [] ] in
+  (* Deterministically varying service time: identical-length calls
+     phase-separate after their first collision and never collide
+     again, which would starve the soak of the very contention it is
+     probing; the drift keeps the eight clients re-colliding. *)
+  let tick = ref 0 in
+  let jitter _ =
+    incr tick;
+    Engine.delay engine (Time.us (!tick mod 5));
+    []
+  in
+  ignore (Api.export rt ~domain:server hot ~impls:[ ("null", jitter) ]);
+  (* One shared binding: A-stacks are allocated per binding (§3.1), so
+     per-client imports would give each client a private pool and no
+     contention at all. *)
+  ignore
+    (Kernel.spawn kernel client ~name:"setup" (fun () ->
+         let b = Api.import rt ~domain:client ~interface:"Hot" in
+         for i = 1 to 8 do
+           ignore
+             (Kernel.spawn kernel client
+                ~name:(Printf.sprintf "cl%d" i)
+                (fun () ->
+                  for _ = 1 to 400 do
+                    ignore (Api.call rt b ~proc:"null" [])
+                  done))
+         done));
+  Engine.run engine;
+  (match Engine.failures engine with
+  | [] -> ()
+  | (th, exn) :: _ ->
+      Alcotest.failf "thread %s died: %s" (Engine.thread_name th)
+        (Printexc.to_string exn));
+  let c name =
+    Lrpc_obs.Metrics.Counter.value
+      (Lrpc_obs.Metrics.counter (Engine.metrics engine) name)
+  in
+  ( c "lrpc.astack_shard_contended",
+    c "lrpc.astack_reshards",
+    Api.calls_completed rt )
+
+let test_adaptive_reshard_reduces_contention () =
+  let inert_contended, inert_reshards, inert_done =
+    reshard_soak (Some (Rt.reshard_policy ~threshold:2.0 ()))
+  in
+  let live_contended, live_reshards, live_done =
+    reshard_soak (Some (Rt.reshard_policy ~threshold:0.05 ~window:16 ()))
+  in
+  Alcotest.(check int) "inert never resharded" 0 inert_reshards;
+  Alcotest.(check bool) "inert arm contended" true (inert_contended > 0);
+  Alcotest.(check bool) "controller resharded" true (live_reshards > 0);
+  Alcotest.(check bool) "contention reduced" true
+    (live_contended < inert_contended);
+  Alcotest.(check int) "all calls completed" (8 * 400) inert_done;
+  Alcotest.(check int) "same call results" inert_done live_done
+
 (* --- deadlines ------------------------------------------------------------ *)
 
 let test_deadline_at_issue () =
@@ -632,6 +727,10 @@ let () =
           Alcotest.test_case "invariants" `Quick test_soak_invariants;
           Alcotest.test_case "replay identical" `Quick
             test_soak_replay_identical;
+          Alcotest.test_case "clustered engine domains" `Quick
+            test_soak_clustered_domains_identical;
+          Alcotest.test_case "adaptive reshard" `Quick
+            test_adaptive_reshard_reduces_contention;
         ] );
       ( "deadlines",
         [

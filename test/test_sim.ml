@@ -819,6 +819,62 @@ let test_window_helpers () =
   check_time "zero lookahead still advances" 11
     (Window.window_end ~start:10 ~lookahead:0 ~limit:max_int)
 
+(* --- Counter hygiene ------------------------------------------------------ *)
+
+(* Steal / TLB counters belong to one engine instance: zero at birth,
+   with or without a topology, so no run can inherit another world's
+   totals (each Driver.boot builds a fresh engine). *)
+let test_fresh_engine_counters_zero () =
+  let check_engine (e : Engine.t) =
+    Alcotest.(check int) "total steals" 0 (Engine.total_steals e);
+    Alcotest.(check int) "near steals" 0 (Engine.total_steals_near e);
+    Alcotest.(check int) "far steals" 0 (Engine.total_steals_far e);
+    Alcotest.(check int) "tlb misses" 0 (Engine.total_tlb_misses e);
+    Array.iter
+      (fun c ->
+        Alcotest.(check int) "cpu steals" 0 c.Engine.steals;
+        Alcotest.(check int) "cpu tagged" 0 c.Engine.steals_tagged;
+        Alcotest.(check int) "cpu near" 0 c.Engine.steals_near;
+        Alcotest.(check int) "cpu far" 0 c.Engine.steals_far;
+        check_time "cpu spin" 0 c.Engine.lock_spin)
+      (Engine.cpus e)
+  in
+  check_engine (Engine.create ~processors:4 cm);
+  check_engine
+    (Engine.create ~processors:8
+       (Cost_model.clustered ~cluster_size:4 ~name:"clu4" cm))
+
+(* --- Victim-ring property ------------------------------------------------- *)
+
+(* Every thief's scan order is a permutation of the other CPUs — no
+   queue unreachable, none visited twice — and distance-ordered: all
+   same-cluster victims precede every cross-cluster one. *)
+let prop_victim_ring_covers =
+  QCheck.Test.make ~name:"victim rings cover every other CPU exactly once"
+    ~count:200
+    QCheck.(pair (int_range 1 8) (int_range 1 48))
+    (fun (cluster_size, cpus) ->
+      let model = Cost_model.clustered ~cluster_size ~name:"clu" cm in
+      let topo = Option.get model.Cost_model.topology in
+      let ok = ref true in
+      for cpu = 0 to cpus - 1 do
+        let ring = Cost_model.victim_ring topo ~cpus ~cpu in
+        if Array.length ring <> cpus - 1 then ok := false;
+        let seen = Array.make cpus 0 in
+        Array.iter (fun v -> seen.(v) <- seen.(v) + 1) ring;
+        Array.iteri
+          (fun i n -> if n <> if i = cpu then 0 else 1 then ok := false)
+          seen;
+        let my = Cost_model.cluster_of topo cpu in
+        let crossed = ref false in
+        Array.iter
+          (fun v ->
+            if Cost_model.cluster_of topo v <> my then crossed := true
+            else if !crossed then ok := false)
+          ring
+      done;
+      !ok)
+
 (* --- Determinism property ------------------------------------------------ *)
 
 let prop_engine_deterministic =
@@ -844,7 +900,12 @@ let prop_engine_deterministic =
 let () =
   let qsuite =
     List.map QCheck_alcotest.to_alcotest
-      [ prop_heap_sorted; prop_heap_model; prop_engine_deterministic ]
+      [
+        prop_heap_sorted;
+        prop_heap_model;
+        prop_victim_ring_covers;
+        prop_engine_deterministic;
+      ]
   in
   Alcotest.run "lrpc_sim"
     [
@@ -890,6 +951,8 @@ let () =
           Alcotest.test_case "bus contention" `Quick test_bus_contention_dilates;
           Alcotest.test_case "run until" `Quick test_run_until_horizon;
           Alcotest.test_case "more threads than cpus" `Quick test_ready_queue_overflow_threads;
+          Alcotest.test_case "fresh counters zero" `Quick
+            test_fresh_engine_counters_zero;
         ] );
       ( "partitioned engine",
         [

@@ -326,6 +326,39 @@ let test_openloop_rejects () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "zero load"
 
+(* --- Counter hygiene across worlds ----------------------------------------- *)
+
+(* A scale run on a clustered topology steals plenty; a world booted
+   right after it starts from zero on every engine counter — Driver.boot
+   builds a fresh engine, nothing leaks through globals. *)
+let test_counters_fresh_across_boots () =
+  let module Engine = Lrpc_sim.Engine in
+  let module Cost_model = Lrpc_sim.Cost_model in
+  let clu =
+    Cost_model.clustered ~cluster_size:4 ~name:"clu4" Cost_model.cvax_firefly
+  in
+  let config =
+    { Driver.Config.default with Driver.Config.processors = 8; cost_model = clu }
+  in
+  let stats =
+    Driver.lrpc_scale ~yield_between:true
+      ~home:(fun i -> i mod 2 * 4)
+      ~config ~clients:12 ~horizon:(Time.ms 20) ()
+  in
+  let stolen =
+    Array.fold_left ( + ) 0 stats.Driver.ss_steals
+    + Array.fold_left ( + ) 0 stats.Driver.ss_steals_tagged
+  in
+  Alcotest.(check bool) "first world stole" true (stolen > 0);
+  let b = Driver.boot config in
+  Alcotest.(check int) "fresh steals" 0 (Engine.total_steals b.Driver.bt_engine);
+  Alcotest.(check int) "fresh near" 0
+    (Engine.total_steals_near b.Driver.bt_engine);
+  Alcotest.(check int) "fresh far" 0
+    (Engine.total_steals_far b.Driver.bt_engine);
+  Alcotest.(check int) "fresh tlb" 0
+    (Engine.total_tlb_misses b.Driver.bt_engine)
+
 (* --- Legacy constructors forward to the Config path ----------------------- *)
 
 let test_legacy_wrappers_equivalent () =
@@ -374,6 +407,8 @@ let () =
           Alcotest.test_case "latency sane" `Quick test_driver_lrpc_latency_sane;
           Alcotest.test_case "throughput" `Quick test_driver_throughput_matches_latency;
           Alcotest.test_case "failures surface" `Quick test_driver_failure_propagates;
+          Alcotest.test_case "counters fresh across boots" `Quick
+            test_counters_fresh_across_boots;
           Alcotest.test_case "legacy wrappers" `Quick test_legacy_wrappers_equivalent;
         ] );
       ( "openloop",
