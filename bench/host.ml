@@ -12,6 +12,9 @@
                                  fraction of flat, distance-ordered rings
      numa_blind_recovery         same, distance-blind scan (the ablation)
      openloop_sweep_wallclock_sec  the open-loop latency-vs-load sweep, wall
+     transport_sweep_wallclock_sec  the three-way transport study, wall
+     erpc_vs_classic_speedup     simulated: eRPC-style goodput over classic
+                                 Netrpc at the 64 B point of that study
      chaos_calls_per_sec         chaos soak rate (stress call count)
      suite_serial_sec            every paper artifact, --jobs 1
      suite_jobs_sec              same artifacts fanned across domains
@@ -130,6 +133,13 @@ let openloop_sweep_wallclock_sec () =
   let _, dt = wall (fun () -> Lrpc_experiments.Openloop.run ~quick ()) in
   dt
 
+(* The transport study rebuilds a world per measurement (three systems
+   x sizes, a loss sweep, the ablations), so its wall-clock tracks the
+   whole boot-and-run path; the simulated speedup ratio pins the
+   study's headline claim alongside the hardware-independent keys. *)
+let transport_wallclock () =
+  wall (fun () -> Lrpc_experiments.Transport_study.run ~quick ())
+
 (* Partitioned-engine benchmark: an isolated-model workload (positive
    lookahead, no shared bus) on one engine sharded over 1 vs
    [engine_domains] host domains. One pinned thread per simulated CPU in
@@ -175,8 +185,12 @@ let suite_times () =
      (~30 s vs ~5 s for the rest combined) and is already tracked by
      its own wall-clock key above, so it is excluded here — otherwise
      suite_serial_sec stops being comparable across commits and the
-     serial-vs-jobs delta measures heap warm-up, not fan-out. *)
-  let names = List.filter (( <> ) "openloop") Suite.names in
+     serial-vs-jobs delta measures heap warm-up, not fan-out. The
+     transport study is excluded for the same reason: it has its own
+     wall-clock key. *)
+  let names =
+    List.filter (fun n -> n <> "openloop" && n <> "transport") Suite.names
+  in
   let render js = Parallel.map ~jobs:js (Suite.run ~quick) names in
   let serial, serial_dt = wall (fun () -> render 1) in
   let fanned, jobs_dt = wall (fun () -> render jobs) in
@@ -200,6 +214,10 @@ let () =
          .Lrpc_experiments.Numa_study.sr_cps
   in
   let openloop = openloop_sweep_wallclock_sec () in
+  let transport_result, transport_dt = transport_wallclock () in
+  let erpc_speedup =
+    Lrpc_experiments.Transport_study.speedup_at_64 transport_result
+  in
   let chaos = chaos_calls_per_sec () in
   let engine_serial, engine_fanned = engine_domains_times () in
   let suite_serial, suite_jobs = suite_times () in
@@ -233,6 +251,8 @@ let () =
   Printf.bprintf buf "  \"numa_blind_recovery\": %.3f,\n"
     (numa_recovery numa_last.Lrpc_experiments.Numa_study.far_blind);
   Printf.bprintf buf "  \"openloop_sweep_wallclock_sec\": %.3f,\n" openloop;
+  Printf.bprintf buf "  \"transport_sweep_wallclock_sec\": %.3f,\n" transport_dt;
+  Printf.bprintf buf "  \"erpc_vs_classic_speedup\": %.2f,\n" erpc_speedup;
   Printf.bprintf buf "  \"chaos_calls_per_sec\": %.0f,\n" chaos;
   Printf.bprintf buf "  \"engine_domains\": %d,\n" engine_domains;
   Printf.bprintf buf "  \"engine_serial_sec\": %.3f,\n" engine_serial;

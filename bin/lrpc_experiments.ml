@@ -64,8 +64,9 @@ let names_arg =
      (ablations incl. a6 register passing), lat (supplementary latency), f2s \
      (multiprocessor scaling beyond Fig.2), openloop (open-loop \
      latency-vs-load curves), numa (placement quality on a clustered \
-     topology), prodsweep (idle-prod policy calibration grid), or 'all'. \
-     Unknown names are an error (exit code 2)."
+     topology), prodsweep (idle-prod policy calibration grid), transport \
+     (LRPC vs classic Netrpc vs eRPC-style packet-granular transport), or \
+     'all'. Unknown names are an error (exit code 2)."
   in
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
 
@@ -114,8 +115,8 @@ let shedding_arg =
 let json_arg =
   let doc =
     "Emit the machine-checkable JSON rendering instead of the text one. \
-     Only some experiments have one (currently f2s and openloop); anything \
-     else is an error (exit code 2)."
+     Only some experiments have one (currently f2s, openloop, numa and \
+     transport); anything else is an error (exit code 2)."
   in
   Arg.(value & flag & info [ "json" ] ~doc)
 

@@ -120,6 +120,19 @@ let wire_ok =
     wf_extra_delay = Time.zero;
   }
 
+(* What the (simulated) wire does to one packet of a packet-granular
+   transport. A lost packet is retransmitted individually; an ECN mark
+   arrives with the packet and feeds the sender's congestion control. *)
+type packet_fault = {
+  pf_lost : bool;  (** this packet (or its ack) never arrives *)
+  pf_ecn : bool;  (** delivered, but marked congestion-experienced *)
+  pf_dup : bool;  (** delivered twice; receiver-side dedup must hold *)
+  pf_delay : Time.t;  (** added one-way latency for this packet *)
+}
+
+let packet_ok =
+  { pf_lost = false; pf_ecn = false; pf_dup = false; pf_delay = Time.zero }
+
 (* The hook record a fault plan installs on the runtime. Kept here, at
    the bottom of the dependency order, so [Astack], [Call] and [Netrpc]
    can consult it without depending on [lrpc_fault]; when [faults] is
@@ -128,8 +141,13 @@ let wire_ok =
 type faults = {
   f_wire : proc:string -> seq:int -> attempt:int -> wire_fault;
       (** consulted once per transmission attempt on the network path *)
-  f_backoff_jitter : attempt:int -> float;
-      (** deterministic jitter factor in [0, 1) for retry backoff *)
+  f_packet : proc:string -> seq:int -> pkt:int -> attempt:int -> packet_fault;
+      (** consulted once per packet per transmission attempt on the
+          packet-granular network path *)
+  f_backoff_jitter : binding:int -> attempt:int -> float;
+      (** deterministic jitter factor in [0, 1) for retry backoff,
+          drawn from a per-binding stream so one binding's schedule
+          cannot perturb another's under the same seed *)
   f_server_exn : proc:string -> exn option;
       (** exception to raise from the server stub instead of the
           procedure body *)

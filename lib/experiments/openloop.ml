@@ -119,10 +119,14 @@ let config_of p =
    without ever dialing. Server-side admission alone cannot do this:
    the arrears live in the client, before any runtime state is
    touched. *)
-let lrpc_world ?admission ?astacks ?lateness_budget p ~sessions =
-  let b =
-    Driver.boot { (config_of p) with Driver.Config.admission }
+let lrpc_world ?admission ?astacks ?lateness_budget ?cost_model ?home_of p
+    ~sessions =
+  let config =
+    match cost_model with
+    | None -> config_of p
+    | Some cm -> { (config_of p) with Driver.Config.cost_model = cm }
   in
+  let b = Driver.boot { config with Driver.Config.admission } in
   let kernel = b.Driver.bt_kernel and rt = b.Driver.bt_rt in
   let server = Kernel.create_domain kernel ~name:"ol-server" in
   let iface, impls =
@@ -146,10 +150,15 @@ let lrpc_world ?admission ?astacks ?lateness_budget p ~sessions =
     w_engine = b.Driver.bt_engine;
     w_spawn =
       (fun ~session body ->
+        let home =
+          match home_of with
+          | None -> session mod p.processors
+          | Some f -> f session
+        in
         ignore
           (Kernel.spawn kernel
              domains.(session mod n_domains)
-             ~home:(session mod p.processors)
+             ~home
              ~name:(Printf.sprintf "ol-session%d" session)
              body));
     w_call =
@@ -250,6 +259,58 @@ let netrpc_world p ~sessions =
         `Ok);
   }
 
+(* Clustered-placement arm (the ROADMAP locality/open-loop slice):
+   same LRPC world under a clustered cost topology (two clusters of
+   two on the 4-CPU sweep machine, 4x cross-cluster migration,
+   near-first victim rings live), with every arrival homed on cluster
+   0 — the adversarial placement. Cluster 1's processors only
+   contribute by stealing across the boundary, so the question the
+   curve answers is whether the saturation knee moves when arrivals
+   land on the wrong cluster. *)
+let lrpc_clustered_world p ~sessions =
+  let cluster_size = max 1 (p.processors / 2) in
+  let cm =
+    Lrpc_sim.Cost_model.clustered ~cluster_size ~cross_mult:4.0
+      ~near_steal:true ~name:"ol-clustered" Lrpc_sim.Cost_model.cvax_firefly
+  in
+  lrpc_world ~cost_model:cm ~home_of:(fun session -> session mod cluster_size)
+    p ~sessions
+
+(* Netrpc over the packet-granular (eRPC-style) transport: same
+   machine split and per-domain binding fan-out as [netrpc_world], so
+   the two curves differ only in the transport model. *)
+let netrpc_erpc_world p ~sessions =
+  let b = Driver.boot (config_of p) in
+  let kernel = b.Driver.bt_kernel and rt = b.Driver.bt_rt in
+  let server = Kernel.create_domain kernel ~machine:1 ~name:"ol-server" in
+  let n_domains = min p.session_domains sessions in
+  let per_domain = (sessions + n_domains - 1) / n_domains in
+  let domains =
+    Array.init n_domains (fun d ->
+        Kernel.create_domain kernel ~name:(Printf.sprintf "ol-client%d" d))
+  in
+  let bindings =
+    Array.map
+      (fun client ->
+        Lrpc_net.Erpc.import_remote ~window:per_domain rt ~client ~server
+          Driver.bench_interface ~impls:Driver.mpass_bench_impls)
+      domains
+  in
+  {
+    w_engine = b.Driver.bt_engine;
+    w_spawn =
+      (fun ~session body ->
+        ignore
+          (Kernel.spawn kernel
+             domains.(session mod n_domains)
+             ~name:(Printf.sprintf "ol-session%d" session)
+             body));
+    w_call =
+      (fun ~session ~lateness_us:_ ->
+        ignore (Api.call rt bindings.(session mod n_domains) ~proc:"null" []);
+        `Ok);
+  }
+
 let check_failures engine what =
   match Engine.failures engine with
   | [] -> ()
@@ -322,8 +383,10 @@ let systems =
   [
     ("lrpc", (fun p -> lrpc_world p), Ol.Poisson);
     ("lrpc_bursty", (fun p -> lrpc_world p), bursty);
+    ("lrpc_clustered", lrpc_clustered_world, Ol.Poisson);
     ("src_rpc", mpass_world, Ol.Poisson);
     ("netrpc", netrpc_world, Ol.Poisson);
+    ("netrpc_erpc", netrpc_erpc_world, Ol.Poisson);
   ]
 
 let run ?(seed = 1989L) ?(quick = false) ?engine_domains () =

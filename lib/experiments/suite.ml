@@ -9,7 +9,7 @@
 
 let paper = [ "t1"; "f1"; "t2"; "t3"; "t4"; "t5"; "f2" ]
 let ablations = [ "a1"; "a2"; "a3"; "a4"; "a5"; "a6" ]
-let supplementary = [ "lat"; "f2s"; "openloop"; "numa"; "prodsweep" ]
+let supplementary = [ "lat"; "f2s"; "openloop"; "numa"; "prodsweep"; "transport" ]
 let names = paper @ ablations @ supplementary
 
 let mem name = List.mem name names
@@ -32,12 +32,13 @@ let numa_result ~quick =
     ~horizon:(Lrpc_sim.Time.ms (if quick then 50 else 100))
     ()
 
-let json_names = [ "f2s"; "openloop"; "numa" ]
+let json_names = [ "f2s"; "openloop"; "numa"; "transport" ]
 
 let json ?(seed = 1989L) ?(quick = false) ?(shedding = false) name =
   match name with
   | "f2s" -> Fig2_scale.to_json (fig2_scale_result ~quick)
   | "numa" -> Numa_study.to_json (numa_result ~quick)
+  | "transport" -> Transport_study.to_json (Transport_study.run ~seed ~quick ())
   | "openloop" when shedding ->
       Openloop.to_json ~experiment:"openloop_shed"
         (Openloop.run_shedding ~seed ~quick ())
@@ -66,6 +67,7 @@ let run ?(seed = 1989L) ?(quick = false) ?(shedding = false) name =
   | "f2s" -> Fig2_scale.render (fig2_scale_result ~quick)
   | "numa" -> Numa_study.render (numa_result ~quick)
   | "prodsweep" -> Prod_sweep.render (Prod_sweep.run ~quick ~seed ())
+  | "transport" -> Transport_study.render (Transport_study.run ~seed ~quick ())
   | "openloop" when shedding ->
       Openloop.render (Openloop.run_shedding ~seed ~quick ())
   | "openloop" -> Openloop.render (Openloop.run ~seed ~quick ())

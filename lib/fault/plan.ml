@@ -22,6 +22,11 @@ type spec = {
   storm_from_us : float;
   storm_until_us : float;
   storm_reply_drop : float;
+  pkt_drop : float;
+  pkt_ecn : float;
+  pkt_dup : float;
+  pkt_delay : float;
+  pkt_delay_mean_us : float;
 }
 
 let none =
@@ -39,6 +44,11 @@ let none =
     storm_from_us = 0.0;
     storm_until_us = 0.0;
     storm_reply_drop = 0.0;
+    pkt_drop = 0.0;
+    pkt_ecn = 0.0;
+    pkt_dup = 0.0;
+    pkt_delay = 0.0;
+    pkt_delay_mean_us = 0.0;
   }
 
 type t = {
@@ -47,23 +57,45 @@ type t = {
      fixed order: the wire verdict sequence does not shift when, say,
      the starvation probability changes. *)
   t_wire : Prng.t;
-  t_jitter : Prng.t;
+  (* Retired global jitter stream. Still split off the root in its
+     historical position so the wire/server/starve/storm sequences are
+     unchanged; the per-binding streams derive from [t_jitter_root]. *)
+  _t_jitter : Prng.t;
   t_server : Prng.t;
   t_starve : Prng.t;
   (* Split last so the older streams keep their historical sequences:
      adding the storm family must not shift same-seed wire verdicts. *)
   t_storm : Prng.t;
+  (* Newest families last, same reasoning: the per-packet stream and the
+     jitter root (each binding's jitter stream derives from it) joined
+     after the storm stream. *)
+  t_packet : Prng.t;
+  t_jitter_root : Prng.t;
+  t_jitter_streams : (int, Prng.t) Hashtbl.t;
   mutable t_timers : Engine.timer list;
 }
 
 let make spec =
   let root = Prng.create ~seed:spec.seed in
   let t_wire = Prng.split root in
-  let t_jitter = Prng.split root in
+  let _t_jitter = Prng.split root in
   let t_server = Prng.split root in
   let t_starve = Prng.split root in
   let t_storm = Prng.split root in
-  { t_spec = spec; t_wire; t_jitter; t_server; t_starve; t_storm; t_timers = [] }
+  let t_packet = Prng.split root in
+  let t_jitter_root = Prng.split root in
+  {
+    t_spec = spec;
+    t_wire;
+    _t_jitter;
+    t_server;
+    t_starve;
+    t_storm;
+    t_packet;
+    t_jitter_root;
+    t_jitter_streams = Hashtbl.create 8;
+    t_timers = [];
+  }
 
 let spec t = t.t_spec
 
@@ -111,7 +143,47 @@ let install t rt =
       wf_extra_delay = (if delayed then Time.us_f extra_us else Time.zero);
     }
   in
-  let f_backoff_jitter ~attempt:_ = Prng.float t.t_jitter 0.5 in
+  let f_packet ~proc:_ ~seq:_ ~pkt:_ ~attempt:_ =
+    (* Same fixed-draw-count discipline as [f_wire]: each verdict
+       consumes four bernoulli draws (plus the delay magnitude when the
+       delay family is enabled) whichever way it lands. *)
+    let lost = Prng.bernoulli t.t_packet ~p:s.pkt_drop in
+    let ecn = Prng.bernoulli t.t_packet ~p:s.pkt_ecn in
+    let dup = Prng.bernoulli t.t_packet ~p:s.pkt_dup in
+    let delayed = Prng.bernoulli t.t_packet ~p:s.pkt_delay in
+    let extra_us =
+      if s.pkt_delay > 0.0 then
+        Prng.exponential t.t_packet ~mean:s.pkt_delay_mean_us
+      else 0.0
+    in
+    if lost || ecn || dup || delayed then Metrics.Counter.incr wire_faults;
+    {
+      Rt.pf_lost = lost;
+      pf_ecn = ecn;
+      pf_dup = dup;
+      pf_delay = (if delayed then Time.us_f extra_us else Time.zero);
+    }
+  in
+  (* Jitter stream for one binding: derived from the pristine jitter
+     root by [binding] throw-away splits and one final split, so it is a
+     pure function of (seed, binding id). Adding a binding — or calling
+     through bindings in a different order — cannot perturb another
+     binding's retransmit schedule. *)
+  let jitter_stream binding =
+    match Hashtbl.find_opt t.t_jitter_streams binding with
+    | Some s -> s
+    | None ->
+        let r = Prng.copy t.t_jitter_root in
+        for _ = 1 to binding do
+          ignore (Prng.split r : Prng.t)
+        done;
+        let s = Prng.split r in
+        Hashtbl.replace t.t_jitter_streams binding s;
+        s
+  in
+  let f_backoff_jitter ~binding ~attempt:_ =
+    Prng.float (jitter_stream binding) 0.5
+  in
   let f_server_exn ~proc =
     if Prng.bernoulli t.t_server ~p:s.server_exn then begin
       Metrics.Counter.incr server_exns;
@@ -124,7 +196,8 @@ let install t rt =
       Some (Time.us_f s.starvation_us)
     else None
   in
-  rt.Rt.faults <- Some { Rt.f_wire; f_backoff_jitter; f_server_exn; f_starvation };
+  rt.Rt.faults <-
+    Some { Rt.f_wire; f_packet; f_backoff_jitter; f_server_exn; f_starvation };
   t.t_timers <-
     List.map
       (fun (t_us, name) ->

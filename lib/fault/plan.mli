@@ -1,10 +1,13 @@
 (** Deterministic fault plans.
 
-    A plan is a pure function of its seed: four independent SplitMix64
-    streams ({!Lrpc_util.Prng.split}) drive the wire verdicts, the
-    retry-backoff jitter, server-stub exceptions, and transient A-stack
-    starvation, and a list of absolute simulated times schedules domain
-    crashes. Installing the same spec twice therefore injects {e
+    A plan is a pure function of its seed: independent SplitMix64
+    streams ({!Lrpc_util.Prng.split}) drive the wire verdicts,
+    per-packet verdicts, server-stub exceptions, and transient A-stack
+    starvation, a per-binding family of streams drives the
+    retry-backoff jitter (each binding's stream is a pure function of
+    (seed, binding id), so adding a binding cannot perturb another
+    binding's retransmit schedule), and a list of absolute simulated
+    times schedules domain crashes. Installing the same spec twice therefore injects {e
     bit-identical} fault sequences — the chaos soak
     ({!Soak}, [test/test_fault.ml]) asserts equal trace digests across
     same-seed runs, and a failure found under seed [s] is replayed with
@@ -48,6 +51,17 @@ type spec = {
           fault sequences. The {!Soak} retry-budget test uses this to
           show budgets make the storm decay instead of sustaining
           itself. *)
+  pkt_drop : float;
+      (** P(packet lost) per packet per attempt on the packet-granular
+          ({!Lrpc_net.Erpc}) path. The whole packet-fault family draws
+          from its own PRNG stream (split after every older family), so
+          packet-free specs keep their historical fault sequences. *)
+  pkt_ecn : float;  (** P(packet delivered with an ECN mark) *)
+  pkt_dup : float;
+      (** P(packet delivered twice) — exercises receiver fragment dedup *)
+  pkt_delay : float;  (** P(extra one-way delay) per packet *)
+  pkt_delay_mean_us : float;
+      (** mean of the exponential per-packet extra delay, microseconds *)
 }
 
 val none : spec
@@ -56,8 +70,8 @@ val none : spec
 type t
 
 val make : spec -> t
-(** Derive the four PRNG streams from [spec.seed]. A fresh [make] of an
-    equal spec replays the same fault sequence. *)
+(** Derive the per-family PRNG streams from [spec.seed]. A fresh [make]
+    of an equal spec replays the same fault sequence. *)
 
 val spec : t -> spec
 

@@ -60,6 +60,7 @@ module Termination = Lrpc_core.Termination
 
 (* network path and the message-passing baseline *)
 module Netrpc = Lrpc_net.Netrpc
+module Erpc = Lrpc_net.Erpc
 module Mpass = Lrpc_msgrpc.Mpass
 module Profile = Lrpc_msgrpc.Profile
 

@@ -107,6 +107,10 @@ let import_remote ?(window = 8) ?(rto = default_rto)
     Hashtbl.remove executed seq;
     note_dedup_size ()
   in
+  (* Set once the binding exists (below); the transport closure only
+     runs through the binding, so it always observes the real id. The
+     id keys the fault plan's per-binding jitter stream. *)
+  let binding_id = ref (-1) in
   let transport ~proc args =
     let p =
       match I.find_proc iface proc with
@@ -154,7 +158,8 @@ let import_remote ?(window = 8) ?(rto = default_rto)
     let jitter ~attempt =
       match rt.Lrpc_core.Rt.faults with
       | None -> 0.0
-      | Some f -> f.Lrpc_core.Rt.f_backoff_jitter ~attempt
+      | Some f ->
+          f.Lrpc_core.Rt.f_backoff_jitter ~binding:!binding_id ~attempt
     in
     let rec attempt n =
       let wf = fault ~attempt:n in
@@ -225,5 +230,9 @@ let import_remote ?(window = 8) ?(rto = default_rto)
     | None -> ());
     attempt 1
   in
-  Lrpc_core.Binding.make_remote_binding ~window rt ~client ~server iface
-    ~transport
+  let b =
+    Lrpc_core.Binding.make_remote_binding ~window rt ~client ~server iface
+      ~transport
+  in
+  binding_id := b.Lrpc_core.Rt.bid;
+  b

@@ -53,7 +53,9 @@ val import_remote :
     ([Lrpc_fault.Plan]); the fault-free wire never drops — are retried
     with bounded exponential backoff: attempt [n] waits
     [rto * 2^(n-1) * (1 + jitter)] (default [rto] 4 ms, jitter drawn
-    from the fault plan's own PRNG so replays are bit-identical),
+    from the fault plan's {e per-binding} stream — a pure function of
+    (seed, binding id), so replays are bit-identical and adding a
+    binding cannot perturb another binding's retransmit schedule),
     incrementing ["net.retries"] per retransmission. After
     [max_attempts] (default 5) the call surfaces as
     [Rt.Call_failed]. ["net.remote_calls"] still counts logical calls:

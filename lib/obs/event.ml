@@ -17,6 +17,7 @@ type t =
   | Terminated of { domain : string }
   | Net_send of { bytes : int }
   | Net_recv of { bytes : int }
+  | Net_packet of { seq : int; pkt : int; bytes : int; retransmit : bool }
   | Slice of { category : Category.t; dur : Time.t }
   | Mark of { name : string; detail : string }
 
@@ -39,6 +40,7 @@ let name = function
   | Terminated _ -> "terminate"
   | Net_send _ -> "net-send"
   | Net_recv _ -> "net-recv"
+  | Net_packet _ -> "net-packet"
   | Slice _ -> "slice"
   | Mark m -> m.name
 
@@ -70,6 +72,9 @@ let detail = function
   | Terminated t -> t.domain
   | Net_send s -> Printf.sprintf "%d bytes" s.bytes
   | Net_recv r -> Printf.sprintf "%d bytes" r.bytes
+  | Net_packet p ->
+      Printf.sprintf "seq %d pkt %d %d bytes%s" p.seq p.pkt p.bytes
+        (if p.retransmit then " (retransmit)" else "")
   | Slice s ->
       Printf.sprintf "%s %.3fus" (Category.to_string s.category)
         (Time.to_us s.dur)
@@ -120,5 +125,12 @@ let args = function
   | Terminated t -> [ ("domain", `Str t.domain) ]
   | Net_send s -> [ ("bytes", `Int s.bytes) ]
   | Net_recv r -> [ ("bytes", `Int r.bytes) ]
+  | Net_packet p ->
+      [
+        ("seq", `Int p.seq);
+        ("pkt", `Int p.pkt);
+        ("bytes", `Int p.bytes);
+        ("retransmit", `Int (if p.retransmit then 1 else 0));
+      ]
   | Slice s -> [ ("category", `Str (Category.slug s.category)) ]
   | Mark m -> if m.detail = "" then [] else [ ("detail", `Str m.detail) ]

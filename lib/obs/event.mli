@@ -51,6 +51,10 @@ type t =
   | Terminated of { domain : string }
   | Net_send of { bytes : int }
   | Net_recv of { bytes : int }
+  | Net_packet of { seq : int; pkt : int; bytes : int; retransmit : bool }
+      (** One MTU-sized fragment injected by the packet-granular
+          ({!Lrpc_net.Erpc}) transport; [pkt] is the fragment index
+          within message [seq]. *)
   | Slice of { category : Category.t; dur : Time.t }
       (** A charged delay: [dur] of simulated time attributed to
           [category], starting at the event's timestamp. Renders as a

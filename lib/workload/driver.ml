@@ -68,6 +68,12 @@ let mpass_bench_impls =
 (* --- unified construction ----------------------------------------------- *)
 
 module Config = struct
+  (* Which cross-machine transport [make_netrpc] wires up. [Classic]
+     is the default and leaves every published number byte-identical;
+     [Erpc None] selects the packet-granular transport with its
+     default parameters. *)
+  type transport = Classic | Erpc of Lrpc_net.Erpc.params option
+
   type t = {
     cost_model : Cost_model.t;
     processors : int;
@@ -83,6 +89,7 @@ module Config = struct
     admission : Lrpc_core.Rt.admission option;
     net_retry_budget : float option;
     net_dedup_capacity : int option;
+    net_transport : transport;
     prod_half_life_us : float option;
     prod_margin : float option;
     adaptive_prod : bool;
@@ -106,6 +113,7 @@ module Config = struct
       admission = None;
       net_retry_budget = None;
       net_dedup_capacity = None;
+      net_transport = Classic;
       prod_half_life_us = None;
       prod_margin = None;
       adaptive_prod = false;
@@ -386,12 +394,20 @@ let make_netrpc ?(config = Config.default) () =
   in
   let nw_client = Kernel.create_domain b.bt_kernel ~name:"bench-client" in
   let nw_binding =
-    Netrpc.import_remote ?window:config.Config.net_window
-      ?rto:config.Config.net_rto ?max_attempts:config.Config.net_max_attempts
-      ?retry_budget:config.Config.net_retry_budget
-      ?dedup_capacity:config.Config.net_dedup_capacity b.bt_rt
-      ~client:nw_client ~server:nw_server bench_interface
-      ~impls:mpass_bench_impls
+    match config.Config.net_transport with
+    | Config.Classic ->
+        Netrpc.import_remote ?window:config.Config.net_window
+          ?rto:config.Config.net_rto
+          ?max_attempts:config.Config.net_max_attempts
+          ?retry_budget:config.Config.net_retry_budget
+          ?dedup_capacity:config.Config.net_dedup_capacity b.bt_rt
+          ~client:nw_client ~server:nw_server bench_interface
+          ~impls:mpass_bench_impls
+    | Config.Erpc params ->
+        Lrpc_net.Erpc.import_remote ?params ?window:config.Config.net_window
+          ?dedup_capacity:config.Config.net_dedup_capacity b.bt_rt
+          ~client:nw_client ~server:nw_server bench_interface
+          ~impls:mpass_bench_impls
   in
   {
     nw_engine = b.bt_engine;

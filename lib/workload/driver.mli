@@ -37,6 +37,14 @@ val mpass_bench_impls : (string * Lrpc_msgrpc.Mpass.impl) list
     lrpc/mpass/netrpc constructors; fields irrelevant to a given
     constructor (e.g. [net_window] for a local world) are ignored. *)
 module Config : sig
+  (** Which cross-machine transport {!make_netrpc} wires up. [Classic]
+      (the default) is the whole-message era-appropriate
+      {!Lrpc_net.Netrpc} path — selecting it keeps every published
+      number byte-identical. [Erpc params] is the packet-granular
+      {!Lrpc_net.Erpc} transport; [Erpc None] uses
+      {!Lrpc_net.Erpc.default_params}. *)
+  type transport = Classic | Erpc of Lrpc_net.Erpc.params option
+
   type t = {
     cost_model : Lrpc_sim.Cost_model.t;
         (** machine timing model (default C-VAX Firefly). {!make_mpass}
@@ -76,6 +84,12 @@ module Config : sig
             call (see {!Lrpc_net.Netrpc.import_remote}) *)
     net_dedup_capacity : int option;
         (** bound on Netrpc's at-most-once dedup cache *)
+    net_transport : transport;
+        (** cross-machine transport model ({!make_netrpc} only);
+            default [Classic]. Under [Erpc _] the [net_rto],
+            [net_max_attempts] and [net_retry_budget] knobs are ignored
+            (per-packet reliability lives in
+            {!Lrpc_net.Erpc.params}). *)
     prod_half_life_us : float option;
         (** override {!Lrpc_kernel.Kernel.default_half_life_us} — the
             idle-prod miss-EWMA half-life — for this world *)

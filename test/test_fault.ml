@@ -374,7 +374,8 @@ let test_at_most_once () =
     Some
       {
         Rt.f_wire;
-        f_backoff_jitter = (fun ~attempt:_ -> 0.0);
+        f_packet = (fun ~proc:_ ~seq:_ ~pkt:_ ~attempt:_ -> Rt.packet_ok);
+        f_backoff_jitter = (fun ~binding:_ ~attempt:_ -> 0.0);
         f_server_exn = (fun ~proc:_ -> None);
         f_starvation = (fun ~proc:_ -> None);
       };
@@ -448,7 +449,8 @@ let test_dedup_cache_bounded () =
     Some
       {
         Rt.f_wire;
-        f_backoff_jitter = (fun ~attempt:_ -> 0.0);
+        f_packet = (fun ~proc:_ ~seq:_ ~pkt:_ ~attempt:_ -> Rt.packet_ok);
+        f_backoff_jitter = (fun ~binding:_ ~attempt:_ -> 0.0);
         f_server_exn = (fun ~proc:_ -> None);
         f_starvation = (fun ~proc:_ -> None);
       };

@@ -2,6 +2,9 @@ open Lrpc_sim
 open Lrpc_kernel
 open Lrpc_core
 module Netrpc = Lrpc_net.Netrpc
+module Erpc = Lrpc_net.Erpc
+module Fault_plan = Lrpc_fault.Plan
+module Metrics = Lrpc_obs.Metrics
 module I = Lrpc_idl.Types
 module V = Lrpc_idl.Value
 
@@ -102,6 +105,191 @@ let test_remote_binding_has_remote_bit () =
   let b = Netrpc.import_remote rt ~client ~server iface ~impls in
   Alcotest.(check bool) "remote bit" true (b.Rt.b_remote <> None)
 
+(* --- the packet-granular (eRPC-style) transport -------------------------- *)
+
+let ctr engine name =
+  Metrics.Counter.value (Metrics.counter (Engine.metrics engine) name)
+
+let gauge engine name =
+  Metrics.Gauge.value (Metrics.gauge (Engine.metrics engine) name)
+
+let test_erpc_roundtrip_and_latency () =
+  let engine, kernel, rt, client, server = make_world () in
+  Netrpc.reset_remote_calls rt;
+  let b = Erpc.import_remote rt ~client ~server iface ~impls in
+  let got = ref 0 and elapsed = ref 0 in
+  ignore
+    (Kernel.spawn kernel client (fun () ->
+         let t0 = Engine.now engine in
+         (match Api.call rt b ~proc:"echo" [ V.int 55 ] with
+         | [ V.Int x ] -> got := x
+         | _ -> ());
+         elapsed := Time.sub (Engine.now engine) t0));
+  Engine.run engine;
+  Alcotest.(check (list pass)) "no failures" [] (Engine.failures engine);
+  Alcotest.(check int) "result" 55 !got;
+  Alcotest.(check int) "counted" 1 (Netrpc.remote_calls rt);
+  (* The whole point: the packet transport loses the classic path's
+     2.66 ms protocol constant. *)
+  Alcotest.(check bool) "far below the classic Null wire" true
+    (!elapsed < Time.us 600 && !elapsed > Time.us 50);
+  Alcotest.(check bool) "request + response packets" true
+    (ctr engine "net.erpc.pkts_sent" >= 2);
+  Alcotest.(check int) "credit accounting balanced" 0
+    (ctr engine "net.erpc.credit_underflow")
+
+let test_erpc_multipacket_fragmentation () =
+  let engine, kernel, rt, client, server = make_world () in
+  let b = Erpc.import_remote rt ~client ~server iface ~impls in
+  let payload = Bytes.create 4096 in
+  let ok = ref false in
+  ignore
+    (Kernel.spawn kernel client (fun () ->
+         match Api.call rt b ~proc:"blob" [ V.bytes payload ] with
+         | [ V.Bytes b ] -> ok := Bytes.length b = 4096
+         | _ -> ()));
+  Engine.run engine;
+  Alcotest.(check (list pass)) "no failures" [] (Engine.failures engine);
+  Alcotest.(check bool) "payload echoed" true !ok;
+  (* 4096 B over a 1436 B fragment payload = 3 fragments each way. *)
+  Alcotest.(check int) "six fragments" 6 (ctr engine "net.erpc.pkts_sent");
+  Alcotest.(check bool) "zero-copy counted both directions" true
+    (ctr engine "net.erpc.zerocopy_bytes" = 8192)
+
+let test_erpc_binding_cache_ablation () =
+  let run ~binding_cache =
+    let engine, kernel, rt, client, server = make_world () in
+    let params = { Erpc.default_params with Erpc.binding_cache } in
+    let b = Erpc.import_remote ~params rt ~client ~server iface ~impls in
+    let elapsed = ref 0 in
+    ignore
+      (Kernel.spawn kernel client (fun () ->
+           let t0 = Engine.now engine in
+           for i = 1 to 10 do
+             ignore (Api.call rt b ~proc:"echo" [ V.int i ])
+           done;
+           elapsed := Time.sub (Engine.now engine) t0));
+    Engine.run engine;
+    Alcotest.(check (list pass)) "no failures" [] (Engine.failures engine);
+    (!elapsed, ctr engine "net.erpc.bcache_hits")
+  in
+  let base, hits0 = run ~binding_cache:false in
+  let cached, hits1 = run ~binding_cache:true in
+  Alcotest.(check int) "no hits without the cache" 0 hits0;
+  Alcotest.(check int) "nine hits after the first miss" 9 hits1;
+  (* 9 calls save (20 - 1) us of kernel mediation each. *)
+  Alcotest.(check bool) "cache is faster" true (cached < base)
+
+(* qcheck: under any seeded drop/dup/delay plan, per-session credit
+   accounting never goes negative and in-flight packets stay within the
+   hard window cap. [net.erpc.credit_underflow] is incremented by the
+   transport itself whenever the invariant would break. *)
+let erpc_credit_invariant (seed, drop, dup, delay, calls) =
+  let engine, kernel, rt, client, server = make_world () in
+  let plan =
+    Fault_plan.make
+      {
+        Fault_plan.none with
+        Fault_plan.seed = Int64.of_int seed;
+        pkt_drop = drop;
+        pkt_dup = dup;
+        pkt_delay = delay;
+        pkt_delay_mean_us = 300.0;
+      }
+  in
+  Fault_plan.install plan rt;
+  let params = { Erpc.default_params with Erpc.init_cwnd = 4.0 } in
+  let b = Erpc.import_remote ~params ~window:4 rt ~client ~server iface ~impls in
+  let completed = ref 0 and failed = ref 0 in
+  for c = 0 to 3 do
+    ignore
+      (Kernel.spawn kernel client
+         ~name:(Printf.sprintf "erpc-prop-%d" c)
+         (fun () ->
+           for i = 1 to calls do
+             match Api.call_result rt b ~proc:"echo" [ V.int i ] with
+             | Ok [ V.Int v ] when v = i -> incr completed
+             | Ok _ -> ()
+             | Error _ -> incr failed
+           done))
+  done;
+  Engine.run engine;
+  Engine.failures engine = []
+  && ctr engine "net.erpc.credit_underflow" = 0
+  && !completed + !failed = 4 * calls
+  && int_of_float (gauge engine "net.erpc.inflight_max")
+     <= Erpc.default_params.Erpc.window
+
+let test_erpc_credit_qcheck () =
+  let gen =
+    QCheck.Gen.(
+      tup5 (int_bound 10_000)
+        (float_bound_inclusive 0.3)
+        (float_bound_inclusive 0.3)
+        (float_bound_inclusive 0.3)
+        (int_range 1 4))
+  in
+  let arb = QCheck.make gen in
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:12 ~name:"credit accounting invariant" arb
+       erpc_credit_invariant)
+
+(* Packet-granularity dedup-cache eviction: many concurrent lossy calls
+   hold their at-most-once entries across selective retransmissions,
+   yet live entries never exceed the configured capacity — and every
+   procedure still executes exactly once per call. *)
+let test_erpc_dedup_eviction () =
+  let engine, kernel, rt, client, server = make_world () in
+  let plan =
+    Fault_plan.make
+      {
+        Fault_plan.none with
+        Fault_plan.seed = 11L;
+        pkt_drop = 0.25;
+        pkt_dup = 0.15;
+      }
+  in
+  Fault_plan.install plan rt;
+  let executed = ref 0 in
+  let counted_impls =
+    [
+      ( "echo",
+        fun args ->
+          incr executed;
+          match args with [ V.Int x ] -> [ V.int x ] | _ -> assert false );
+    ]
+  in
+  let b =
+    Erpc.import_remote ~dedup_capacity:3 ~window:8 rt ~client ~server iface
+      ~impls:counted_impls
+  in
+  let calls_per_client = 6 and clients = 4 in
+  let completed = ref 0 in
+  for c = 0 to clients - 1 do
+    ignore
+      (Kernel.spawn kernel client
+         ~name:(Printf.sprintf "erpc-lossy-%d" c)
+         (fun () ->
+           for i = 1 to calls_per_client do
+             match Api.call_result rt b ~proc:"echo" [ V.int i ] with
+             | Ok [ V.Int v ] when v = i -> incr completed
+             | Ok _ -> Alcotest.fail "wrong result"
+             | Error _ -> ()
+           done))
+  done;
+  Engine.run engine;
+  Alcotest.(check (list pass)) "no failures" [] (Engine.failures engine);
+  Alcotest.(check bool) "losses actually retransmitted" true
+    (ctr engine "net.erpc.retransmits" > 0);
+  Alcotest.(check int) "one execution per completed-or-failed call"
+    (clients * calls_per_client)
+    !executed;
+  let peak = int_of_float (gauge engine "net.erpc.dedup_peak") in
+  Alcotest.(check bool) "cache was exercised" true (peak >= 1);
+  Alcotest.(check bool) "live entries bounded by capacity" true (peak <= 3);
+  Alcotest.(check int) "credit accounting balanced" 0
+    (ctr engine "net.erpc.credit_underflow")
+
 let () =
   Alcotest.run "lrpc_net"
     [
@@ -118,5 +306,17 @@ let () =
           Alcotest.test_case "local rejected" `Quick test_local_pair_rejected;
           Alcotest.test_case "conformance" `Quick test_remote_conformance_checked;
           Alcotest.test_case "remote bit" `Quick test_remote_binding_has_remote_bit;
+        ] );
+      ( "erpc transport",
+        [
+          Alcotest.test_case "roundtrip + latency" `Quick
+            test_erpc_roundtrip_and_latency;
+          Alcotest.test_case "fragmentation" `Quick
+            test_erpc_multipacket_fragmentation;
+          Alcotest.test_case "binding cache" `Quick
+            test_erpc_binding_cache_ablation;
+          Alcotest.test_case "credit invariant (qcheck)" `Quick
+            test_erpc_credit_qcheck;
+          Alcotest.test_case "dedup eviction" `Quick test_erpc_dedup_eviction;
         ] );
     ]
